@@ -1,0 +1,36 @@
+// Figure 1: Black Scholes with MKL, Weld, and MKL+Mozart on 1-N threads.
+//
+// Paper shape: un-annotated MKL stops scaling around the memory-bandwidth
+// knee; Mozart keeps scaling by pipelining the 27-operator chain through the
+// cache; Mozart also beats the Weld-style fused baseline where the library's
+// hand-optimized kernels win back the compiler's fusion advantage (§2.1).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/runtime.h"
+#include "vecmath/vecmath.h"
+#include "workloads/numerical.h"
+
+int main() {
+  bench::Title("Figure 1: Black Scholes (vecmath as MKL) — runtime (s), 1..N threads");
+  const long n = bench::Scaled(4 << 20);
+  workloads::BlackScholes w(n, 42);
+  std::printf("  n = %ld doubles/array (%.0f MB working set)\n", n,
+              static_cast<double>(n) * 8 * 12 / 1e6);
+  std::printf("  %-8s %12s %12s %12s %14s\n", "threads", "MKL", "Weld(fused)", "Mozart",
+              "Mozart/MKL spdup");
+
+  for (int threads : bench::ThreadSweep()) {
+    vecmath::SetNumThreads(threads);
+    double t_base = bench::TimeSeconds([&] { w.RunBase(); });
+    double t_fused = bench::TimeSeconds([&] { w.RunFused(threads); });
+    mz::RuntimeOptions opts;
+    opts.num_threads = threads;
+    mz::Runtime rt(opts);
+    double t_mozart = bench::TimeSeconds([&] { w.RunMozart(&rt); });
+    std::printf("  %-8d %12.4f %12.4f %12.4f %13.2fx\n", threads, t_base, t_fused, t_mozart,
+                t_base / t_mozart);
+  }
+  vecmath::SetNumThreads(0);
+  return 0;
+}

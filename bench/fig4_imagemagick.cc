@@ -1,0 +1,42 @@
+// Figure 4n-o: the Nashville and Gotham ImageMagick filter pipelines. The
+// library parallelizes internally (OpenMP stand-in), so like the MKL plots
+// the base gets the same threads as Mozart; Mozart's win is cross-operator
+// pipelining, and it is capped by the genuine pixel copies in the crop-based
+// split and append-based merge (paper: 1.8x / 1.6x end-to-end, 3.4x
+// compute-only).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/runtime.h"
+#include "image/image.h"
+#include "workloads/analytics.h"
+
+namespace {
+
+void RunSeries(const char* name, workloads::ImageFilter* w) {
+  std::printf("\n  (%s) — %d filter operators, %ld rows\n", name, w->NumOperators(), w->size());
+  for (int threads : bench::ThreadSweep()) {
+    img::SetNumThreads(threads);
+    double t_base = bench::TimeSeconds([&] { w->RunBase(); });
+    mz::RuntimeOptions opts;
+    opts.num_threads = threads;
+    mz::Runtime rt(opts);
+    double t_mozart = bench::TimeSeconds([&] { w->RunMozart(&rt); });
+    double t_fused = bench::TimeSeconds([&] { w->RunFused(threads); });
+    std::printf("    t=%-2d  ImageMagick %9.4f s   Mozart %9.4f s (%5.2fx)   fused %9.4f s\n",
+                threads, t_base, t_mozart, t_base / t_mozart, t_fused);
+  }
+  img::SetNumThreads(0);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 4n-o: ImageMagick filter pipelines (parallel base) — runtime (s)");
+  long width = bench::Scaled(2560);
+  workloads::ImageFilter nashville(workloads::ImageFilter::Filter::kNashville, width, 1440, 1);
+  RunSeries("n: Nashville", &nashville);
+  workloads::ImageFilter gotham(workloads::ImageFilter::Filter::kGotham, width, 1440, 2);
+  RunSeries("o: Gotham", &gotham);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 4j-m: the same numerical workloads against the *already-parallel*
+// library (MKL mode): the base gets the same thread count as Mozart, so any
+// Mozart win is pure data-movement optimization (pipelining), not
+// parallelization.
+//
+// Paper shape: 4.7x (Black Scholes), 2.1x (Haversine), 2.0x (nBody), 2.7x
+// (Shallow Water) on 16 threads; at 1-2 threads the gap is smaller because
+// memory bandwidth is not yet saturated.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/runtime.h"
+#include "matrix/matrix.h"
+#include "vecmath/vecmath.h"
+#include "workloads/numerical.h"
+
+namespace {
+
+template <typename W>
+void RunSeries(const char* name, W* w, int num_operators) {
+  std::printf("\n  (%s) — %d library calls, n = %ld\n", name, num_operators, w->size());
+  for (int threads : bench::ThreadSweep()) {
+    vecmath::SetNumThreads(threads);  // MKL parallelizes internally
+    matrix::SetNumThreads(threads);
+    double t_base = bench::TimeSeconds([&] { w->RunBase(); });
+    mz::RuntimeOptions opts;
+    opts.num_threads = threads;
+    mz::Runtime rt(opts);
+    double t_mozart = bench::TimeSeconds([&] { w->RunMozart(&rt); });
+    double t_fused = bench::TimeSeconds([&] { w->RunFused(threads); });
+    std::printf("    t=%-2d  MKL %9.4f s   Mozart %9.4f s (%5.2fx)   fused %9.4f s\n", threads,
+                t_base, t_mozart, t_base / t_mozart, t_fused);
+  }
+  vecmath::SetNumThreads(0);
+  matrix::SetNumThreads(0);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 4j-m: MKL-mode numerical workloads (parallel base) — runtime (s)");
+
+  workloads::BlackScholes bs(bench::Scaled(2 << 20), 1);
+  RunSeries("j: Black Scholes", &bs, workloads::BlackScholes::NumOperators());
+
+  workloads::Haversine hv(bench::Scaled(4 << 20), 2);
+  RunSeries("k: Haversine", &hv, workloads::Haversine::NumOperators());
+
+  workloads::NBody nb(bench::Scaled(1024), 3, 3);
+  RunSeries("l: nBody", &nb, workloads::NBody::NumOperators());
+
+  workloads::ShallowWater sw(bench::Scaled(640), 4, 4);
+  RunSeries("m: Shallow Water", &sw, workloads::ShallowWater::NumOperators());
+  return 0;
+}

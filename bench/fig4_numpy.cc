@@ -1,0 +1,56 @@
+// Figure 4a-d: the four numerical workloads against a *single-threaded*
+// library (the NumPy baselines), vs Mozart and the fused-compiler stand-in
+// on 1..N threads.
+//
+// Paper shape: near-linear Mozart scaling for Black Scholes/Haversine
+// (4a, 4b: 12.9x/13.6x on 16 threads there); smaller wins for nBody and
+// Shallow Water (4c, 4d: 4.6x/1.8x) whose stencil/indexing stages cannot be
+// split.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/runtime.h"
+#include "matrix/matrix.h"
+#include "vecmath/vecmath.h"
+#include "workloads/numerical.h"
+
+namespace {
+
+template <typename W>
+void RunSeries(const char* name, W* w, int num_operators) {
+  std::printf("\n  (%s) — %d library calls, n = %ld\n", name, num_operators, w->size());
+  vecmath::SetNumThreads(1);  // NumPy: single-threaded kernels
+  matrix::SetNumThreads(1);
+  double t_base = bench::TimeSeconds([&] { w->RunBase(); });
+  std::printf("    %-22s %10.4f s\n", "NumPy (1 thread)", t_base);
+  for (int threads : bench::ThreadSweep()) {
+    mz::RuntimeOptions opts;
+    opts.num_threads = threads;
+    mz::Runtime rt(opts);
+    double t_mozart = bench::TimeSeconds([&] { w->RunMozart(&rt); });
+    double t_fused = bench::TimeSeconds([&] { w->RunFused(threads); });
+    std::printf("    t=%-2d  Mozart %10.4f s (%5.2fx)   fused-compiler %10.4f s (%5.2fx)\n",
+                threads, t_mozart, t_base / t_mozart, t_fused, t_base / t_fused);
+  }
+  vecmath::SetNumThreads(0);
+  matrix::SetNumThreads(0);
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 4a-d: NumPy-mode numerical workloads — runtime (s) and speedup");
+
+  workloads::BlackScholes bs(bench::Scaled(2 << 20), 1);
+  RunSeries("a: Black Scholes", &bs, workloads::BlackScholes::NumOperators());
+
+  workloads::Haversine hv(bench::Scaled(4 << 20), 2);
+  RunSeries("b: Haversine", &hv, workloads::Haversine::NumOperators());
+
+  workloads::NBody nb(bench::Scaled(1024), 3, 3);
+  RunSeries("c: nBody", &nb, workloads::NBody::NumOperators());
+
+  workloads::ShallowWater sw(bench::Scaled(640), 4, 4);
+  RunSeries("d: Shallow Water", &sw, workloads::ShallowWater::NumOperators());
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 4i: Speech Tag with spaCy. The library is single-threaded and the
+// work is per-document, so Mozart's win is pure minibatch parallelism (the
+// paper reports 12.4x on 16 threads; no compiler supported spaCy).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/runtime.h"
+#include "workloads/analytics.h"
+
+int main() {
+  bench::Title("Figure 4i: Speech Tag (nlp as spaCy) — runtime (s)");
+  workloads::SpeechTag w(bench::Scaled(12000), 120, 7);
+  std::printf("  corpus: %ld documents\n", w.size());
+  double t_base = bench::TimeSeconds([&] { w.RunBase(); });
+  std::printf("  %-22s %10.4f s\n", "spaCy (1 thread)", t_base);
+  for (int threads : bench::ThreadSweep()) {
+    mz::RuntimeOptions opts;
+    opts.num_threads = threads;
+    mz::Runtime rt(opts);
+    double t_mozart = bench::TimeSeconds([&] { w.RunMozart(&rt); });
+    std::printf("  t=%-2d  Mozart %10.4f s (%5.2fx)\n", threads, t_mozart, t_base / t_mozart);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 5: breakdown of total running time into client (task registration),
+// unprotect (lazy-heap permission flips), planner, split, task execution,
+// and merge, for Black Scholes and Nashville.
+//
+// Paper shape: task execution dominates everywhere; client + planner < 0.5%;
+// Nashville has the largest split+merge share because its splitter crops and
+// its merger blits real pixels. Also microbenchmarks the mprotect cost per
+// GB that motivates the paper's pkeys discussion (§8.5).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/lazy_heap.h"
+#include "core/runtime.h"
+#include "core/stats.h"
+#include "workloads/analytics.h"
+#include "workloads/numerical.h"
+
+namespace {
+
+void PrintBreakdown(const char* name, const mz::EvalStats::Snapshot& s) {
+  double total = static_cast<double>(s.TotalNs());
+  auto pct = [&](std::int64_t ns) { return 100.0 * static_cast<double>(ns) / total; };
+  std::printf("  %-14s client %5.2f%%  unprotect %5.2f%%  planner %5.2f%%  split %5.2f%%  "
+              "task %6.2f%%  merge %5.2f%%\n",
+              name, pct(s.client_ns), pct(s.unprotect_ns), pct(s.planner_ns), pct(s.split_ns),
+              pct(s.task_ns), pct(s.merge_ns));
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 5: Mozart running-time breakdown (% of accounted time)");
+
+  {
+    workloads::BlackScholes w(bench::Scaled(4 << 20), 1);
+    mz::Runtime rt;
+    w.RunMozart(&rt);  // warm up
+    rt.stats().Reset();
+    w.RunMozart(&rt);
+    PrintBreakdown("black scholes", rt.stats().Take());
+  }
+  {
+    workloads::ImageFilter w(workloads::ImageFilter::Filter::kNashville, bench::Scaled(2560),
+                             1440, 2);
+    mz::Runtime rt;
+    w.RunMozart(&rt);  // warm up
+    rt.stats().Reset();
+    w.RunMozart(&rt);
+    PrintBreakdown("nashville", rt.stats().Take());
+  }
+
+  // The §8.5 microbenchmark: cost of flipping page permissions per GB.
+  bench::Title("Figure 5 companion: lazy-heap mprotect cost");
+  mz::LazyHeap& heap = mz::LazyHeap::Global();
+  const std::size_t kBytes = static_cast<std::size_t>(bench::Scaled(1) * 512) << 20;
+  void* p = heap.Alloc(kBytes);
+  heap.Unprotect();
+  double protect_s = bench::TimeSeconds([&] { heap.Protect(); heap.Unprotect(); }, 5);
+  std::printf("  protect+unprotect of %zu MB: %.3f ms (%.2f ms/GB round trip)\n",
+              kBytes >> 20, protect_s * 1e3,
+              protect_s * 1e3 * 1024.0 / static_cast<double>(kBytes >> 20));
+  heap.Free(p);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 6: effect of batch size on Black Scholes (element = one double) and
+// nBody (element = one matrix row), with the runtime's L2 heuristic choice
+// marked.
+//
+// Paper shape: a U-curve — tiny batches pay per-batch overhead, huge batches
+// stop fitting in cache and lose the pipelining benefit; the heuristic lands
+// within ~10% of the best point.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/cpu.h"
+#include "core/runtime.h"
+#include "workloads/numerical.h"
+
+namespace {
+
+template <typename W>
+void Sweep(const char* name, W* w, const std::vector<long>& batches,
+           std::int64_t heuristic_batch) {
+  std::printf("\n  %s (heuristic batch = %lld elements)\n", name,
+              static_cast<long long>(heuristic_batch));
+  double best = 1e100;
+  std::vector<double> times;
+  for (long batch : batches) {
+    mz::RuntimeOptions opts;
+    opts.batch_elems_override = batch;
+    mz::Runtime rt(opts);
+    double t = bench::TimeSeconds([&] { w->RunMozart(&rt); });
+    times.push_back(t);
+    best = std::min(best, t);
+  }
+  // Heuristic (auto) run for the marked point.
+  mz::Runtime auto_rt;
+  double t_auto = bench::TimeSeconds([&] { w->RunMozart(&auto_rt); });
+  best = std::min(best, t_auto);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    std::printf("    batch %-10ld norm-runtime %5.2f\n", batches[i], times[i] / best);
+  }
+  std::printf("    batch auto(%-5lld) norm-runtime %5.2f   <-- heuristic (within %.0f%% of best)\n",
+              static_cast<long long>(heuristic_batch), t_auto / best,
+              100.0 * (t_auto / best - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  bench::Title("Figure 6: batch-size sweep (normalized runtime; lower is better)");
+  std::printf("  L2 = %zu KB\n", mz::L2CacheBytes() / 1024);
+
+  // Black Scholes: 12 arrays in flight, sized so each far exceeds the LLC —
+  // the regime the batch-size trade-off is about (the paper runs 11 GB).
+  workloads::BlackScholes bs(bench::Scaled(16 << 20), 1);
+  std::int64_t bs_heur = static_cast<std::int64_t>(mz::L2CacheBytes()) / (12 * 8);
+  Sweep("(a) Black Scholes — element = 1 double", &bs,
+        {512, 2048, 8192, 32768, 131072, 524288, 2097152, 8388608}, bs_heur);
+
+  // nBody: elements are matrix rows of n doubles (n = 2048 → 16 KB rows).
+  const long n = bench::Scaled(2048);
+  workloads::NBody nb(n, 1, 3);
+  std::int64_t nb_heur = static_cast<std::int64_t>(mz::L2CacheBytes()) /
+                         (6 * n * static_cast<long>(sizeof(double)));
+  Sweep("(b) nBody — element = 1 matrix row", &nb, {1, 4, 16, 64, 256, 1024, 2048},
+        std::max<std::int64_t>(nb_heur, 1));
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Cache-line-aligned heap buffers. The vector-math substrate (our MKL
+// stand-in) assumes 64-byte alignment so the compiler can emit aligned SIMD
+// loads, and Mozart's executor allocates split scratch buffers through this
+// type as well.
+#ifndef MOZART_COMMON_ALIGNED_H_
+#define MOZART_COMMON_ALIGNED_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mz {
+
+inline constexpr std::size_t kBufferAlignment = 64;
+
+// Cache-set coloring: successive large allocations are offset from their
+// page-aligned base by increasing multiples of 8 KiB. Without this, a
+// workload's operand arrays (often equal power-of-two sizes → identically
+// aligned mmap regions) land on the *same* L1/L2 sets, and the cache-resident
+// slices Mozart pipelines conflict-evict each other — set-associativity
+// thrash that can triple runtimes. Production allocators (TBB's, jemalloc)
+// stagger bases the same way.
+inline constexpr std::size_t kColorStrideBytes = 8 * 1024;
+inline constexpr std::size_t kNumColors = 16;
+
+namespace internal {
+inline std::size_t NextColorOffset() {
+  static std::atomic<std::size_t> counter{0};
+  return (counter.fetch_add(1, std::memory_order_relaxed) % kNumColors) * kColorStrideBytes;
+}
+}  // namespace internal
+
+// Owning, aligned, fixed-size array of trivially-destructible T.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { Allocate(count); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : base_(std::exchange(other.base_, nullptr)),
+        data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      base_ = std::exchange(other.base_, nullptr);
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { Release(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + count_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + count_; }
+
+  void Fill(const T& value) {
+    for (std::size_t i = 0; i < count_; ++i) {
+      data_[i] = value;
+    }
+  }
+
+ private:
+  void Allocate(std::size_t count) {
+    count_ = count;
+    if (count == 0) {
+      data_ = nullptr;
+      return;
+    }
+    std::size_t color = internal::NextColorOffset();
+    std::size_t bytes = (count * sizeof(T) + kBufferAlignment - 1) / kBufferAlignment *
+                            kBufferAlignment +
+                        color;
+    void* p = std::aligned_alloc(kBufferAlignment, bytes);
+    if (p == nullptr) {
+      throw std::bad_alloc();
+    }
+    base_ = p;
+    data_ = reinterpret_cast<T*>(static_cast<char*>(p) + color);
+  }
+
+  void Release() {
+    std::free(base_);
+    base_ = nullptr;
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  void* base_ = nullptr;  // allocation start (data_ is color-offset into it)
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_COMMON_ALIGNED_H_

@@ -1,0 +1,77 @@
+// Invariant checking and error reporting for the Mozart runtime.
+//
+// Two failure channels, per the repo style:
+//  * `mz::Error` (exception) for conditions a caller can provoke through the
+//    public API (bad annotations, mismatched splits in pedantic mode, ...).
+//  * `MZ_CHECK` for internal invariants whose violation is a bug; these abort
+//    with a source location so failures in worker threads are loud.
+#ifndef MOZART_COMMON_CHECK_H_
+#define MOZART_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mz {
+
+// Exception thrown for user-visible misuse of the Mozart API.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+// Stream-style message builder so call sites can write
+// `MZ_THROW("bad axis " << axis)`.
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "MZ_CHECK failed: %s at %s:%d %s\n", expr, file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+#define MZ_CHECK(cond)                                                        \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::mz::internal::CheckFailed(#cond, __FILE__, __LINE__, "");             \
+    }                                                                         \
+  } while (0)
+
+#define MZ_CHECK_MSG(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::mz::internal::CheckFailed(#cond, __FILE__, __LINE__,                  \
+                                  (::mz::internal::MessageStream() << msg).str()); \
+    }                                                                         \
+  } while (0)
+
+#define MZ_THROW(msg) \
+  throw ::mz::Error((::mz::internal::MessageStream() << msg).str())
+
+#define MZ_THROW_IF(cond, msg) \
+  do {                         \
+    if (cond) {                \
+      MZ_THROW(msg);           \
+    }                          \
+  } while (0)
+
+}  // namespace mz
+
+#endif  // MOZART_COMMON_CHECK_H_

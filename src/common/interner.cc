@@ -1,0 +1,34 @@
+#include "common/interner.h"
+
+#include "common/check.h"
+
+namespace mz {
+
+Interner& Interner::Global() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+InternedId Interner::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  InternedId id = static_cast<InternedId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+const std::string& Interner::Name(InternedId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MZ_CHECK_MSG(id < names_.size(), "unknown interned id " << id);
+  return names_[id];
+}
+
+InternedId InternName(std::string_view name) { return Interner::Global().Intern(name); }
+
+const std::string& InternedName(InternedId id) { return Interner::Global().Name(id); }
+
+}  // namespace mz

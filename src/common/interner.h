@@ -1,0 +1,41 @@
+// String interner. Split-type names are interned to small integer ids so that
+// split-type equality tests in the planner are integer compares, and so the
+// registry can key (split type, C++ type) pairs cheaply.
+#ifndef MOZART_COMMON_INTERNER_H_
+#define MOZART_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mz {
+
+using InternedId = std::uint32_t;
+
+// Thread-safe append-only interner. Ids are dense and stable for the lifetime
+// of the process.
+class Interner {
+ public:
+  static Interner& Global();
+
+  InternedId Intern(std::string_view name);
+
+  // Looks up the string for an id; aborts on out-of-range ids.
+  const std::string& Name(InternedId id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, InternedId> ids_;
+  std::vector<std::string> names_;
+};
+
+// Convenience wrappers over the global interner.
+InternedId InternName(std::string_view name);
+const std::string& InternedName(InternedId id);
+
+}  // namespace mz
+
+#endif  // MOZART_COMMON_INTERNER_H_

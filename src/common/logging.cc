@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mz {
+namespace {
+
+LogLevel ParseLevel(const char* s) {
+  if (s == nullptr) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(s, "off") == 0) return LogLevel::kOff;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "trace") == 0) return LogLevel::kTrace;
+  return LogLevel::kError;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "OFF";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+  }
+  return "?";
+}
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{static_cast<int>(ParseLevel(std::getenv("MOZART_LOG")))};
+  return level;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStore().load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  LevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogLine(LogLevel level, const std::string& message) {
+  std::string line = std::string("[mozart ") + LevelName(level) + "] " + message + "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace mz

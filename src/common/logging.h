@@ -1,0 +1,55 @@
+// Minimal leveled logger. Level is read once from the MOZART_LOG environment
+// variable ("off", "error", "info", "debug", "trace"); default is "error".
+// The paper's runtime logs each function call on each split piece when
+// configured to do so (§7.1) — that is the "trace" level here.
+#ifndef MOZART_COMMON_LOGGING_H_
+#define MOZART_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mz {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+// Current global log level (from MOZART_LOG, cached on first use).
+LogLevel GetLogLevel();
+
+// Overrides the global log level (used by tests and the pedantic runtime).
+void SetLogLevel(LogLevel level);
+
+// Emits one formatted line to stderr; thread-safe (single write call).
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MZ_LOG(level)                                  \
+  if (::mz::GetLogLevel() >= ::mz::LogLevel::k##level) \
+  ::mz::internal::LogMessage(::mz::LogLevel::k##level)
+
+}  // namespace mz
+
+#endif  // MOZART_COMMON_LOGGING_H_

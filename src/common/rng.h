@@ -1,0 +1,57 @@
+// Deterministic random-number generation for workload data generators and
+// property tests. SplitMix64 is tiny, fast, and reproducible across platforms,
+// which matters because every benchmark in this repo must generate identical
+// synthetic datasets run-to-run.
+#ifndef MOZART_COMMON_RNG_H_
+#define MOZART_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform int64 in [lo, hi].
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Lower-case ASCII string of the given length.
+  std::string NextWord(int length) {
+    std::string word(static_cast<std::size_t>(length), 'a');
+    for (char& c : word) {
+      c = static_cast<char>('a' + NextBounded(26));
+    }
+    return word;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_COMMON_RNG_H_

@@ -1,0 +1,75 @@
+// Fixed-size thread pool.
+//
+// Two users:
+//  * the vecmath/matrix substrates run their *internal* parallel mode on a
+//    pool (standing in for MKL's TBB-backed threading), and
+//  * Mozart's executor dispatches one task per worker per stage (the paper
+//    uses static parallelism, §5.2).
+//
+// ParallelFor partitions [0, n) into contiguous chunks, one per worker, which
+// matches the static partitioning Mozart uses for split ranges.
+#ifndef MOZART_COMMON_THREAD_POOL_H_
+#define MOZART_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mz {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Runs fn(worker_index) on every worker and blocks until all return.
+  // Worker 0 runs on the calling thread so a 1-thread pool has no handoff
+  // cost and thread-count sweeps degrade gracefully.
+  void RunOnAllWorkers(const std::function<void(int)>& fn);
+
+  // Statically partitions [begin, end) into one contiguous range per worker
+  // and runs fn(range_begin, range_end) in parallel. Ranges may be empty.
+  //
+  // Composability: when called from inside any pool worker (this pool or
+  // another), the loop runs inline on the calling thread. This is how nested
+  // parallelism composes (TBB-style): a library's internal ParallelFor under
+  // a Mozart executor worker degrades to serial instead of thrashing two
+  // schedulers against each other.
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  // True on threads currently executing pool work (any pool).
+  static bool InWorker();
+
+ private:
+  struct Task {
+    std::function<void(int)> fn;
+    int worker_index = 0;
+    std::shared_ptr<struct Barrier> barrier;
+  };
+
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<Task> queue_;
+  bool shutdown_ = false;
+};
+
+// Returns a process-wide pool sized to the machine (used as the default by
+// substrates when the caller does not pass one).
+ThreadPool& GlobalPool();
+
+}  // namespace mz
+
+#endif  // MOZART_COMMON_THREAD_POOL_H_

@@ -1,0 +1,52 @@
+// Wall-clock timing helpers used by the runtime's phase accounting (Fig. 5
+// reproduces the client/unprotect/planner/split/task/merge breakdown) and by
+// the benchmark harnesses.
+#ifndef MOZART_COMMON_TIMER_H_
+#define MOZART_COMMON_TIMER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mz {
+
+// Monotonic nanosecond timestamp.
+inline std::int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Simple start/stop wall timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  std::int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+
+ private:
+  std::int64_t start_;
+};
+
+// Accumulates elapsed time into an atomic counter on destruction. Safe to use
+// concurrently from worker threads (each adds its own elapsed time).
+class ScopedAccumTimer {
+ public:
+  explicit ScopedAccumTimer(std::atomic<std::int64_t>* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedAccumTimer() {
+    if (sink_ != nullptr) {
+      sink_->fetch_add(NowNanos() - start_, std::memory_order_relaxed);
+    }
+  }
+  ScopedAccumTimer(const ScopedAccumTimer&) = delete;
+  ScopedAccumTimer& operator=(const ScopedAccumTimer&) = delete;
+
+ private:
+  std::atomic<std::int64_t>* sink_;
+  std::int64_t start_;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_COMMON_TIMER_H_

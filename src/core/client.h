@@ -1,0 +1,76 @@
+// libmozart's C++ client surface: annotated wrapper functions (§4.1).
+//
+// The paper generates wrapper functions with an external `annotate` tool; in
+// a pure-C++ library the same artifact is a template. Wrapping a library
+// function:
+//
+//   // The unmodified library function:
+//   void vdAdd(long n, const double* a, const double* b, double* out);
+//
+//   // The wrapper ("the wrapped library"):
+//   const mz::Annotated<void(long, const double*, const double*, double*)>
+//       mzAdd(vdAdd, mz::AnnotationBuilder("vdAdd")
+//                        .Arg("size", mz::Split("SizeSplit", {"size"}))
+//                        .Arg("a", mz::Split("ArraySplit", {"size"}))
+//                        .Arg("b", mz::Split("ArraySplit", {"size"}))
+//                        .MutArg("out", mz::Split("ArraySplit", {"size"}))
+//                        .Build());
+//
+// Calling `mzAdd(n, a, b, out)` registers a node in the current Runtime's
+// dataflow graph instead of executing; evaluation happens when a Future is
+// accessed, when protected memory is touched (lazy_heap.h), or explicitly
+// via Runtime::Evaluate(). Wrappers accept Future<T> anywhere a T is
+// expected, so lazy values pipeline through subsequent calls.
+#ifndef MOZART_CORE_CLIENT_H_
+#define MOZART_CORE_CLIENT_H_
+
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "core/annotation.h"
+#include "core/func.h"
+#include "core/future.h"
+#include "core/runtime.h"
+
+namespace mz {
+
+template <typename Sig>
+class Annotated;  // primary template intentionally undefined
+
+template <typename R, typename... Params>
+class Annotated<R(Params...)> {
+ public:
+  Annotated(std::function<R(Params...)> fn, Annotation ann)
+      : fn_(std::make_shared<TypedFunc<R, Params...>>(std::move(fn))),
+        ann_(std::make_shared<const Annotation>(std::move(ann))) {
+    MZ_THROW_IF(ann_->num_args() != static_cast<int>(sizeof...(Params)),
+                "annotation '" << ann_->func_name() << "' declares " << ann_->num_args()
+                               << " arguments; function takes " << sizeof...(Params));
+    if constexpr (std::is_void_v<R>) {
+      MZ_THROW_IF(ann_->ret().kind != SplitExpr::Kind::kNone,
+                  "annotation '" << ann_->func_name()
+                                 << "' declares a return split type on a void function");
+    }
+  }
+
+  // Registers the call with the current runtime. Returns void for void
+  // functions, Future<decay_t<R>> otherwise.
+  template <typename... CallArgs>
+  auto operator()(CallArgs&&... args) const {
+    static_assert(sizeof...(CallArgs) == sizeof...(Params),
+                  "wrong number of arguments to annotated function");
+    Runtime* rt = Runtime::Current();
+    return rt->CaptureCall<R, Params...>(ann_, fn_, std::forward<CallArgs>(args)...);
+  }
+
+  const Annotation& annotation() const { return *ann_; }
+
+ private:
+  std::shared_ptr<const FuncBase> fn_;
+  std::shared_ptr<const Annotation> ann_;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_CLIENT_H_

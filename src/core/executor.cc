@@ -1,0 +1,392 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace mz {
+
+Executor::Executor(TaskGraph* graph, const Registry* registry, ThreadPool* pool, ExecOptions opts,
+                   EvalStats* stats)
+    : graph_(graph), registry_(registry), pool_(pool), opts_(opts), stats_(stats) {
+  MZ_CHECK(graph != nullptr && registry != nullptr && pool != nullptr && stats != nullptr);
+}
+
+std::int64_t Executor::HeuristicBatchElems(std::int64_t sum_bytes_per_element) const {
+  if (sum_bytes_per_element <= 0) {
+    return 0;
+  }
+  std::int64_t batch = static_cast<std::int64_t>(opts_.l2_fraction *
+                                                 static_cast<double>(opts_.l2_bytes)) /
+                       sum_bytes_per_element;
+  return std::max<std::int64_t>(batch, 1);
+}
+
+void Executor::Run(const Plan& plan) {
+  for (const Stage& stage : plan.stages) {
+    if (stage.serial) {
+      RunSerialStage(stage);
+    } else {
+      RunStage(stage);
+    }
+    stats_->stages.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Executor::RunSerialStage(const Stage& stage) {
+  ScopedAccumTimer timer(opts_.collect_stats ? &stats_->task_ns : nullptr);
+  for (const PlannedFunc& pf : stage.funcs) {
+    const Node& node = graph_->nodes()[static_cast<std::size_t>(pf.node_index)];
+    std::vector<Value*> args;
+    args.reserve(pf.args.size());
+    for (const PlannedArg& arg : pf.args) {
+      const StageBuffer& buf = stage.buffers[static_cast<std::size_t>(arg.buffer)];
+      Slot& slot = graph_->slot(buf.slot);
+      MZ_THROW_IF(!slot.value.has_value(),
+                  "serial call '" << node.ann->func_name() << "' reads an unmaterialized value");
+      args.push_back(&slot.value);
+    }
+    MZ_LOG(Trace) << "serial call " << node.ann->func_name();
+    Value ret = node.fn->Call(args);
+    if (pf.ret_buffer >= 0) {
+      const StageBuffer& buf = stage.buffers[static_cast<std::size_t>(pf.ret_buffer)];
+      Slot& slot = graph_->slot(buf.slot);
+      slot.value = std::move(ret);
+      slot.pending = false;
+    }
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      if (node.ann->args()[i].is_mut) {
+        graph_->slot(node.args[i]).pending = false;
+      }
+    }
+    stats_->nodes_executed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// Per-buffer execution state resolved at stage start.
+struct BufExec {
+  const StageBuffer* def = nullptr;
+  Value full;  // inputs and broadcasts
+  const Splitter* splitter = nullptr;
+  std::vector<std::int64_t> params;
+  RuntimeInfo info{};
+};
+
+}  // namespace
+
+void Executor::RunStage(const Stage& stage) {
+  const std::size_t nb = stage.buffers.size();
+  std::vector<BufExec> bufs(nb);
+  std::int64_t total = -1;
+  std::int64_t sum_bpe = 0;
+
+  for (std::size_t i = 0; i < nb; ++i) {
+    const StageBuffer& def = stage.buffers[i];
+    bufs[i].def = &def;
+    if (!def.is_input && !def.is_broadcast) {
+      continue;  // produced in-stage
+    }
+    Slot& slot = graph_->slot(def.slot);
+    MZ_THROW_IF(!slot.value.has_value(), "stage input has no materialized value (slot "
+                                             << def.slot << ")");
+    bufs[i].full = slot.value;
+    if (!def.is_input) {
+      continue;
+    }
+    InternedId name = def.split_name;
+    if (def.use_default_split) {
+      auto dflt = registry_->DefaultSplitTypeFor(bufs[i].full.type());
+      MZ_THROW_IF(!dflt.has_value(), "no default split type registered for C++ type "
+                                         << bufs[i].full.type_name());
+      name = *dflt;
+      bufs[i].params = registry_->RunLateCtor(name, bufs[i].full);
+    } else if (def.params_deferred) {
+      bufs[i].params = registry_->RunLateCtor(name, bufs[i].full);
+    } else {
+      bufs[i].params = def.params;
+    }
+    bufs[i].splitter = registry_->FindSplitter(name, bufs[i].full.type());
+    MZ_THROW_IF(bufs[i].splitter == nullptr, "no splitter registered for ("
+                                                 << InternedName(name) << ", "
+                                                 << bufs[i].full.type_name() << ")");
+    bufs[i].info = bufs[i].splitter->Info(bufs[i].full, bufs[i].params);
+    if (total < 0) {
+      total = bufs[i].info.total_elements;
+    } else {
+      MZ_THROW_IF(total != bufs[i].info.total_elements,
+                  "stage inputs disagree on total elements: " << total << " vs "
+                                                              << bufs[i].info.total_elements
+                                                              << " (split " << InternedName(name)
+                                                              << ")");
+    }
+    sum_bpe += bufs[i].info.bytes_per_element;
+  }
+  MZ_CHECK_MSG(total >= 0, "non-serial stage with no split inputs");
+
+  std::int64_t batch = opts_.batch_override;
+  if (batch <= 0) {
+    batch = HeuristicBatchElems(sum_bpe);
+    if (batch == 0) {
+      // No input reports a memory footprint; fall back to one batch per
+      // worker.
+      batch = std::max<std::int64_t>(1, (total + pool_->num_threads() - 1) /
+                                            pool_->num_threads());
+    }
+  }
+  batch = std::clamp<std::int64_t>(batch, 1, std::max<std::int64_t>(total, 1));
+  MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
+                << " elems, batch=" << batch << " (sum_bpe=" << sum_bpe << ")";
+
+  const int num_threads = pool_->num_threads();
+  // pieces[buffer][thread] — output pieces tagged with their batch start so
+  // dynamic scheduling can restore global order before merging.
+  struct OrderedPiece {
+    std::int64_t start;
+    Value piece;
+  };
+  std::vector<std::vector<std::vector<OrderedPiece>>> pieces(nb);
+  std::vector<std::vector<Value>> partials(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    pieces[i].resize(static_cast<std::size_t>(num_threads));
+    partials[i].resize(static_cast<std::size_t>(num_threads));
+  }
+  const bool dynamic = opts_.dynamic_scheduling;
+  std::atomic<std::int64_t> cursor{0};  // dynamic mode: next unclaimed batch
+
+  // Merge parameters: inputs use their (possibly late-constructed) split
+  // params; produced buffers use plan-time params unless deferred.
+  auto merge_params_for = [&](std::size_t i) -> std::span<const std::int64_t> {
+    const StageBuffer& def = stage.buffers[i];
+    if (def.is_input) {
+      return bufs[i].params;
+    }
+    if (def.params_deferred) {
+      return {};
+    }
+    return def.params;
+  };
+
+  // Resolves the splitter used to merge pieces of buffer i (the input's own
+  // splitter when it has one, otherwise derived from the piece type).
+  auto merge_splitter_for = [&](std::size_t i, const Value& sample_piece) -> const Splitter* {
+    if (bufs[i].splitter != nullptr) {
+      return bufs[i].splitter;
+    }
+    const StageBuffer& def = stage.buffers[i];
+    InternedId name = def.split_name;
+    if (def.merge_by_piece_type || def.split_name == 0) {
+      auto dflt = registry_->DefaultSplitTypeFor(sample_piece.type());
+      MZ_THROW_IF(!dflt.has_value(), "no default split type for produced value of C++ type "
+                                         << sample_piece.type_name());
+      name = *dflt;
+    }
+    const Splitter* s = registry_->FindSplitter(name, sample_piece.type());
+    if (s == nullptr) {
+      // Stream-typed buffers can carry pieces of a different C++ type than
+      // the stream's origin (e.g. a column extracted from frame pieces, both
+      // under one generic). Merge such pieces by their own type's default.
+      auto dflt = registry_->DefaultSplitTypeFor(sample_piece.type());
+      if (dflt.has_value() && *dflt != name) {
+        s = registry_->FindSplitter(*dflt, sample_piece.type());
+      }
+    }
+    MZ_THROW_IF(s == nullptr, "no merge splitter for (" << InternedName(name) << ", "
+                                                        << sample_piece.type_name() << ")");
+    return s;
+  };
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  const std::int64_t chunk = (std::max<std::int64_t>(total, 1) + num_threads - 1) / num_threads;
+  const bool pedantic = opts_.pedantic;
+  const bool collect = opts_.collect_stats;
+
+  pool_->RunOnAllWorkers([&](int t) {
+    try {
+      SplitContext ctx{t, num_threads};
+      std::vector<Value> cur(nb);
+      for (std::size_t i = 0; i < nb; ++i) {
+        if (stage.buffers[i].is_broadcast) {
+          cur[i] = bufs[i].full;
+        }
+      }
+      std::vector<Value*> call_args;
+      std::int64_t split_ns = 0;
+      std::int64_t task_ns = 0;
+      std::int64_t merge_ns = 0;
+      std::int64_t batches = 0;
+
+      auto run_batch = [&](std::int64_t b, std::int64_t e) {
+        std::int64_t t0 = collect ? NowNanos() : 0;
+        for (std::size_t i = 0; i < nb; ++i) {
+          if (!stage.buffers[i].is_input) {
+            continue;
+          }
+          cur[i] = bufs[i].splitter->Split(bufs[i].full, b, e, bufs[i].params, ctx);
+          if (pedantic) {
+            MZ_THROW_IF(!cur[i].has_value(), "pedantic: Split returned an empty value for slot "
+                                                 << stage.buffers[i].slot << " range [" << b
+                                                 << ", " << e << ")");
+          }
+        }
+        std::int64_t t1 = collect ? NowNanos() : 0;
+        for (const PlannedFunc& pf : stage.funcs) {
+          const Node& node = graph_->nodes()[static_cast<std::size_t>(pf.node_index)];
+          call_args.clear();
+          for (const PlannedArg& arg : pf.args) {
+            call_args.push_back(&cur[static_cast<std::size_t>(arg.buffer)]);
+          }
+          if (pedantic) {
+            MZ_LOG(Trace) << "batch [" << b << "," << e << ") thread " << t << ": "
+                          << node.ann->func_name();
+          }
+          Value ret = node.fn->Call(call_args);
+          if (pf.ret_buffer >= 0) {
+            cur[static_cast<std::size_t>(pf.ret_buffer)] = std::move(ret);
+          }
+        }
+        std::int64_t t2 = collect ? NowNanos() : 0;
+        for (std::size_t i = 0; i < nb; ++i) {
+          if (stage.buffers[i].is_output) {
+            pieces[i][static_cast<std::size_t>(t)].push_back({b, cur[i]});
+          }
+        }
+        if (collect) {
+          split_ns += t1 - t0;
+          task_ns += t2 - t1;
+        }
+        ++batches;
+      };
+
+      if (total == 0) {
+        // Run one empty batch on worker 0 so produced values keep their
+        // schema (e.g. an empty DataFrame with the right columns).
+        if (t == 0) {
+          run_batch(0, 0);
+        }
+      } else if (dynamic) {
+        // Work stealing: claim the next unprocessed batch until drained.
+        for (;;) {
+          std::int64_t b = cursor.fetch_add(batch, std::memory_order_relaxed);
+          if (b >= total) {
+            break;
+          }
+          run_batch(b, std::min(total, b + batch));
+        }
+      } else {
+        // Static partitioning (§5.2): one contiguous range per worker.
+        std::int64_t lo = std::min<std::int64_t>(total, static_cast<std::int64_t>(t) * chunk);
+        std::int64_t hi = std::min<std::int64_t>(total, lo + chunk);
+        for (std::int64_t b = lo; b < hi; b += batch) {
+          run_batch(b, std::min(hi, b + batch));
+        }
+      }
+
+      // Per-worker partial merges (§5.2 step 3, first level). Only valid
+      // under static scheduling, where a worker's pieces are a contiguous
+      // in-order range; dynamic mode defers to a single ordered merge.
+      if (!dynamic) {
+        std::int64_t t3 = collect ? NowNanos() : 0;
+        for (std::size_t i = 0; i < nb; ++i) {
+          if (!stage.buffers[i].is_output) {
+            continue;
+          }
+          std::vector<OrderedPiece>& mine = pieces[i][static_cast<std::size_t>(t)];
+          if (mine.empty()) {
+            continue;
+          }
+          std::vector<Value> values;
+          values.reserve(mine.size());
+          for (OrderedPiece& p : mine) {
+            values.push_back(std::move(p.piece));
+          }
+          const Splitter* ms = merge_splitter_for(i, values.front());
+          partials[i][static_cast<std::size_t>(t)] =
+              ms->Merge(bufs[i].full, std::move(values), merge_params_for(i));
+          mine.clear();
+        }
+        if (collect) {
+          merge_ns += NowNanos() - t3;
+        }
+      }
+      if (collect) {
+        stats_->split_ns.fetch_add(split_ns, std::memory_order_relaxed);
+        stats_->task_ns.fetch_add(task_ns, std::memory_order_relaxed);
+        stats_->merge_ns.fetch_add(merge_ns, std::memory_order_relaxed);
+        stats_->batches.fetch_add(batches, std::memory_order_relaxed);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  });
+
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  // Final merge on the main thread (§5.2 step 3, second level). Static mode
+  // merges the per-worker partials (in worker order = global order); dynamic
+  // mode gathers every piece, restores batch order, and merges once.
+  {
+    ScopedAccumTimer merge_timer(collect ? &stats_->merge_ns : nullptr);
+    for (std::size_t i = 0; i < nb; ++i) {
+      const StageBuffer& def = stage.buffers[i];
+      if (!def.is_output) {
+        // Produced-but-unobserved values: nothing merges them, but the slot
+        // must not stay pending.
+        if (!def.is_input && !def.is_broadcast) {
+          graph_->slot(def.slot).pending = false;
+        }
+        continue;
+      }
+      std::vector<Value> parts;
+      if (dynamic) {
+        std::vector<OrderedPiece> all;
+        for (int t = 0; t < num_threads; ++t) {
+          auto& mine = pieces[i][static_cast<std::size_t>(t)];
+          all.insert(all.end(), std::make_move_iterator(mine.begin()),
+                     std::make_move_iterator(mine.end()));
+          mine.clear();
+        }
+        std::sort(all.begin(), all.end(),
+                  [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
+        parts.reserve(all.size());
+        for (OrderedPiece& p : all) {
+          parts.push_back(std::move(p.piece));
+        }
+      } else {
+        parts.reserve(static_cast<std::size_t>(num_threads));
+        for (int t = 0; t < num_threads; ++t) {
+          if (partials[i][static_cast<std::size_t>(t)].has_value()) {
+            parts.push_back(std::move(partials[i][static_cast<std::size_t>(t)]));
+          }
+        }
+      }
+      Value final_value;
+      if (!parts.empty()) {
+        const Splitter* ms = merge_splitter_for(i, parts.front());
+        final_value = ms->Merge(bufs[i].full, std::move(parts), merge_params_for(i));
+      } else {
+        final_value = bufs[i].full;  // zero-element in-place input
+      }
+      Slot& slot = graph_->slot(def.slot);
+      slot.value = std::move(final_value);
+      slot.pending = false;
+    }
+  }
+  stats_->nodes_executed.fetch_add(static_cast<std::int64_t>(stage.funcs.size()),
+                                   std::memory_order_relaxed);
+}
+
+}  // namespace mz

@@ -1,0 +1,72 @@
+// The Mozart execution engine (§5.2 of the paper).
+//
+// Executes a Plan stage by stage:
+//  1. Discover runtime parameters: call each split input's Info() to learn
+//     total element counts and per-element cache footprints, then set the
+//     batch size to roughly C * sizeof(L2 cache) / sum(bytes per element).
+//  2. Execute: workers statically partition the element range (one
+//     contiguous chunk per worker). Each worker's driver loop splits every
+//     input for the current batch, runs the stage's functions in program
+//     order on the cache-resident pieces, and stashes output pieces.
+//  3. Merge: each worker merges its own pieces (associative merge), then the
+//     main thread merges the per-worker partials into the final values and
+//     writes them back into the dataflow graph's slots.
+#ifndef MOZART_CORE_EXECUTOR_H_
+#define MOZART_CORE_EXECUTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/thread_pool.h"
+#include "core/planner.h"
+#include "core/registry.h"
+#include "core/stats.h"
+#include "core/task_graph.h"
+
+namespace mz {
+
+struct ExecOptions {
+  std::int64_t batch_override = 0;  // 0 = use the L2 heuristic
+  double l2_fraction = 1.0;         // the paper's constant C
+  std::size_t l2_bytes = 256 * 1024;
+  bool pedantic = false;      // §7.1 debugging mode: hard-fail on bad splits
+  bool collect_stats = true;  // phase timers (Fig. 5)
+  // The paper opts for static parallelism "because it is simpler to schedule
+  // and... leads to similar results for most workloads; however, dynamic
+  // work-stealing schedulers such as Cilk are also compatible" (§5.2). With
+  // dynamic=true, workers pull batches from a shared counter instead of
+  // owning contiguous ranges; output pieces carry their batch origin and are
+  // sorted before merging so order-sensitive merges (concatenation) stay
+  // correct. Helps skewed per-element costs (filters, joins, tagging).
+  bool dynamic_scheduling = false;
+};
+
+class Executor {
+ public:
+  Executor(TaskGraph* graph, const Registry* registry, ThreadPool* pool, ExecOptions opts,
+           EvalStats* stats);
+
+  // Runs every stage; on return all output slots hold merged values and are
+  // no longer pending. Throws mz::Error on unexecutable stages (missing
+  // splitters, inconsistent element counts, ...). Exceptions from worker
+  // threads are rethrown on the calling thread.
+  void Run(const Plan& plan);
+
+  // Batch size the heuristic would choose for a given per-element footprint
+  // (exposed for tests and the Fig. 6 bench).
+  std::int64_t HeuristicBatchElems(std::int64_t sum_bytes_per_element) const;
+
+ private:
+  void RunStage(const Stage& stage);
+  void RunSerialStage(const Stage& stage);
+
+  TaskGraph* graph_;
+  const Registry* registry_;
+  ThreadPool* pool_;
+  ExecOptions opts_;
+  EvalStats* stats_;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_EXECUTOR_H_

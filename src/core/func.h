@@ -1,0 +1,66 @@
+// Type-erased callable wrapper: the "wrapped library function" of §4.1.
+//
+// Mozart's executor only ever sees FuncBase: a callable over a span of
+// Values. TypedFunc reconstructs the original typed signature, so the
+// *library function body is executed unmodified* — the central promise of
+// split annotations.
+#ifndef MOZART_CORE_FUNC_H_
+#define MOZART_CORE_FUNC_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "common/check.h"
+#include "core/unpack.h"
+#include "core/value.h"
+
+namespace mz {
+
+class FuncBase {
+ public:
+  virtual ~FuncBase() = default;
+
+  // Calls the wrapped function with the given argument values. Arguments are
+  // passed as pointers into executor-owned storage — the driver loop invokes
+  // this once per function per batch, so argument passing must not touch the
+  // Values' shared-ownership counts. Returns the result as a Value, or an
+  // empty Value for void functions.
+  virtual Value Call(std::span<Value* const> args) const = 0;
+
+  virtual int num_args() const = 0;
+};
+
+template <typename R, typename... Args>
+class TypedFunc final : public FuncBase {
+ public:
+  explicit TypedFunc(std::function<R(Args...)> fn) : fn_(std::move(fn)) {
+    MZ_CHECK(fn_ != nullptr);
+  }
+
+  Value Call(std::span<Value* const> args) const override {
+    MZ_CHECK_MSG(args.size() == sizeof...(Args),
+                 "arity mismatch: got " << args.size() << ", expected " << sizeof...(Args));
+    return CallImpl(args, std::index_sequence_for<Args...>{});
+  }
+
+  int num_args() const override { return static_cast<int>(sizeof...(Args)); }
+
+ private:
+  template <std::size_t... I>
+  Value CallImpl(std::span<Value* const> args, std::index_sequence<I...>) const {
+    if constexpr (std::is_void_v<R>) {
+      fn_(UnpackAs<Args>(*args[I])...);
+      return Value();
+    } else {
+      return Value::Make<std::decay_t<R>>(fn_(UnpackAs<Args>(*args[I])...));
+    }
+  }
+
+  std::function<R(Args...)> fn_;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_FUNC_H_

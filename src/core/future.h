@@ -1,0 +1,109 @@
+// Future<T>: lazy values returned by wrapped functions (§4.1).
+//
+// Calling an annotated function does not execute it; it registers a node in
+// the dataflow graph and returns a Future bound to the node's output slot.
+// Accessing the Future (get(), operator*, operator[]) forces evaluation of
+// the graph captured so far. Copies of a Future share state, which is how
+// libmozart tracks aliases of lazy values: all copies observe the evaluated
+// result. Futures may be passed as arguments to other wrapped functions
+// without forcing evaluation — that is what makes cross-call pipelining
+// possible.
+#ifndef MOZART_CORE_FUTURE_H_
+#define MOZART_CORE_FUTURE_H_
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "common/check.h"
+#include "core/task_graph.h"
+#include "core/unpack.h"
+#include "core/value.h"
+
+namespace mz {
+
+class Runtime;
+
+namespace internal {
+
+// Out-of-line in runtime.cc to break the header cycle.
+Value ResolveSlotValue(Runtime* runtime, SlotId slot);
+void AddExternalRef(Runtime* runtime, SlotId slot);
+void DropExternalRef(Runtime* runtime, SlotId slot);
+bool SlotIsPending(Runtime* runtime, SlotId slot);
+
+struct FutureState {
+  FutureState(Runtime* rt, SlotId s) : runtime(rt), slot(s) { AddExternalRef(rt, s); }
+  ~FutureState() { DropExternalRef(runtime, slot); }
+  FutureState(const FutureState&) = delete;
+  FutureState& operator=(const FutureState&) = delete;
+
+  Runtime* runtime;
+  SlotId slot;
+};
+
+}  // namespace internal
+
+template <typename T>
+class Future {
+ public:
+  static_assert(std::is_same_v<T, std::decay_t<T>>, "Future over decayed types only");
+
+  Future() = default;
+  Future(Runtime* runtime, SlotId slot)
+      : state_(std::make_shared<internal::FutureState>(runtime, slot)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  // True once the producing pipeline has executed.
+  bool ready() const {
+    MZ_CHECK(valid());
+    return !internal::SlotIsPending(state_->runtime, state_->slot);
+  }
+
+  // Forces evaluation of the captured dataflow graph and returns the value.
+  T get() const {
+    MZ_CHECK_MSG(valid(), "get() on an empty Future");
+    Value v = internal::ResolveSlotValue(state_->runtime, state_->slot);
+    MZ_CHECK_MSG(v.has_value(), "Future resolved to an empty value");
+    return UnpackAs<T>(v);
+  }
+
+  // Pointer conveniences, mirroring the paper's dereference-forces-eval
+  // semantics for Future<T*>.
+  template <typename U = T, typename = std::enable_if_t<std::is_pointer_v<U>>>
+  std::remove_pointer_t<U>& operator*() const {
+    return *get();
+  }
+
+  template <typename U = T, typename = std::enable_if_t<std::is_pointer_v<U>>>
+  std::remove_pointer_t<U>& operator[](std::int64_t i) const {
+    return get()[i];
+  }
+
+  SlotId slot() const {
+    MZ_CHECK(valid());
+    return state_->slot;
+  }
+
+  Runtime* runtime() const {
+    MZ_CHECK(valid());
+    return state_->runtime;
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState> state_;
+};
+
+namespace internal {
+
+template <typename X>
+struct IsFuture : std::false_type {};
+template <typename X>
+struct IsFuture<Future<X>> : std::true_type {};
+
+}  // namespace internal
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_FUTURE_H_

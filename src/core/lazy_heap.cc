@@ -1,0 +1,169 @@
+#include "core/lazy_heap.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/runtime.h"
+
+namespace mz {
+namespace {
+
+struct sigaction g_previous_action;
+
+void SegvHandler(int signo, siginfo_t* info, void* ucontext) {
+  if (LazyHeap::Global().HandleFault(info->si_addr)) {
+    return;  // unprotected + evaluated; the faulting load retries and succeeds
+  }
+  // Not our fault: forward to the previous disposition (usually default →
+  // crash with a real segfault).
+  if (g_previous_action.sa_flags & SA_SIGINFO) {
+    if (g_previous_action.sa_sigaction != nullptr) {
+      g_previous_action.sa_sigaction(signo, info, ucontext);
+      return;
+    }
+  } else if (g_previous_action.sa_handler != SIG_IGN && g_previous_action.sa_handler != SIG_DFL &&
+             g_previous_action.sa_handler != nullptr) {
+    g_previous_action.sa_handler(signo);
+    return;
+  }
+  signal(SIGSEGV, SIG_DFL);
+  raise(SIGSEGV);
+}
+
+std::size_t PageSize() {
+  static const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+LazyHeap& LazyHeap::Global() {
+  static LazyHeap* heap = new LazyHeap();
+  return *heap;
+}
+
+void LazyHeap::InstallHandler() {
+  if (handler_installed_) {
+    return;
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = &SegvHandler;
+  action.sa_flags = SA_SIGINFO;
+  sigemptyset(&action.sa_mask);
+  MZ_CHECK(sigaction(SIGSEGV, &action, &g_previous_action) == 0);
+  handler_installed_ = true;
+}
+
+void* LazyHeap::Alloc(std::size_t bytes) {
+  MZ_THROW_IF(bytes == 0, "LazyHeap::Alloc(0)");
+  std::size_t rounded = (bytes + PageSize() - 1) / PageSize() * PageSize();
+  void* p = ::mmap(nullptr, rounded, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  MZ_THROW_IF(p == MAP_FAILED, "mmap failed for " << rounded << " bytes");
+  std::lock_guard<std::mutex> lock(mu_);
+  InstallHandler();
+  regions_.emplace(reinterpret_cast<std::uintptr_t>(p), rounded);
+  protected_ = true;  // at least this region is now unreadable
+  return p;
+}
+
+void LazyHeap::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(reinterpret_cast<std::uintptr_t>(ptr));
+  MZ_THROW_IF(it == regions_.end(), "LazyHeap::Free of unknown pointer");
+  ::munmap(ptr, it->second);
+  regions_.erase(it);
+}
+
+void LazyHeap::SetPermissions(bool readable) {
+  for (const auto& [base, length] : regions_) {
+    int prot = readable ? (PROT_READ | PROT_WRITE) : PROT_NONE;
+    MZ_CHECK(::mprotect(reinterpret_cast<void*>(base), length, prot) == 0);
+  }
+}
+
+void LazyHeap::Protect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (protected_ || regions_.empty()) {
+    return;
+  }
+  WallTimer timer;
+  SetPermissions(/*readable=*/false);
+  protect_ns_ += timer.ElapsedNanos();
+  protected_ = true;
+}
+
+void LazyHeap::Unprotect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!protected_) {
+    return;
+  }
+  WallTimer timer;
+  SetPermissions(/*readable=*/true);
+  std::int64_t ns = timer.ElapsedNanos();
+  unprotect_ns_ += ns;
+  if (runtime_ != nullptr) {
+    runtime_->stats().unprotect_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+  protected_ = false;
+}
+
+bool LazyHeap::Contains(const void* addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = regions_.upper_bound(a);
+  if (it == regions_.begin()) {
+    return false;
+  }
+  --it;
+  return a >= it->first && a < it->first + it->second;
+}
+
+bool LazyHeap::HandleFault(void* addr) {
+  if (!protected_ || !Contains(addr)) {
+    return false;
+  }
+  MZ_LOG(Debug) << "lazy heap fault at " << addr << ": evaluating dataflow graph";
+  Unprotect();
+  Runtime* rt = runtime_;
+  if (rt != nullptr) {
+    rt->Evaluate();
+  }
+  return true;
+}
+
+void LazyHeap::AttachTo(Runtime* runtime) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runtime_ = runtime;
+  }
+  if (runtime != nullptr) {
+    runtime->set_pre_evaluate_hook([this] { Unprotect(); });
+    runtime->set_post_capture_hook([this] { Protect(); });
+  }
+}
+
+std::size_t LazyHeap::num_allocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regions_.size();
+}
+
+std::size_t LazyHeap::bytes_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [base, length] : regions_) {
+    total += length;
+  }
+  return total;
+}
+
+}  // namespace mz

@@ -1,0 +1,84 @@
+// Memory-protection-based lazy evaluation (§4.1 of the paper).
+//
+// Wrapped functions build a dataflow graph lazily, but applications also
+// read *mutated* memory directly (`if (x[0] > 1) ...`), without going
+// through a Future. libmozart's answer: a drop-in allocator whose memory is
+// mmap'd with PROT_NONE. Any raw access raises SIGSEGV; the installed
+// handler unprotects the heap, evaluates the pending dataflow graph, and
+// resumes the faulting load — so the application observes fully-evaluated
+// data with no code changes. After each new capture the heap is re-protected
+// so the next raw access forces evaluation again.
+//
+// Protocol (matching the paper):
+//  * Alloc() returns PROT_NONE pages — the first touch (even the app's own
+//    initialization writes) faults, unprotects, and evaluates;
+//  * AttachTo(runtime) wires the two hooks: post-capture → Protect(),
+//    pre-evaluate → Unprotect() (workers must be able to touch user memory);
+//  * unprotect time is accounted to the runtime's `unprotect` phase (Fig 5).
+//
+// The handler runs ordinary code on the faulting thread (as in the paper's
+// Rust implementation); the application must capture from a single thread.
+// Out-of-heap faults are forwarded to the previously-installed disposition.
+#ifndef MOZART_CORE_LAZY_HEAP_H_
+#define MOZART_CORE_LAZY_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace mz {
+
+class Runtime;
+
+class LazyHeap {
+ public:
+  // The process-wide heap (signal handlers need a static instance).
+  static LazyHeap& Global();
+
+  // Allocates `bytes` of page-aligned, initially *protected* memory.
+  void* Alloc(std::size_t bytes);
+  void Free(void* ptr);
+
+  // Protects / unprotects every allocation. Idempotent.
+  void Protect();
+  void Unprotect();
+  bool is_protected() const { return protected_; }
+
+  // True if `addr` falls inside an allocation.
+  bool Contains(const void* addr) const;
+
+  // Wires this heap to a runtime: faults evaluate `runtime`, captures
+  // re-protect, evaluations unprotect first. Pass nullptr to detach.
+  void AttachTo(Runtime* runtime);
+
+  std::size_t num_allocations() const;
+  std::size_t bytes_allocated() const;
+
+  // Cumulative nanoseconds spent flipping page permissions (also added to
+  // the attached runtime's stats).
+  std::int64_t unprotect_ns() const { return unprotect_ns_; }
+  std::int64_t protect_ns() const { return protect_ns_; }
+
+  // Installed SIGSEGV entry point; returns true if the fault was ours.
+  bool HandleFault(void* addr);
+
+ private:
+  LazyHeap() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::uintptr_t, std::size_t> regions_;  // base → length
+  volatile bool protected_ = false;
+  Runtime* runtime_ = nullptr;
+  std::int64_t unprotect_ns_ = 0;
+  std::int64_t protect_ns_ = 0;
+  bool handler_installed_ = false;
+
+  void InstallHandler();
+  void SetPermissions(bool readable);
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_LAZY_HEAP_H_

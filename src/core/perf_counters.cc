@@ -1,0 +1,101 @@
+#include "core/perf_counters.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mz {
+namespace {
+
+int OpenCounter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  struct perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.inherit = 1;  // include the worker threads Mozart spawns
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+std::int64_t ReadCounter(int fd) {
+  std::int64_t value = 0;
+  if (fd >= 0 && ::read(fd, &value, sizeof(value)) != sizeof(value)) {
+    value = 0;
+  }
+  return value;
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  // `inherit` is incompatible with PERF_FORMAT_GROUP reads, so open four
+  // independent counters; they cover identical intervals.
+  int cycles = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  int instructions = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, -1);
+  int llc_refs = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, -1);
+  int llc_miss = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, -1);
+  fds_ = {cycles, instructions, llc_refs, llc_miss};
+  available_ = cycles >= 0 && instructions >= 0 && llc_refs >= 0 && llc_miss >= 0;
+  if (!available_) {
+    MZ_LOG(Info) << "perf counters unavailable (perf_event_open failed); reporting n/a";
+    for (int& fd : fds_) {
+      if (fd >= 0) {
+        ::close(fd);
+      }
+      fd = -1;
+    }
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+}
+
+void PerfCounterGroup::Start() {
+  if (!available_) {
+    return;
+  }
+  for (int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfCounterGroup::Reading PerfCounterGroup::Stop() {
+  Reading r;
+  if (!available_) {
+    return r;
+  }
+  for (int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  r.cycles = ReadCounter(fds_[0]);
+  r.instructions = ReadCounter(fds_[1]);
+  r.llc_references = ReadCounter(fds_[2]);
+  r.llc_misses = ReadCounter(fds_[3]);
+  return r;
+}
+
+std::string PerfCounterGroup::Reading::ToString() const {
+  std::ostringstream os;
+  os << "cycles=" << cycles << " instructions=" << instructions << " ipc=" << Ipc()
+     << " llc_refs=" << llc_references << " llc_misses=" << llc_misses
+     << " miss_rate=" << LlcMissRate();
+  return os.str();
+}
+
+}  // namespace mz

@@ -1,0 +1,55 @@
+// Hardware performance counters via perf_event_open(2).
+//
+// Reproduces the measurement methodology of Table 4: the paper samples LLC
+// miss rate and instructions-per-cycle with Linux perf to show that
+// pipelining (not parallelism) is what removes main-memory traffic. Counter
+// access is frequently unavailable in containers (perf_event_paranoid,
+// seccomp); callers must check available() and report "n/a" otherwise —
+// the runtime comparisons stand on their own.
+#ifndef MOZART_CORE_PERF_COUNTERS_H_
+#define MOZART_CORE_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mz {
+
+class PerfCounterGroup {
+ public:
+  struct Reading {
+    std::int64_t cycles = 0;
+    std::int64_t instructions = 0;
+    std::int64_t llc_references = 0;
+    std::int64_t llc_misses = 0;
+
+    double Ipc() const {
+      return cycles > 0 ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+    }
+    double LlcMissRate() const {
+      return llc_references > 0
+                 ? static_cast<double>(llc_misses) / static_cast<double>(llc_references)
+                 : 0.0;
+    }
+    std::string ToString() const;
+  };
+
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  // True when all four counters opened successfully.
+  bool available() const { return available_; }
+
+  void Start();
+  Reading Stop();
+
+ private:
+  bool available_ = false;
+  std::vector<int> fds_;  // cycles, instructions, llc_refs, llc_misses
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_PERF_COUNTERS_H_

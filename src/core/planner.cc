@@ -1,0 +1,417 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace mz {
+
+Planner::Planner(const TaskGraph& graph, const Registry& registry, bool pipeline)
+    : graph_(graph), registry_(registry), pipeline_(pipeline) {}
+
+int Planner::NewClass() {
+  Class c;
+  c.parent = static_cast<int>(classes_.size());
+  classes_.push_back(c);
+  return c.parent;
+}
+
+int Planner::Find(int c) {
+  while (classes_[static_cast<std::size_t>(c)].parent != c) {
+    int parent = classes_[static_cast<std::size_t>(c)].parent;
+    classes_[static_cast<std::size_t>(c)].parent =
+        classes_[static_cast<std::size_t>(parent)].parent;
+    c = parent;
+  }
+  return c;
+}
+
+void Planner::SoftUnify(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) {
+    return;
+  }
+  Class& ca = classes_[static_cast<std::size_t>(ra)];
+  Class& cb = classes_[static_cast<std::size_t>(rb)];
+  if (ca.bound && cb.bound) {
+    if (ca.type == cb.type) {
+      cb.parent = ra;
+    }
+    // Unequal concrete types: leave un-unified; the scan turns this into a
+    // stage break (merge + re-split), not an error.
+    return;
+  }
+  if (ca.bound != cb.bound) {
+    Class& bound = ca.bound ? ca : cb;
+    Class& unbound = ca.bound ? cb : ca;
+    if (unbound.name_constraint != kNoConstraint &&
+        (bound.type.is_unknown() || bound.type.name() != unbound.name_constraint)) {
+      return;  // a deferred Name(...) cannot adopt a differently-named type
+    }
+    unbound.parent = ca.bound ? ra : rb;
+    return;
+  }
+  // Both unbound: merge unless their name constraints disagree.
+  if (ca.name_constraint != kNoConstraint && cb.name_constraint != kNoConstraint &&
+      ca.name_constraint != cb.name_constraint) {
+    return;
+  }
+  if (cb.name_constraint != kNoConstraint) {
+    ca.name_constraint = cb.name_constraint;
+  }
+  cb.parent = ra;
+}
+
+int Planner::ClassForConcreteExpr(const SplitExpr& expr, const Node& node) {
+  // Gather the constructor's argument values from the captured slots. A
+  // still-pending produced value is passed as an empty Value; constructors
+  // that need it return nullopt and parameter computation is deferred.
+  std::vector<Value> ctor_args;
+  ctor_args.reserve(expr.ctor_arg_indices.size());
+  for (int idx : expr.ctor_arg_indices) {
+    const Slot& slot = graph_.slot(node.args[static_cast<std::size_t>(idx)]);
+    ctor_args.push_back(slot.value);  // may be empty when pending
+  }
+  std::optional<std::vector<std::int64_t>> params =
+      registry_.RunCtor(expr.split_name, ctor_args);
+  int c = NewClass();
+  Class& cls = classes_[static_cast<std::size_t>(c)];
+  if (params.has_value()) {
+    cls.bound = true;
+    cls.type = SplitType::Concrete(expr.split_name, std::move(*params));
+  } else {
+    cls.name_constraint = expr.split_name;
+  }
+  return c;
+}
+
+void Planner::InferTypes(int first_node, int end_node) {
+  std::unordered_map<SlotId, int> slot_class;
+  arg_classes_.assign(static_cast<std::size_t>(end_node - first_node), {});
+  ret_classes_.assign(static_cast<std::size_t>(end_node - first_node), -1);
+
+  for (int n = first_node; n < end_node; ++n) {
+    const Node& node = graph_.nodes()[static_cast<std::size_t>(n)];
+    const Annotation& ann = *node.ann;
+    std::unordered_map<std::string, int> local_generics;
+    auto generic_class = [&](const std::string& name) {
+      auto it = local_generics.find(name);
+      if (it != local_generics.end()) {
+        return it->second;
+      }
+      int c = NewClass();
+      local_generics.emplace(name, c);
+      return c;
+    };
+
+    std::vector<int>& arg_cls = arg_classes_[static_cast<std::size_t>(n - first_node)];
+    arg_cls.assign(node.args.size(), -1);
+
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      const SplitExpr& expr = ann.args()[i].expr;
+      int c = -1;
+      switch (expr.kind) {
+        case SplitExpr::Kind::kConcrete:
+          c = ClassForConcreteExpr(expr, node);
+          break;
+        case SplitExpr::Kind::kGeneric:
+          c = generic_class(expr.generic);
+          break;
+        default:
+          break;  // "_": not split
+      }
+      arg_cls[i] = c;
+      if (c < 0) {
+        continue;
+      }
+      // Push types along dataflow edges: unify with the slot's current class.
+      SlotId s = node.args[i];
+      auto it = slot_class.find(s);
+      if (it != slot_class.end()) {
+        SoftUnify(c, it->second);
+      } else {
+        slot_class.emplace(s, Find(c));
+      }
+    }
+
+    // Writes update the slot's class: a mut argument re-types its slot, and
+    // the return value types its fresh slot.
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      if (ann.args()[i].is_mut && arg_cls[i] >= 0) {
+        slot_class[node.args[i]] = Find(arg_cls[i]);
+      }
+    }
+    if (node.ret != kInvalidSlot) {
+      const SplitExpr& rexpr = ann.ret();
+      int c = -1;
+      switch (rexpr.kind) {
+        case SplitExpr::Kind::kConcrete:
+          c = ClassForConcreteExpr(rexpr, node);
+          break;
+        case SplitExpr::Kind::kGeneric:
+          c = generic_class(rexpr.generic);
+          break;
+        case SplitExpr::Kind::kUnknown: {
+          c = NewClass();
+          Class& cls = classes_[static_cast<std::size_t>(c)];
+          cls.bound = true;
+          cls.type = SplitType::Unknown(next_unknown_id_++);
+          break;
+        }
+        default:
+          break;  // kNone / kMissing: untyped return (serial nodes)
+      }
+      ret_classes_[static_cast<std::size_t>(n - first_node)] = c;
+      if (c >= 0) {
+        slot_class[node.ret] = Find(c);
+      }
+    }
+  }
+}
+
+Plan Planner::Build(int first_node, int end_node) {
+  MZ_CHECK(first_node >= 0 && first_node <= end_node && end_node <= graph_.num_nodes());
+  InferTypes(first_node, end_node);
+
+  Plan plan;
+  Stage cur;
+  std::unordered_map<SlotId, int> split_buf;      // slot → buffer index in cur
+  std::unordered_map<SlotId, int> broadcast_buf;  // slot → buffer index in cur
+  // Concrete split types present in the current stage, by name. Two values
+  // split with the same named type but different parameters cannot share a
+  // stage even when their dataflow is independent (their piece streams — and
+  // so their element totals — would disagree).
+  std::unordered_map<InternedId, std::vector<std::int64_t>> stage_types;
+  int stage_last_node = -1;
+
+  // Finalizes produced buffers' is_output flags and appends the stage.
+  auto close_stage = [&] {
+    if (cur.funcs.empty()) {
+      cur = Stage();
+      split_buf.clear();
+      broadcast_buf.clear();
+      return;
+    }
+    for (StageBuffer& buf : cur.buffers) {
+      if (buf.is_input || buf.is_broadcast || buf.is_output) {
+        continue;
+      }
+      // Produced value: merge it only if something outside the stage can
+      // observe it — a live Future handle or a later node in the graph.
+      const Slot& slot = graph_.slot(buf.slot);
+      if (slot.external_refs > 0 || slot.external || graph_.UsedAfter(buf.slot, stage_last_node)) {
+        buf.is_output = true;
+      }
+    }
+    plan.stages.push_back(std::move(cur));
+    cur = Stage();
+    split_buf.clear();
+    broadcast_buf.clear();
+    stage_types.clear();
+  };
+
+  // True when a bound concrete type conflicts with a same-named type already
+  // established in the current stage.
+  auto conflicts_with_stage = [&](int cls) {
+    const Class& c = classes_[static_cast<std::size_t>(Find(cls))];
+    if (!c.bound || c.type.is_unknown()) {
+      return false;
+    }
+    auto it = stage_types.find(c.type.name());
+    return it != stage_types.end() && it->second != c.type.params();
+  };
+
+  auto record_stage_type = [&](int cls) {
+    const Class& c = classes_[static_cast<std::size_t>(Find(cls))];
+    if (c.bound && !c.type.is_unknown()) {
+      stage_types.emplace(c.type.name(), c.type.params());
+    }
+  };
+
+  auto add_broadcast_buffer = [&](Stage& stage, std::unordered_map<SlotId, int>& map, SlotId s) {
+    auto it = map.find(s);
+    if (it != map.end()) {
+      return it->second;
+    }
+    StageBuffer buf;
+    buf.slot = s;
+    buf.is_broadcast = true;
+    stage.buffers.push_back(std::move(buf));
+    int idx = static_cast<int>(stage.buffers.size()) - 1;
+    map.emplace(s, idx);
+    return idx;
+  };
+
+  // Resolves how a value entering the stage (or produced in it) is split or
+  // merged, from its inference class.
+  auto resolve_buffer_type = [&](StageBuffer& buf, int cls, bool produced) {
+    int root = Find(cls);
+    buf.class_id = root;
+    const Class& c = classes_[static_cast<std::size_t>(root)];
+    if (c.bound) {
+      if (c.type.is_unknown()) {
+        // Stage-entry `unknown` values are re-split (or piecewise merged)
+        // via the C++ type's default split type.
+        if (produced) {
+          buf.merge_by_piece_type = true;
+        } else {
+          buf.use_default_split = true;
+        }
+        buf.debug_type = c.type.ToString();
+      } else {
+        buf.split_name = c.type.name();
+        buf.params = c.type.params();
+        buf.debug_type = c.type.ToString();
+      }
+      return;
+    }
+    if (c.name_constraint != kNoConstraint) {
+      buf.split_name = c.name_constraint;
+      buf.params_deferred = true;
+      buf.debug_type = InternedName(c.name_constraint) + "<deferred>";
+      return;
+    }
+    if (produced) {
+      buf.merge_by_piece_type = true;
+    } else {
+      buf.use_default_split = true;
+    }
+    buf.debug_type = "default";
+  };
+
+  for (int n = first_node; n < end_node; ++n) {
+    const Node& node = graph_.nodes()[static_cast<std::size_t>(n)];
+    const Annotation& ann = *node.ann;
+    const std::vector<int>& arg_cls = arg_classes_[static_cast<std::size_t>(n - first_node)];
+
+    if (ann.IsSerial()) {
+      // Unsplittable call: runs alone, unsplit (cf. the Bohrium indexing
+      // discussion in §8 — Mozart treats such calls as single-element
+      // function calls).
+      close_stage();
+      Stage stage;
+      stage.serial = true;
+      PlannedFunc pf;
+      pf.node_index = n;
+      std::unordered_map<SlotId, int> serial_bufs;
+      for (SlotId s : node.args) {
+        pf.args.push_back({add_broadcast_buffer(stage, serial_bufs, s)});
+      }
+      if (node.ret != kInvalidSlot) {
+        StageBuffer buf;
+        buf.slot = node.ret;
+        buf.is_output = true;
+        stage.buffers.push_back(std::move(buf));
+        pf.ret_buffer = static_cast<int>(stage.buffers.size()) - 1;
+      }
+      stage.funcs.push_back(std::move(pf));
+      plan.stages.push_back(std::move(stage));
+      continue;
+    }
+
+    if (!pipeline_) {
+      close_stage();  // ablation: one node per stage
+    }
+
+    // Decide whether the node fits the currently-open stage.
+    bool break_needed = false;
+    for (std::size_t i = 0; i < node.args.size() && !break_needed; ++i) {
+      SlotId s = node.args[i];
+      int c = arg_cls[i];
+      auto it = split_buf.find(s);
+      if (c < 0) {
+        // "_" argument: needs the full value; break if it is mid-pipeline.
+        if (it != split_buf.end()) {
+          break_needed = true;
+        }
+        continue;
+      }
+      if (conflicts_with_stage(c)) {
+        break_needed = true;
+        continue;
+      }
+      if (it != split_buf.end()) {
+        int buf_cls = cur.buffers[static_cast<std::size_t>(it->second)].class_id;
+        int ra = Find(c);
+        int rb = Find(buf_cls);
+        bool same_stream = ra == rb;
+        if (!same_stream) {
+          const Class& a = classes_[static_cast<std::size_t>(ra)];
+          const Class& b = classes_[static_cast<std::size_t>(rb)];
+          same_stream = a.bound && b.bound && a.type == b.type;
+        }
+        if (!same_stream) {
+          break_needed = true;
+        }
+      }
+    }
+    if (break_needed) {
+      close_stage();
+    }
+
+    // A mut "_" argument on a split (non-serial) node would let every
+    // pipeline mutate the same full value concurrently.
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      MZ_THROW_IF(ann.args()[i].is_mut && arg_cls[i] < 0,
+                  "annotation '" << ann.func_name() << "': mut argument '" << ann.args()[i].name
+                                 << "' with missing split type on a splittable function");
+    }
+
+    PlannedFunc pf;
+    pf.node_index = n;
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      SlotId s = node.args[i];
+      int c = arg_cls[i];
+      int buf_idx;
+      if (c < 0) {
+        buf_idx = add_broadcast_buffer(cur, broadcast_buf, s);
+      } else {
+        auto it = split_buf.find(s);
+        if (it != split_buf.end()) {
+          buf_idx = it->second;
+        } else {
+          StageBuffer buf;
+          buf.slot = s;
+          buf.is_input = true;
+          resolve_buffer_type(buf, c, /*produced=*/false);
+          cur.buffers.push_back(std::move(buf));
+          buf_idx = static_cast<int>(cur.buffers.size()) - 1;
+          split_buf.emplace(s, buf_idx);
+          record_stage_type(c);
+        }
+        if (ann.args()[i].is_mut) {
+          cur.buffers[static_cast<std::size_t>(buf_idx)].is_output = true;
+        }
+      }
+      pf.args.push_back({buf_idx});
+    }
+    if (node.ret != kInvalidSlot) {
+      int c = ret_classes_[static_cast<std::size_t>(n - first_node)];
+      StageBuffer buf;
+      buf.slot = node.ret;
+      if (c >= 0) {
+        resolve_buffer_type(buf, c, /*produced=*/true);
+      } else {
+        buf.merge_by_piece_type = true;
+      }
+      cur.buffers.push_back(std::move(buf));
+      pf.ret_buffer = static_cast<int>(cur.buffers.size()) - 1;
+      split_buf.emplace(node.ret, pf.ret_buffer);
+      if (c >= 0) {
+        record_stage_type(c);
+      }
+    }
+    cur.funcs.push_back(std::move(pf));
+    stage_last_node = n;
+  }
+  close_stage();
+
+  MZ_LOG(Debug) << "planned " << plan.stages.size() << " stage(s) for nodes [" << first_node
+                << ", " << end_node << ")";
+  return plan;
+}
+
+}  // namespace mz

@@ -1,0 +1,125 @@
+// Converting the captured dataflow graph into an execution plan (§5.1).
+//
+// A plan is a sequence of *stages*. Within a stage, functions are pipelined:
+// inputs are split once, every function in the stage runs on each piece while
+// it is cache-resident, and outputs are merged at the stage boundary. Two
+// adjacent functions land in the same stage iff every value passed between
+// them has the same split type; otherwise the value must be merged and
+// re-split, which forces a stage break.
+//
+// Split types are resolved with a two-phase algorithm:
+//  1. an inference pass over the whole graph unifies generics with the types
+//     flowing along dataflow edges (union-find with "soft" unification:
+//     conflicting concrete types simply stay un-unified and surface later as
+//     stage breaks), mirroring the paper's use of local type inference;
+//  2. a linear scan over capture order groups nodes into stages, tracking
+//     which slots are currently split and breaking when a node needs a value
+//     in a different shape (different split type, or the full value for a
+//     "_" argument).
+//
+// Inference classes that remain unbound fall back to the *default split
+// type* registered for the value's C++ type, and class parameters that
+// depend on still-pending values are deferred to execution time ("late"
+// constructors) — see registry.h.
+#ifndef MOZART_CORE_PLANNER_H_
+#define MOZART_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/task_graph.h"
+
+namespace mz {
+
+struct PlannedArg {
+  int buffer = -1;  // index into Stage::buffers
+};
+
+struct PlannedFunc {
+  int node_index = -1;  // index into TaskGraph::nodes()
+  std::vector<PlannedArg> args;
+  int ret_buffer = -1;  // -1 for void functions
+};
+
+// One pipelined value inside a stage: a split input, a broadcast ("_") value,
+// or an intermediate produced by a function in the stage.
+struct StageBuffer {
+  SlotId slot = kInvalidSlot;
+  bool is_broadcast = false;  // full value copied into every pipeline
+  bool is_input = false;      // split at stage entry
+  bool is_output = false;     // merged at stage exit back into the slot
+
+  // Split/merge resolution. Exactly one of these shapes applies:
+  //  * use_default_split: type resolved at execution from the value's C++
+  //    type default (unbound generics, re-split of `unknown` values);
+  //  * split_name + params_deferred: named type whose parameters are
+  //    computed at execution by the late constructor (pending ctor args);
+  //  * split_name + params: fully resolved at plan time.
+  // merge_by_piece_type applies to produced (non-input) buffers whose merge
+  // splitter is found from the default split type of the piece's C++ type.
+  bool use_default_split = false;
+  bool params_deferred = false;
+  bool merge_by_piece_type = false;
+  InternedId split_name = 0;
+  std::vector<std::int64_t> params;
+
+  // Planning-internal: inference class root for same-stream checks.
+  int class_id = -1;
+  std::string debug_type;
+};
+
+struct Stage {
+  std::vector<PlannedFunc> funcs;
+  std::vector<StageBuffer> buffers;
+  bool serial = false;  // no split arguments: run once, unsplit
+};
+
+struct Plan {
+  std::vector<Stage> stages;
+};
+
+class Planner {
+ public:
+  // `pipeline=false` reproduces the paper's "-pipe" ablation (Table 4):
+  // every node gets its own stage — still split and parallelized, never
+  // pipelined with its neighbours.
+  Planner(const TaskGraph& graph, const Registry& registry, bool pipeline);
+
+  // Plans nodes [first_node, end_node). Throws mz::Error on annotations the
+  // runtime cannot execute (e.g. a non-serial node with a mut "_" argument).
+  Plan Build(int first_node, int end_node);
+
+ private:
+  struct Class {
+    int parent = -1;  // union-find; self when root
+    bool bound = false;
+    SplitType type = SplitType::Concrete(0, {});  // valid when bound
+    InternedId name_constraint = kNoConstraint;   // deferred concrete types
+  };
+  static constexpr InternedId kNoConstraint = static_cast<InternedId>(-1);
+
+  int NewClass();
+  int Find(int c);
+  void SoftUnify(int a, int b);
+
+  // Inference pass: fills arg_classes_ / ret_classes_.
+  void InferTypes(int first_node, int end_node);
+
+  int ClassForConcreteExpr(const SplitExpr& expr, const Node& node);
+
+  const TaskGraph& graph_;
+  const Registry& registry_;
+  bool pipeline_;
+
+  std::vector<Class> classes_;
+  std::uint64_t next_unknown_id_ = 1;
+  // Indexed [node - first_node][arg]; -1 for "_" arguments.
+  std::vector<std::vector<int>> arg_classes_;
+  std::vector<int> ret_classes_;  // -1 when void / no split
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_PLANNER_H_

@@ -1,0 +1,107 @@
+#include "core/registry.h"
+
+#include "common/check.h"
+
+namespace mz {
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+InternedId Registry::DefineSplitType(std::string_view name, SplitTypeCtor ctor,
+                                     LateCtor late_ctor) {
+  InternedId id = InternName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  SplitTypeDef& def = types_[id];
+  def.ctor = std::move(ctor);
+  def.late_ctor = std::move(late_ctor);
+  return id;
+}
+
+void Registry::AddSplitter(std::string_view name, std::type_index type,
+                           std::shared_ptr<Splitter> splitter) {
+  InternedId id = InternName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = types_.find(id);
+  MZ_CHECK_MSG(it != types_.end(), "AddSplitter: split type '" << name << "' not defined");
+  it->second.splitters[type] = std::move(splitter);
+}
+
+void Registry::SetDefaultSplitType(std::type_index type, std::string_view name) {
+  InternedId id = InternName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  MZ_CHECK_MSG(types_.count(id) == 1, "SetDefaultSplitType: '" << name << "' not defined");
+  defaults_[type] = id;
+}
+
+const Splitter* Registry::FindSplitter(InternedId name, std::type_index type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return nullptr;
+  }
+  auto jt = it->second.splitters.find(type);
+  if (jt == it->second.splitters.end()) {
+    return nullptr;
+  }
+  return jt->second.get();
+}
+
+bool Registry::HasSplitType(InternedId name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return types_.count(name) == 1;
+}
+
+std::optional<std::vector<std::int64_t>> Registry::RunCtor(InternedId name,
+                                                           std::span<const Value> args) const {
+  SplitTypeCtor ctor;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = types_.find(name);
+    MZ_CHECK_MSG(it != types_.end(), "RunCtor: split type " << InternedName(name) << " undefined");
+    ctor = it->second.ctor;
+  }
+  if (!ctor) {
+    return std::vector<std::int64_t>{};  // parameterless split type
+  }
+  return ctor(args);
+}
+
+std::vector<std::int64_t> Registry::RunLateCtor(InternedId name, const Value& value) const {
+  LateCtor late;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = types_.find(name);
+    MZ_CHECK_MSG(it != types_.end(),
+                 "RunLateCtor: split type " << InternedName(name) << " undefined");
+    late = it->second.late_ctor;
+  }
+  if (!late) {
+    return {};
+  }
+  return late(value);
+}
+
+std::optional<InternedId> Registry::DefaultSplitTypeFor(std::type_index type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = defaults_.find(type);
+  if (it == defaults_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<std::type_index> Registry::TypesForSplitType(InternedId name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::type_index> out;
+  auto it = types_.find(name);
+  if (it != types_.end()) {
+    for (const auto& [type, splitter] : it->second.splitters) {
+      out.push_back(type);
+    }
+  }
+  return out;
+}
+
+}  // namespace mz

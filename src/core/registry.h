@@ -1,0 +1,104 @@
+// Registry of split types, their constructors, and their splitters.
+//
+// An annotator integrates a library by (1) defining split types and their
+// constructors, (2) registering a Splitter per (split type, C++ type) pair,
+// and (3) optionally registering a *default* split type per C++ type — the
+// fallback Mozart uses when type inference cannot pin a generic down (§5.1).
+//
+// The registry is process-global, mirroring the paper's design where the
+// `annotate` tool packages the splitting API into a shared library loaded
+// once per process. Registration is thread-safe and append-only; lookups
+// after registration are lock-free reads of immutable entries.
+#ifndef MOZART_CORE_REGISTRY_H_
+#define MOZART_CORE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "core/split_type.h"
+#include "core/splitter.h"
+#include "core/value.h"
+
+namespace mz {
+
+// Computes a split type's parameters from captured function arguments
+// (§3.2 "Split Type Constructors"). Receives the Values selected by the SA's
+// ctor-argument list. Returns nullopt when a parameter depends on a value
+// that is still pending (empty Value) — the planner then defers parameter
+// computation to execution time ("late" constructor).
+using SplitTypeCtor =
+    std::function<std::optional<std::vector<std::int64_t>>(std::span<const Value> args)>;
+
+// Computes a default split type's parameters directly from a full value at
+// execution time (used for defaults and deferred constructors).
+using LateCtor = std::function<std::vector<std::int64_t>(const Value& value)>;
+
+class Registry {
+ public:
+  static Registry& Global();
+
+  // Defines a split type. Idempotent: redefining with the same name replaces
+  // the ctor (tests rely on this). Returns the interned name id.
+  InternedId DefineSplitType(std::string_view name, SplitTypeCtor ctor, LateCtor late_ctor);
+
+  // Registers the splitter used for values of C++ type `type` split with
+  // split type `name`.
+  void AddSplitter(std::string_view name, std::type_index type, std::shared_ptr<Splitter> splitter);
+
+  // Registers the fallback split type for a C++ type: when inference bottoms
+  // out, values of this type are split with `name`, with parameters computed
+  // by the split type's late constructor.
+  void SetDefaultSplitType(std::type_index type, std::string_view name);
+
+  // Lookups. Return nullptr / nullopt when absent.
+  const Splitter* FindSplitter(InternedId name, std::type_index type) const;
+  bool HasSplitType(InternedId name) const;
+
+  // Runs the split type's constructor; nullopt = deferred.
+  std::optional<std::vector<std::int64_t>> RunCtor(InternedId name,
+                                                   std::span<const Value> args) const;
+
+  // Runs the split type's late constructor against a full value.
+  std::vector<std::int64_t> RunLateCtor(InternedId name, const Value& value) const;
+
+  // Default split type name for a C++ type; nullopt if none registered.
+  std::optional<InternedId> DefaultSplitTypeFor(std::type_index type) const;
+
+  // The paper's `annotate` tool checks that a split type is always associated
+  // with the same concrete type (§7.1); exposed for the pedantic runtime.
+  std::vector<std::type_index> TypesForSplitType(InternedId name) const;
+
+ private:
+  struct SplitTypeDef {
+    SplitTypeCtor ctor;
+    LateCtor late_ctor;
+    std::unordered_map<std::type_index, std::shared_ptr<Splitter>> splitters;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<InternedId, SplitTypeDef> types_;
+  std::unordered_map<std::type_index, InternedId> defaults_;
+};
+
+// Convenience: registers a TypedSplitter<T> for (name, T).
+template <typename T>
+void RegisterTypedSplitter(Registry& registry, std::string_view name,
+                           typename TypedSplitter<T>::InfoFn info,
+                           typename TypedSplitter<T>::SplitFn split,
+                           typename TypedSplitter<T>::MergeFn merge) {
+  registry.AddSplitter(name, std::type_index(typeid(T)),
+                       std::make_shared<TypedSplitter<T>>(info, split, merge));
+}
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_REGISTRY_H_

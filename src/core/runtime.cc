@@ -1,0 +1,184 @@
+#include "core/runtime.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace mz {
+namespace {
+
+thread_local Runtime* g_current_runtime = nullptr;
+
+}  // namespace
+
+Runtime::Runtime(RuntimeOptions opts) : opts_(opts), registry_(&Registry::Global()) {
+  int threads = opts_.num_threads > 0 ? opts_.num_threads : NumLogicalCpus();
+  opts_.num_threads = threads;
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Runtime::~Runtime() = default;
+
+Runtime& Runtime::Default() {
+  static Runtime* runtime = new Runtime();
+  return *runtime;
+}
+
+Runtime* Runtime::Current() {
+  return g_current_runtime != nullptr ? g_current_runtime : &Default();
+}
+
+void Runtime::set_pre_evaluate_hook(std::function<void()> hook) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  pre_evaluate_hook_ = std::move(hook);
+}
+
+void Runtime::set_post_capture_hook(std::function<void()> hook) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  post_capture_hook_ = std::move(hook);
+}
+
+SlotId Runtime::RegisterNode(std::shared_ptr<const Annotation> ann,
+                             std::shared_ptr<const FuncBase> fn, std::vector<ArgBinding> bindings,
+                             bool has_ret) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MZ_THROW_IF(evaluating_, "cannot capture a call while the runtime is evaluating (annotated "
+                           "functions must not call other annotated functions)");
+  ScopedAccumTimer timer(opts_.collect_stats ? &stats_.client_ns : nullptr);
+
+  std::vector<SlotId> slots;
+  slots.reserve(bindings.size());
+  for (ArgBinding& b : bindings) {
+    if (b.future_slot != kInvalidSlot) {
+      slots.push_back(b.future_slot);
+    } else if (b.ptr_key != nullptr) {
+      slots.push_back(graph_.SlotForPointer(b.ptr_key, b.value));
+    } else {
+      slots.push_back(graph_.NewValueSlot(b.value));
+    }
+  }
+  int node = graph_.AddNode(std::move(ann), std::move(fn), std::move(slots), has_ret);
+  SlotId ret = graph_.nodes()[static_cast<std::size_t>(node)].ret;
+
+  if (post_capture_hook_) {
+    post_capture_hook_();
+  }
+  return ret;
+}
+
+void Runtime::Evaluate() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  EvaluateLocked();
+}
+
+void Runtime::EvaluateLocked() {
+  int first = graph_.first_unexecuted();
+  int end = graph_.num_nodes();
+  if (first == end) {
+    return;
+  }
+  MZ_THROW_IF(evaluating_, "re-entrant evaluation");
+  evaluating_ = true;
+  struct ClearFlag {
+    bool* flag;
+    ~ClearFlag() { *flag = false; }
+  } clear{&evaluating_};
+
+  if (pre_evaluate_hook_) {
+    pre_evaluate_hook_();  // lazy heap: unprotect before workers touch memory
+  }
+
+  Plan plan;
+  {
+    ScopedAccumTimer timer(opts_.collect_stats ? &stats_.planner_ns : nullptr);
+    Planner planner(graph_, *registry_, opts_.pipeline);
+    plan = planner.Build(first, end);
+  }
+
+  ExecOptions exec_opts;
+  exec_opts.batch_override = opts_.batch_elems_override;
+  exec_opts.l2_fraction = opts_.batch_l2_fraction;
+  exec_opts.l2_bytes = L2CacheBytes();
+  exec_opts.pedantic = opts_.pedantic;
+  exec_opts.collect_stats = opts_.collect_stats;
+  exec_opts.dynamic_scheduling = opts_.dynamic_scheduling;
+  Executor executor(&graph_, registry_, pool_.get(), exec_opts, &stats_);
+  executor.Run(plan);
+
+  graph_.MarkExecuted(end);
+  stats_.evaluations.fetch_add(1, std::memory_order_relaxed);
+  MZ_LOG(Debug) << "evaluated nodes [" << first << ", " << end << ") in " << plan.stages.size()
+                << " stage(s)";
+}
+
+void Runtime::Reset() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MZ_THROW_IF(evaluating_, "cannot Reset while evaluating");
+  for (std::size_t i = 0; i < graph_.num_slots(); ++i) {
+    MZ_THROW_IF(graph_.slot(static_cast<SlotId>(i)).external_refs > 0,
+                "Reset with outstanding Future handles");
+  }
+  graph_.Clear();
+}
+
+int Runtime::num_pending_nodes() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return graph_.num_nodes() - graph_.first_unexecuted();
+}
+
+int Runtime::num_captured_nodes() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return graph_.num_nodes();
+}
+
+std::vector<Edge> Runtime::ComputeEdges() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return graph_.ComputeEdges();
+}
+
+RuntimeScope::RuntimeScope(Runtime* runtime) : previous_(g_current_runtime) {
+  g_current_runtime = runtime;
+}
+
+RuntimeScope::~RuntimeScope() { g_current_runtime = previous_; }
+
+namespace internal {
+
+Value ResolveSlotValue(Runtime* runtime, SlotId slot) {
+  {
+    std::lock_guard<std::recursive_mutex> lock(runtime->mu_);
+    Slot& s = runtime->graph_.slot(slot);
+    if (!s.pending) {
+      return s.value;
+    }
+  }
+  runtime->Evaluate();
+  std::lock_guard<std::recursive_mutex> lock(runtime->mu_);
+  Slot& s = runtime->graph_.slot(slot);
+  MZ_CHECK_MSG(!s.pending, "slot still pending after evaluation");
+  return s.value;
+}
+
+bool SlotIsPending(Runtime* runtime, SlotId slot) {
+  std::lock_guard<std::recursive_mutex> lock(runtime->mu_);
+  return runtime->graph_.slot(slot).pending;
+}
+
+void AddExternalRef(Runtime* runtime, SlotId slot) {
+  std::lock_guard<std::recursive_mutex> lock(runtime->mu_);
+  runtime->graph_.slot(slot).external_refs++;
+}
+
+void DropExternalRef(Runtime* runtime, SlotId slot) {
+  std::lock_guard<std::recursive_mutex> lock(runtime->mu_);
+  // Tolerate Futures outliving a Reset(): Reset() refuses to run with live
+  // handles, so an out-of-range id here means the graph was legitimately
+  // rebuilt after this Future's runtime error-path destruction.
+  if (slot < runtime->graph_.num_slots()) {
+    runtime->graph_.slot(slot).external_refs--;
+  }
+}
+
+}  // namespace internal
+
+}  // namespace mz

@@ -1,0 +1,175 @@
+// The Mozart runtime: owns the dataflow graph, plans and executes it.
+//
+// One Runtime corresponds to one instance of the paper's Mozart runtime plus
+// the graph-capturing half of libmozart. Wrapped functions (client.h)
+// register calls against the *current* runtime — a thread-local that
+// defaults to a process-wide instance and can be scoped with RuntimeScope,
+// so applications, tests, and benchmarks can use isolated runtimes with
+// different options (thread counts, pipelining ablation, pedantic mode).
+#ifndef MOZART_CORE_RUNTIME_H_
+#define MOZART_CORE_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/thread_pool.h"
+#include "core/executor.h"
+#include "core/future.h"
+#include "core/planner.h"
+#include "core/registry.h"
+#include "core/stats.h"
+#include "core/task_graph.h"
+
+namespace mz {
+
+struct RuntimeOptions {
+  int num_threads = 0;              // 0 = number of logical CPUs
+  bool pipeline = true;             // false = Table 4's "-pipe" ablation
+  bool pedantic = false;            // §7.1 debugging mode
+  std::int64_t batch_elems_override = 0;  // 0 = L2 heuristic (§5.2)
+  double batch_l2_fraction = 1.0;         // the heuristic's constant C
+  bool collect_stats = true;
+  // Work-stealing batch scheduling instead of the paper's default static
+  // partitioning (§5.2 explicitly allows both; see ExecOptions).
+  bool dynamic_scheduling = false;
+};
+
+// How a captured argument binds to the dataflow graph.
+struct ArgBinding {
+  Value value;                        // empty when future-bound
+  const void* ptr_key = nullptr;      // aliasing key for pointer arguments
+  SlotId future_slot = kInvalidSlot;  // set when the argument is a Future
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // The runtime wrapped calls register against (thread-local override via
+  // RuntimeScope, else the process default).
+  static Runtime* Current();
+  static Runtime& Default();
+
+  // Evaluates all captured-but-unexecuted nodes. Idempotent when nothing is
+  // pending. Thread-compatible: capture and evaluation are serialized.
+  void Evaluate();
+
+  // Drops the captured graph and all slots. Outstanding Futures must have
+  // been dropped (checked). Statistics are preserved; use stats().Reset().
+  void Reset();
+
+  const RuntimeOptions& options() const { return opts_; }
+  EvalStats& stats() { return stats_; }
+  Registry& registry() { return *registry_; }
+  ThreadPool& pool() { return *pool_; }
+
+  // Introspection (tests, benches).
+  int num_pending_nodes();
+  int num_captured_nodes();
+  std::vector<Edge> ComputeEdges();
+  TaskGraph& graph_for_test() { return graph_; }
+
+  // Hooks for the lazy heap (§4.1): before evaluation the heap must
+  // unprotect pages so workers can touch user memory; after each capture it
+  // re-protects so subsequent raw reads fault and force evaluation.
+  void set_pre_evaluate_hook(std::function<void()> hook);
+  void set_post_capture_hook(std::function<void()> hook);
+
+  // --- capture API (used by Annotated<> wrappers; not user-facing) ---
+
+  template <typename R, typename... Params, typename... CallArgs>
+  auto CaptureCall(std::shared_ptr<const Annotation> ann, std::shared_ptr<const FuncBase> fn,
+                   CallArgs&&... cargs);
+
+  // Registers a node; returns the return-value slot or kInvalidSlot.
+  SlotId RegisterNode(std::shared_ptr<const Annotation> ann, std::shared_ptr<const FuncBase> fn,
+                      std::vector<ArgBinding> bindings, bool has_ret);
+
+ private:
+  friend Value internal::ResolveSlotValue(Runtime*, SlotId);
+  friend void internal::AddExternalRef(Runtime*, SlotId);
+  friend void internal::DropExternalRef(Runtime*, SlotId);
+  friend bool internal::SlotIsPending(Runtime*, SlotId);
+
+  void EvaluateLocked();
+
+  RuntimeOptions opts_;
+  Registry* registry_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::recursive_mutex mu_;
+  TaskGraph graph_;
+  EvalStats stats_;
+  bool evaluating_ = false;
+  std::function<void()> pre_evaluate_hook_;
+  std::function<void()> post_capture_hook_;
+};
+
+// RAII override of the current runtime for the constructing thread.
+class RuntimeScope {
+ public:
+  explicit RuntimeScope(Runtime* runtime);
+  ~RuntimeScope();
+  RuntimeScope(const RuntimeScope&) = delete;
+  RuntimeScope& operator=(const RuntimeScope&) = delete;
+
+ private:
+  Runtime* previous_;
+};
+
+namespace internal {
+
+template <typename Param, typename CallArg>
+ArgBinding BindOneArg(Runtime* rt, CallArg&& arg) {
+  using A = std::decay_t<CallArg>;
+  if constexpr (IsFuture<A>::value) {
+    MZ_THROW_IF(arg.runtime() != rt, "Future passed to a wrapper bound to a different runtime");
+    ArgBinding b;
+    b.future_slot = arg.slot();
+    return b;
+  } else {
+    using D = std::decay_t<Param>;
+    ArgBinding b;
+    if constexpr (std::is_pointer_v<D>) {
+      // Store pointers const-stripped so a buffer read through `const T*` by
+      // one call and written through `T*` by another shares one slot type;
+      // the SA's `mut` flag — not C++ constness — is the mutation authority.
+      using Store = std::remove_const_t<std::remove_pointer_t<D>>*;
+      Store v = const_cast<Store>(static_cast<D>(std::forward<CallArg>(arg)));
+      b.ptr_key = reinterpret_cast<const void*>(v);
+      b.value = Value::Make<Store>(v);
+    } else {
+      D v = static_cast<D>(std::forward<CallArg>(arg));
+      b.value = Value::Make<D>(std::move(v));
+    }
+    return b;
+  }
+}
+
+}  // namespace internal
+
+template <typename R, typename... Params, typename... CallArgs>
+auto Runtime::CaptureCall(std::shared_ptr<const Annotation> ann,
+                          std::shared_ptr<const FuncBase> fn, CallArgs&&... cargs) {
+  static_assert(sizeof...(Params) == sizeof...(CallArgs));
+  std::vector<ArgBinding> bindings;
+  bindings.reserve(sizeof...(Params));
+  (bindings.push_back(internal::BindOneArg<Params>(this, std::forward<CallArgs>(cargs))), ...);
+  constexpr bool kHasRet = !std::is_void_v<R>;
+  SlotId ret = RegisterNode(std::move(ann), std::move(fn), std::move(bindings), kHasRet);
+  if constexpr (kHasRet) {
+    return Future<std::decay_t<R>>(this, ret);
+  } else {
+    (void)ret;
+  }
+}
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_RUNTIME_H_

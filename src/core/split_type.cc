@@ -1,0 +1,25 @@
+#include "core/split_type.h"
+
+#include <sstream>
+
+namespace mz {
+
+std::string SplitType::ToString() const {
+  if (kind_ == Kind::kUnknown) {
+    std::ostringstream os;
+    os << "unknown#" << unknown_id_;
+    return os.str();
+  }
+  std::ostringstream os;
+  os << InternedName(name_) << "<";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << params_[i];
+  }
+  os << ">";
+  return os.str();
+}
+
+}  // namespace mz

@@ -1,0 +1,80 @@
+// Split types (§3.2 of the paper).
+//
+// A split type is a parameterized type N<V0..Vn>: an interned name plus
+// integer parameters computed at runtime by the split type's constructor.
+// Two split types are equal iff their names and parameters are equal; the
+// paper notes these are formally dependent types. Beyond concrete types the
+// SA language has:
+//  * generics ("S") — resolved by type inference in the planner,
+//  * `unknown`     — a unique type produced by functions like filters; it
+//                    never equals any other split type (including another
+//                    unknown), which blocks pipelining except into generics,
+//  * missing ("_") — the argument is not split; the full value is broadcast
+//                    to every pipeline.
+#ifndef MOZART_CORE_SPLIT_TYPE_H_
+#define MOZART_CORE_SPLIT_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace mz {
+
+class SplitType {
+ public:
+  enum class Kind {
+    kConcrete,  // named type with parameters
+    kUnknown,   // unique type; equal only to itself (same instance id)
+  };
+
+  static SplitType Concrete(InternedId name, std::vector<std::int64_t> params) {
+    SplitType t;
+    t.kind_ = Kind::kConcrete;
+    t.name_ = name;
+    t.params_ = std::move(params);
+    return t;
+  }
+
+  static SplitType Concrete(std::string_view name, std::vector<std::int64_t> params) {
+    return Concrete(InternName(name), std::move(params));
+  }
+
+  // A fresh unknown instance. `instance_id` must be unique per produced value
+  // (the planner allocates these).
+  static SplitType Unknown(std::uint64_t instance_id) {
+    SplitType t;
+    t.kind_ = Kind::kUnknown;
+    t.unknown_id_ = instance_id;
+    return t;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_unknown() const { return kind_ == Kind::kUnknown; }
+  InternedId name() const { return name_; }
+  const std::vector<std::int64_t>& params() const { return params_; }
+
+  friend bool operator==(const SplitType& a, const SplitType& b) {
+    if (a.kind_ != b.kind_) {
+      return false;
+    }
+    if (a.kind_ == Kind::kUnknown) {
+      return a.unknown_id_ == b.unknown_id_;
+    }
+    return a.name_ == b.name_ && a.params_ == b.params_;
+  }
+  friend bool operator!=(const SplitType& a, const SplitType& b) { return !(a == b); }
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kConcrete;
+  InternedId name_ = 0;
+  std::vector<std::int64_t> params_;
+  std::uint64_t unknown_id_ = 0;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_SPLIT_TYPE_H_

@@ -1,0 +1,95 @@
+// The splitting API (§3.3, Table 1 of the paper).
+//
+// Annotators bridge the split-type abstraction with code by implementing, per
+// split type and concrete C++ type:
+//   Info(value, params)              -> RuntimeInfo{total elements, bytes/elem}
+//   Split(value, start, end, params) -> piece Value for elements [start, end)
+//   Merge(original, pieces, params)  -> merged full Value
+//
+// Split also receives a SplitContext (thread id / thread count), which the
+// paper provides "so splits that are not based on integer ranges" are
+// possible. Merge receives the original full value when one exists (in-place
+// split types like ArraySplit simply return it); for values *produced* by
+// pipelines there is no original and an empty Value is passed.
+//
+// Merge is required to be associative: the executor merges each worker's
+// pieces first and then merges the per-worker partials on the main thread.
+#ifndef MOZART_CORE_SPLITTER_H_
+#define MOZART_CORE_SPLITTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/value.h"
+
+namespace mz {
+
+// Filled by Info(); drives the batch-size heuristic (§5.2): a batch holds
+// roughly C * L2_bytes / sum(bytes_per_element over stage inputs) elements.
+struct RuntimeInfo {
+  std::int64_t total_elements = 0;
+  // Bytes of cache footprint contributed by one element of this input. Zero
+  // for inputs with no memory footprint (e.g. the `size` scalar of an MKL
+  // call, whose SizeSplit type splits arithmetic, not memory).
+  std::int64_t bytes_per_element = 0;
+};
+
+struct SplitContext {
+  int thread_id = 0;
+  int num_threads = 1;
+};
+
+class Splitter {
+ public:
+  virtual ~Splitter() = default;
+
+  virtual RuntimeInfo Info(const Value& value, std::span<const std::int64_t> params) const = 0;
+
+  virtual Value Split(const Value& value, std::int64_t start, std::int64_t end,
+                      std::span<const std::int64_t> params, const SplitContext& ctx) const = 0;
+
+  virtual Value Merge(const Value& original, std::vector<Value> pieces,
+                      std::span<const std::int64_t> params) const = 0;
+};
+
+// Adapter for the common case: a splitter over values holding (or pointing
+// to) a single C++ type, written as three lambdas / static functions.
+//
+//   RegisterSplitter<double*>(registry, "ArraySplit", {...});
+//
+// Derive instead when the splitter needs state.
+template <typename T>
+class TypedSplitter final : public Splitter {
+ public:
+  using InfoFn = RuntimeInfo (*)(const T&, std::span<const std::int64_t>);
+  using SplitFn = Value (*)(const T&, std::int64_t, std::int64_t, std::span<const std::int64_t>,
+                            const SplitContext&);
+  using MergeFn = Value (*)(const Value&, std::vector<Value>, std::span<const std::int64_t>);
+
+  TypedSplitter(InfoFn info, SplitFn split, MergeFn merge)
+      : info_(info), split_(split), merge_(merge) {}
+
+  RuntimeInfo Info(const Value& value, std::span<const std::int64_t> params) const override {
+    return info_(value.As<T>(), params);
+  }
+
+  Value Split(const Value& value, std::int64_t start, std::int64_t end,
+              std::span<const std::int64_t> params, const SplitContext& ctx) const override {
+    return split_(value.As<T>(), start, end, params, ctx);
+  }
+
+  Value Merge(const Value& original, std::vector<Value> pieces,
+              std::span<const std::int64_t> params) const override {
+    return merge_(original, std::move(pieces), params);
+  }
+
+ private:
+  InfoFn info_;
+  SplitFn split_;
+  MergeFn merge_;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_SPLITTER_H_

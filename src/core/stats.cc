@@ -1,0 +1,22 @@
+#include "core/stats.h"
+
+#include <sstream>
+
+namespace mz {
+namespace {
+
+double Ms(std::int64_t ns) { return static_cast<double>(ns) * 1e-6; }
+
+}  // namespace
+
+std::string EvalStats::Snapshot::ToString() const {
+  std::ostringstream os;
+  os << "client=" << Ms(client_ns) << "ms unprotect=" << Ms(unprotect_ns)
+     << "ms planner=" << Ms(planner_ns) << "ms split=" << Ms(split_ns)
+     << "ms task=" << Ms(task_ns) << "ms merge=" << Ms(merge_ns)
+     << "ms (evals=" << evaluations << " stages=" << stages << " batches=" << batches
+     << " nodes=" << nodes_executed << ")";
+  return os.str();
+}
+
+}  // namespace mz

@@ -1,0 +1,78 @@
+// Runtime phase accounting, reproducing the paper's Fig. 5 breakdown:
+// client (task registration), unprotect (lazy-heap memory permission flips),
+// planner, split, task execution, and merge time.
+#ifndef MOZART_CORE_STATS_H_
+#define MOZART_CORE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mz {
+
+class EvalStats {
+ public:
+  // Plain-value snapshot for reporting.
+  struct Snapshot {
+    std::int64_t client_ns = 0;
+    std::int64_t unprotect_ns = 0;
+    std::int64_t planner_ns = 0;
+    std::int64_t split_ns = 0;
+    std::int64_t task_ns = 0;
+    std::int64_t merge_ns = 0;
+    std::int64_t evaluations = 0;
+    std::int64_t stages = 0;
+    std::int64_t batches = 0;
+    std::int64_t nodes_executed = 0;
+
+    // Total across the per-phase wall-clock counters. Split/task/merge are
+    // summed across workers, so on N threads this exceeds elapsed time.
+    std::int64_t TotalNs() const {
+      return client_ns + unprotect_ns + planner_ns + split_ns + task_ns + merge_ns;
+    }
+    std::string ToString() const;
+  };
+
+  Snapshot Take() const {
+    Snapshot s;
+    s.client_ns = client_ns.load(std::memory_order_relaxed);
+    s.unprotect_ns = unprotect_ns.load(std::memory_order_relaxed);
+    s.planner_ns = planner_ns.load(std::memory_order_relaxed);
+    s.split_ns = split_ns.load(std::memory_order_relaxed);
+    s.task_ns = task_ns.load(std::memory_order_relaxed);
+    s.merge_ns = merge_ns.load(std::memory_order_relaxed);
+    s.evaluations = evaluations.load(std::memory_order_relaxed);
+    s.stages = stages.load(std::memory_order_relaxed);
+    s.batches = batches.load(std::memory_order_relaxed);
+    s.nodes_executed = nodes_executed.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    client_ns = 0;
+    unprotect_ns = 0;
+    planner_ns = 0;
+    split_ns = 0;
+    task_ns = 0;
+    merge_ns = 0;
+    evaluations = 0;
+    stages = 0;
+    batches = 0;
+    nodes_executed = 0;
+  }
+
+  std::atomic<std::int64_t> client_ns{0};
+  std::atomic<std::int64_t> unprotect_ns{0};
+  std::atomic<std::int64_t> planner_ns{0};
+  std::atomic<std::int64_t> split_ns{0};
+  std::atomic<std::int64_t> task_ns{0};
+  std::atomic<std::int64_t> merge_ns{0};
+  std::atomic<std::int64_t> evaluations{0};
+  std::atomic<std::int64_t> stages{0};
+  std::atomic<std::int64_t> batches{0};
+  std::atomic<std::int64_t> nodes_executed{0};
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_STATS_H_

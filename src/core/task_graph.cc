@@ -1,0 +1,151 @@
+#include "core/task_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mz {
+
+SlotId TaskGraph::SlotForPointer(const void* ptr, const Value& value) {
+  auto it = pointer_slots_.find(ptr);
+  if (it != pointer_slots_.end()) {
+    return it->second;
+  }
+  SlotId id = NewValueSlot(value);
+  slots_[id]->external = true;
+  pointer_slots_.emplace(ptr, id);
+  return id;
+}
+
+SlotId TaskGraph::NewValueSlot(const Value& value) {
+  SlotId id = static_cast<SlotId>(slots_.size());
+  auto slot = std::make_unique<Slot>();
+  slot->id = id;
+  slot->value = value;
+  slots_.push_back(std::move(slot));
+  return id;
+}
+
+SlotId TaskGraph::NewPendingSlot() {
+  SlotId id = NewValueSlot(Value());
+  slots_[id]->pending = true;
+  return id;
+}
+
+Slot& TaskGraph::slot(SlotId id) {
+  MZ_CHECK_MSG(id < slots_.size(), "invalid slot id " << id);
+  return *slots_[id];
+}
+
+const Slot& TaskGraph::slot(SlotId id) const {
+  MZ_CHECK_MSG(id < slots_.size(), "invalid slot id " << id);
+  return *slots_[id];
+}
+
+int TaskGraph::AddNode(std::shared_ptr<const Annotation> ann, std::shared_ptr<const FuncBase> fn,
+                       std::vector<SlotId> args, bool has_ret) {
+  MZ_CHECK(ann != nullptr && fn != nullptr);
+  MZ_CHECK_MSG(static_cast<int>(args.size()) == ann->num_args(),
+               "annotation '" << ann->func_name() << "' has " << ann->num_args()
+                              << " args, call captured " << args.size());
+  Node node;
+  node.ann = std::move(ann);
+  node.fn = std::move(fn);
+  node.args = std::move(args);
+  for (std::size_t i = 0; i < node.args.size(); ++i) {
+    if (node.ann->args()[i].is_mut) {
+      slot(node.args[i]).pending = true;
+    }
+  }
+  if (has_ret) {
+    node.ret = NewPendingSlot();
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void TaskGraph::MarkExecuted(int end_node) {
+  MZ_CHECK(end_node >= first_unexecuted_ && end_node <= num_nodes());
+  first_unexecuted_ = end_node;
+}
+
+bool TaskGraph::UsedAfter(SlotId id, int after_node) const {
+  for (int n = after_node + 1; n < num_nodes(); ++n) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (node.ret == id) {
+      return true;
+    }
+    if (std::find(node.args.begin(), node.args.end(), id) != node.args.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TaskGraph::MutatedAfter(SlotId id, int after_node) const {
+  for (int n = after_node + 1; n < num_nodes(); ++n) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      if (node.args[i] == id && node.ann->args()[i].is_mut) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<Edge> TaskGraph::ComputeEdges() const {
+  std::vector<Edge> edges;
+  struct SlotUse {
+    int last_writer = -1;
+    std::vector<int> readers_since_write;
+  };
+  std::unordered_map<SlotId, SlotUse> uses;
+
+  for (int n = 0; n < num_nodes(); ++n) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    // Reads first: every non-mut argument is a read of its slot.
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      if (node.ann->args()[i].is_mut) {
+        continue;
+      }
+      SlotUse& use = uses[node.args[i]];
+      if (use.last_writer >= 0) {
+        edges.push_back({use.last_writer, n, Edge::Kind::kRaw});
+      }
+      use.readers_since_write.push_back(n);
+    }
+    // Writes: mut arguments and the return slot.
+    auto record_write = [&](SlotId id) {
+      SlotUse& use = uses[id];
+      for (int reader : use.readers_since_write) {
+        if (reader != n) {
+          edges.push_back({reader, n, Edge::Kind::kWar});
+        }
+      }
+      if (use.last_writer >= 0 && use.last_writer != n) {
+        edges.push_back({use.last_writer, n, Edge::Kind::kWaw});
+      }
+      use.last_writer = n;
+      use.readers_since_write.clear();
+    };
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      if (node.ann->args()[i].is_mut) {
+        record_write(node.args[i]);
+      }
+    }
+    if (node.ret != kInvalidSlot) {
+      record_write(node.ret);
+    }
+  }
+  return edges;
+}
+
+void TaskGraph::Clear() {
+  slots_.clear();
+  pointer_slots_.clear();
+  nodes_.clear();
+  first_unexecuted_ = 0;
+}
+
+}  // namespace mz

@@ -1,0 +1,109 @@
+// Converting type-erased Values back into typed function arguments.
+//
+// The rules mirror the storage conventions in value.h:
+//  * exact type match wins;
+//  * a `const T*` parameter accepts a Value holding `T*`;
+//  * a pointer parameter accepts a Value *owning* a `T` (takes its address) —
+//    this is how owned split pieces (cropped images, partial DataFrames)
+//    flow into pointer-taking library APIs;
+//  * arithmetic parameters accept common integer widths (split functions
+//    produce int64_t batch lengths; libraries take int/long/size_t).
+#ifndef MOZART_CORE_UNPACK_H_
+#define MOZART_CORE_UNPACK_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/check.h"
+#include "core/value.h"
+
+namespace mz {
+
+namespace internal {
+
+template <typename D>
+D UnpackArithmetic(Value& v) {
+  if (v.Is<D>()) {
+    return v.As<D>();
+  }
+  if (v.Is<std::int64_t>()) {
+    return static_cast<D>(v.As<std::int64_t>());
+  }
+  if (v.Is<long>()) {
+    return static_cast<D>(v.As<long>());
+  }
+  if (v.Is<int>()) {
+    return static_cast<D>(v.As<int>());
+  }
+  if (v.Is<std::uint64_t>()) {
+    return static_cast<D>(v.As<std::uint64_t>());
+  }
+  if (v.Is<std::size_t>()) {
+    return static_cast<D>(v.As<std::size_t>());
+  }
+  if (v.Is<double>()) {
+    return static_cast<D>(v.As<double>());
+  }
+  if (v.Is<float>()) {
+    return static_cast<D>(v.As<float>());
+  }
+  if (v.Is<bool>()) {
+    return static_cast<D>(v.As<bool>());
+  }
+  MZ_THROW("cannot unpack value of type " << v.type_name() << " as arithmetic parameter");
+}
+
+template <typename D>
+D UnpackPointer(Value& v) {
+  using Pointee = std::remove_const_t<std::remove_pointer_t<D>>;
+  if (v.Is<D>()) {
+    return v.As<D>();
+  }
+  if constexpr (!std::is_same_v<D, Pointee*>) {
+    // const T* parameter, Value holds T*.
+    if (v.Is<Pointee*>()) {
+      return v.As<Pointee*>();
+    }
+  }
+  // Value owns a Pointee: hand out its address (owned split piece).
+  if (v.Is<Pointee>()) {
+    return v.MutableAs<Pointee>();
+  }
+  MZ_THROW("cannot unpack value of type " << v.type_name() << " as pointer parameter "
+                                          << typeid(D).name());
+}
+
+}  // namespace internal
+
+// Unpacks a Value for a function parameter declared as P. Pointer and
+// arithmetic parameters are returned by value; class types by const
+// reference into the holder.
+template <typename P>
+std::conditional_t<std::is_pointer_v<std::decay_t<P>> || std::is_arithmetic_v<std::decay_t<P>> ||
+                       std::is_enum_v<std::decay_t<P>>,
+                   std::decay_t<P>, const std::decay_t<P>&>
+UnpackAs(Value& v) {
+  using D = std::decay_t<P>;
+  if constexpr (std::is_pointer_v<D>) {
+    return internal::UnpackPointer<D>(v);
+  } else if constexpr (std::is_enum_v<D>) {
+    if (v.Is<D>()) {
+      return v.As<D>();
+    }
+    return static_cast<D>(internal::UnpackArithmetic<std::int64_t>(v));
+  } else if constexpr (std::is_arithmetic_v<D>) {
+    return internal::UnpackArithmetic<D>(v);
+  } else {
+    return v.As<D>();
+  }
+}
+
+// Reads any stored arithmetic value as int64 (split-type constructors use
+// this to pull size arguments out of captured Values).
+inline std::int64_t ValueToInt64(const Value& v) {
+  return internal::UnpackArithmetic<std::int64_t>(const_cast<Value&>(v));
+}
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_UNPACK_H_

@@ -1,0 +1,53 @@
+// Split annotations for the DataFrame substrate — the paper's Pandas
+// integration (§7):
+//
+//  * FrameSplit / SeriesSplit — row splits of DataFrames and Series; slices
+//    are zero-copy views, merges concatenate;
+//  * most operators take and return generics ("S"), so whole chains of
+//    column arithmetic, masks, and cleaning steps pipeline in one stage;
+//  * filters and joins return `unknown` (their output length is
+//    data-dependent), which downstream generics may still consume in-stage;
+//  * joins split the probe side and broadcast the build side;
+//  * GroupByAgg returns GroupSplit<num_keys, op>: pieces are partial
+//    aggregations, merged by concat + re-aggregate (commutative ops only).
+#ifndef MOZART_DATAFRAME_ANNOTATED_H_
+#define MOZART_DATAFRAME_ANNOTATED_H_
+
+#include <string>
+
+#include "core/client.h"
+#include "dataframe/ops.h"
+
+namespace mzdf {
+
+void RegisterSplits();
+
+using df::Column;
+using df::DataFrame;
+
+using ColBinFn = mz::Annotated<Column(const Column&, const Column&)>;
+using ColScalarFn = mz::Annotated<Column(const Column&, double)>;
+using ColUnaryFn = mz::Annotated<Column(const Column&)>;
+using StrPredFn = mz::Annotated<Column(const Column&, const std::string&)>;
+using ColReduceFn = mz::Annotated<double(const Column&)>;
+
+extern const ColBinFn ColAdd, ColSub, ColMul, ColDiv, MaskAnd, MaskOr;
+extern const ColScalarFn ColAddC, ColMulC, ColDivC, ColGtC, ColLtC, ColGeC, ColEqC, ColFillNaN;
+extern const ColUnaryFn MaskNot, ColIsNaN, StrIsNumeric, StrLen, StrToDouble, IntToDouble;
+extern const StrPredFn StrStartsWith, StrContains;
+extern const mz::Annotated<Column(const Column&, long, long)> StrSlice;
+extern const mz::Annotated<Column(const Column&, char)> StrRemoveChar;
+extern const mz::Annotated<Column(const Column&, const Column&, double)> ColWhere;
+extern const mz::Annotated<Column(const Column&, const Column&, const std::string&)> StrWhere;
+extern const ColReduceFn ColSum, ColMin, ColMax, ColCount;
+
+extern const mz::Annotated<Column(const DataFrame&, long)> ColFromFrame;
+extern const mz::Annotated<DataFrame(const DataFrame&, const std::string&, const Column&)>
+    WithColumn;
+extern const mz::Annotated<DataFrame(const DataFrame&, const Column&)> FilterRows;
+extern const mz::Annotated<DataFrame(const DataFrame&, long, long, long, long)> GroupByAgg;
+extern const mz::Annotated<DataFrame(const DataFrame&, const DataFrame&, long, long)> HashJoin;
+
+}  // namespace mzdf
+
+#endif  // MOZART_DATAFRAME_ANNOTATED_H_

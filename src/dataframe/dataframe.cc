@@ -1,0 +1,101 @@
+#include "dataframe/dataframe.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace df {
+
+DataFrame DataFrame::Make(std::vector<std::string> names, std::vector<Column> cols) {
+  MZ_CHECK_MSG(names.size() == cols.size(), "DataFrame: " << names.size() << " names for "
+                                                          << cols.size() << " columns");
+  DataFrame out;
+  out.names_ = std::move(names);
+  out.cols_ = std::move(cols);
+  out.num_rows_ = out.cols_.empty() ? 0 : out.cols_.front().size();
+  for (const Column& c : out.cols_) {
+    MZ_CHECK_MSG(c.size() == out.num_rows_, "DataFrame: ragged column lengths");
+  }
+  return out;
+}
+
+const Column& DataFrame::col(int i) const {
+  MZ_CHECK_MSG(i >= 0 && i < num_cols(), "column index " << i << " out of range");
+  return cols_[static_cast<std::size_t>(i)];
+}
+
+const Column& DataFrame::col(std::string_view name) const {
+  int i = col_index(name);
+  MZ_CHECK_MSG(i >= 0, "no column named '" << std::string(name) << "'");
+  return cols_[static_cast<std::size_t>(i)];
+}
+
+int DataFrame::col_index(std::string_view name) const {
+  auto it = std::find(names_.begin(), names_.end(), name);
+  return it == names_.end() ? -1 : static_cast<int>(it - names_.begin());
+}
+
+DataFrame DataFrame::WithColumn(std::string_view name, Column col) const {
+  MZ_CHECK_MSG(num_cols() == 0 || col.size() == num_rows_,
+               "WithColumn: length " << col.size() << " vs " << num_rows_ << " rows");
+  DataFrame out = *this;
+  int existing = col_index(name);
+  if (existing >= 0) {
+    out.cols_[static_cast<std::size_t>(existing)] = std::move(col);
+  } else {
+    out.names_.emplace_back(name);
+    out.num_rows_ = col.size();
+    out.cols_.push_back(std::move(col));
+  }
+  return out;
+}
+
+DataFrame DataFrame::Select(std::span<const int> indices) const {
+  std::vector<std::string> names;
+  std::vector<Column> cols;
+  names.reserve(indices.size());
+  cols.reserve(indices.size());
+  for (int i : indices) {
+    names.push_back(names_[static_cast<std::size_t>(i)]);
+    cols.push_back(col(i));
+  }
+  return Make(std::move(names), std::move(cols));
+}
+
+DataFrame DataFrame::Slice(long r0, long r1) const {
+  DataFrame out;
+  out.names_ = names_;
+  out.cols_.reserve(cols_.size());
+  for (const Column& c : cols_) {
+    out.cols_.push_back(c.Slice(r0, r1));
+  }
+  out.num_rows_ = r1 - r0;
+  return out;
+}
+
+DataFrame DataFrame::Concat(std::span<const DataFrame> parts) {
+  MZ_CHECK_MSG(!parts.empty(), "DataFrame::Concat of nothing");
+  const DataFrame& first = parts.front();
+  std::vector<Column> cols;
+  cols.reserve(static_cast<std::size_t>(first.num_cols()));
+  for (int c = 0; c < first.num_cols(); ++c) {
+    std::vector<Column> pieces;
+    pieces.reserve(parts.size());
+    for (const DataFrame& p : parts) {
+      MZ_CHECK_MSG(p.num_cols() == first.num_cols(), "Concat: schema mismatch");
+      pieces.push_back(p.col(c));
+    }
+    cols.push_back(Column::Concat(pieces));
+  }
+  return Make(first.names_, std::move(cols));
+}
+
+long DataFrame::BytesPerRow() const {
+  long bytes = 0;
+  for (const Column& c : cols_) {
+    bytes += c.BytesPerRow();
+  }
+  return std::max<long>(bytes, 1);
+}
+
+}  // namespace df

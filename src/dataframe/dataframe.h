@@ -1,0 +1,52 @@
+// DataFrame: named columns of equal length. Immutable: every operation
+// returns a new frame; columns are shared, so copies and row slices are
+// cheap (see column.h).
+#ifndef MOZART_DATAFRAME_DATAFRAME_H_
+#define MOZART_DATAFRAME_DATAFRAME_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataframe/column.h"
+
+namespace df {
+
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  static DataFrame Make(std::vector<std::string> names, std::vector<Column> cols);
+
+  long num_rows() const { return num_rows_; }
+  int num_cols() const { return static_cast<int>(cols_.size()); }
+
+  const Column& col(int i) const;
+  const Column& col(std::string_view name) const;
+  int col_index(std::string_view name) const;  // -1 when absent
+  const std::vector<std::string>& names() const { return names_; }
+
+  // New frame with `col` appended (or replaced when the name exists).
+  DataFrame WithColumn(std::string_view name, Column col) const;
+
+  // Projection onto the given column indices.
+  DataFrame Select(std::span<const int> indices) const;
+
+  // Zero-copy view over rows [r0, r1).
+  DataFrame Slice(long r0, long r1) const;
+
+  // Row-wise concatenation; schemas must match.
+  static DataFrame Concat(std::span<const DataFrame> parts);
+
+  long BytesPerRow() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Column> cols_;
+  long num_rows_ = 0;
+};
+
+}  // namespace df
+
+#endif  // MOZART_DATAFRAME_DATAFRAME_H_

@@ -1,0 +1,616 @@
+#include "dataframe/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace df {
+namespace {
+
+template <typename F>
+Column MapDouble(const Column& a, F f) {
+  auto in = a.doubles();
+  std::vector<double> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = f(in[i]);
+  }
+  return Column::Doubles(std::move(out));
+}
+
+template <typename F>
+Column ZipDouble(const Column& a, const Column& b, F f) {
+  auto xa = a.doubles();
+  auto xb = b.doubles();
+  MZ_CHECK_MSG(xa.size() == xb.size(), "series length mismatch");
+  std::vector<double> out(xa.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    out[i] = f(xa[i], xb[i]);
+  }
+  return Column::Doubles(std::move(out));
+}
+
+template <typename F>
+Column MaskFromDouble(const Column& a, F pred) {
+  auto in = a.doubles();
+  std::vector<std::int64_t> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = pred(in[i]) ? 1 : 0;
+  }
+  return Column::Ints(std::move(out));
+}
+
+template <typename F>
+Column MapString(const Column& a, F f) {
+  auto in = a.strings();
+  std::vector<std::string> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = f(in[i]);
+  }
+  return Column::Strings(std::move(out));
+}
+
+template <typename F>
+Column MaskFromString(const Column& a, F pred) {
+  auto in = a.strings();
+  std::vector<std::int64_t> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = pred(in[i]) ? 1 : 0;
+  }
+  return Column::Ints(std::move(out));
+}
+
+// Group keys as strings are hashed by value; numeric keys by bit pattern.
+struct GroupKey {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::string sa;
+  std::string sb;
+
+  bool operator==(const GroupKey&) const = default;
+};
+
+struct GroupKeyHash {
+  std::size_t operator()(const GroupKey& k) const {
+    std::size_t h = std::hash<std::int64_t>()(k.a);
+    h = h * 1315423911u ^ std::hash<std::int64_t>()(k.b);
+    h = h * 1315423911u ^ std::hash<std::string>()(k.sa);
+    h = h * 1315423911u ^ std::hash<std::string>()(k.sb);
+    return h;
+  }
+};
+
+GroupKey KeyAt(const Column& c0, const Column* c1, long row) {
+  GroupKey k;
+  if (c0.is_string()) {
+    k.sa = c0.str(row);
+  } else if (c0.is_int()) {
+    k.a = c0.i64(row);
+  } else {
+    k.a = static_cast<std::int64_t>(c0.d(row) * 1e6);
+  }
+  if (c1 != nullptr) {
+    if (c1->is_string()) {
+      k.sb = c1->str(row);
+    } else if (c1->is_int()) {
+      k.b = c1->i64(row);
+    } else {
+      k.b = static_cast<std::int64_t>(c1->d(row) * 1e6);
+    }
+  }
+  return k;
+}
+
+double NumericAt(const Column& c, long row) {
+  if (c.is_double()) {
+    return c.d(row);
+  }
+  if (c.is_int()) {
+    return static_cast<double>(c.i64(row));
+  }
+  MZ_THROW("aggregation value column must be numeric");
+}
+
+// Appends `row` of `src` to per-type builders; used by join materialization.
+struct ColumnBuilder {
+  ColType type;
+  std::vector<double> d;
+  std::vector<std::int64_t> i;
+  std::vector<std::string> s;
+
+  explicit ColumnBuilder(ColType t) : type(t) {}
+
+  void Append(const Column& src, long row) {
+    switch (type) {
+      case ColType::kDouble:
+        d.push_back(src.d(row));
+        break;
+      case ColType::kInt64:
+        i.push_back(src.i64(row));
+        break;
+      case ColType::kString:
+        s.push_back(src.str(row));
+        break;
+    }
+  }
+
+  Column Finish() {
+    switch (type) {
+      case ColType::kDouble:
+        return Column::Doubles(std::move(d));
+      case ColType::kInt64:
+        return Column::Ints(std::move(i));
+      case ColType::kString:
+        return Column::Strings(std::move(s));
+    }
+    MZ_THROW("unreachable");
+  }
+};
+
+}  // namespace
+
+Column ColAdd(const Column& a, const Column& b) {
+  return ZipDouble(a, b, [](double x, double y) { return x + y; });
+}
+Column ColSub(const Column& a, const Column& b) {
+  return ZipDouble(a, b, [](double x, double y) { return x - y; });
+}
+Column ColMul(const Column& a, const Column& b) {
+  return ZipDouble(a, b, [](double x, double y) { return x * y; });
+}
+Column ColDiv(const Column& a, const Column& b) {
+  return ZipDouble(a, b, [](double x, double y) { return x / y; });
+}
+Column ColAddC(const Column& a, double c) {
+  return MapDouble(a, [c](double x) { return x + c; });
+}
+Column ColMulC(const Column& a, double c) {
+  return MapDouble(a, [c](double x) { return x * c; });
+}
+Column ColDivC(const Column& a, double c) {
+  return MapDouble(a, [c](double x) { return x / c; });
+}
+
+Column ColGtC(const Column& a, double c) {
+  return MaskFromDouble(a, [c](double x) { return x > c; });
+}
+Column ColLtC(const Column& a, double c) {
+  return MaskFromDouble(a, [c](double x) { return x < c; });
+}
+Column ColGeC(const Column& a, double c) {
+  return MaskFromDouble(a, [c](double x) { return x >= c; });
+}
+Column ColEqC(const Column& a, double c) {
+  return MaskFromDouble(a, [c](double x) { return x == c; });
+}
+
+Column MaskAnd(const Column& a, const Column& b) {
+  auto xa = a.ints();
+  auto xb = b.ints();
+  MZ_CHECK_MSG(xa.size() == xb.size(), "mask length mismatch");
+  std::vector<std::int64_t> out(xa.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    out[i] = (xa[i] != 0 && xb[i] != 0) ? 1 : 0;
+  }
+  return Column::Ints(std::move(out));
+}
+
+Column MaskOr(const Column& a, const Column& b) {
+  auto xa = a.ints();
+  auto xb = b.ints();
+  MZ_CHECK_MSG(xa.size() == xb.size(), "mask length mismatch");
+  std::vector<std::int64_t> out(xa.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    out[i] = (xa[i] != 0 || xb[i] != 0) ? 1 : 0;
+  }
+  return Column::Ints(std::move(out));
+}
+
+Column MaskNot(const Column& a) {
+  auto xa = a.ints();
+  std::vector<std::int64_t> out(xa.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    out[i] = xa[i] != 0 ? 0 : 1;
+  }
+  return Column::Ints(std::move(out));
+}
+
+Column ColIsNaN(const Column& a) {
+  return MaskFromDouble(a, [](double x) { return std::isnan(x); });
+}
+
+Column ColFillNaN(const Column& a, double value) {
+  return MapDouble(a, [value](double x) { return std::isnan(x) ? value : x; });
+}
+
+Column ColWhere(const Column& mask, const Column& a, double otherwise) {
+  auto m = mask.ints();
+  auto in = a.doubles();
+  MZ_CHECK_MSG(m.size() == in.size(), "mask length mismatch");
+  std::vector<double> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = m[i] != 0 ? in[i] : otherwise;
+  }
+  return Column::Doubles(std::move(out));
+}
+
+Column StrStartsWith(const Column& a, const std::string& prefix) {
+  return MaskFromString(a, [&](const std::string& s) { return s.starts_with(prefix); });
+}
+
+Column StrContains(const Column& a, const std::string& needle) {
+  return MaskFromString(a, [&](const std::string& s) { return s.find(needle) != std::string::npos; });
+}
+
+Column StrSlice(const Column& a, long start, long len) {
+  return MapString(a, [start, len](const std::string& s) {
+    if (static_cast<std::size_t>(start) >= s.size()) {
+      return std::string();
+    }
+    return s.substr(static_cast<std::size_t>(start), static_cast<std::size_t>(len));
+  });
+}
+
+Column StrRemoveChar(const Column& a, char ch) {
+  return MapString(a, [ch](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c != ch) {
+        out.push_back(c);
+      }
+    }
+    return out;
+  });
+}
+
+Column StrIsNumeric(const Column& a) {
+  return MaskFromString(a, [](const std::string& s) {
+    if (s.empty()) {
+      return false;
+    }
+    return std::all_of(s.begin(), s.end(), [](char c) { return c >= '0' && c <= '9'; });
+  });
+}
+
+Column StrLen(const Column& a) {
+  auto in = a.strings();
+  std::vector<std::int64_t> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<std::int64_t>(in[i].size());
+  }
+  return Column::Ints(std::move(out));
+}
+
+Column StrWhere(const Column& mask, const Column& a, const std::string& otherwise) {
+  auto m = mask.ints();
+  auto in = a.strings();
+  MZ_CHECK_MSG(m.size() == in.size(), "mask length mismatch");
+  std::vector<std::string> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = m[i] != 0 ? in[i] : otherwise;
+  }
+  return Column::Strings(std::move(out));
+}
+
+Column StrToDouble(const Column& a) {
+  auto in = a.strings();
+  std::vector<double> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    try {
+      std::size_t pos = 0;
+      double v = std::stod(in[i], &pos);
+      out[i] = pos == in[i].size() ? v : std::nan("");
+    } catch (...) {
+      out[i] = std::nan("");
+    }
+  }
+  return Column::Doubles(std::move(out));
+}
+
+Column IntToDouble(const Column& a) {
+  auto in = a.ints();
+  std::vector<double> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<double>(in[i]);
+  }
+  return Column::Doubles(std::move(out));
+}
+
+double ColSum(const Column& a) {
+  auto in = a.doubles();
+  return std::accumulate(in.begin(), in.end(), 0.0);
+}
+
+double ColMin(const Column& a) {
+  auto in = a.doubles();
+  MZ_CHECK_MSG(!in.empty(), "ColMin over an empty column");
+  return *std::min_element(in.begin(), in.end());
+}
+
+double ColMax(const Column& a) {
+  auto in = a.doubles();
+  MZ_CHECK_MSG(!in.empty(), "ColMax over an empty column");
+  return *std::max_element(in.begin(), in.end());
+}
+
+double ColCount(const Column& a) { return static_cast<double>(a.size()); }
+
+Column ColFromFrame(const DataFrame& frame, long index) {
+  return frame.col(static_cast<int>(index));
+}
+
+DataFrame WithColumn(const DataFrame& frame, const std::string& name, const Column& col) {
+  return frame.WithColumn(name, col);
+}
+
+DataFrame FilterRows(const DataFrame& frame, const Column& mask) {
+  auto m = mask.ints();
+  MZ_CHECK_MSG(static_cast<long>(m.size()) == frame.num_rows(), "filter mask length mismatch");
+  std::vector<long> keep;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] != 0) {
+      keep.push_back(static_cast<long>(i));
+    }
+  }
+  std::vector<Column> cols;
+  cols.reserve(static_cast<std::size_t>(frame.num_cols()));
+  for (int c = 0; c < frame.num_cols(); ++c) {
+    ColumnBuilder builder(frame.col(c).type());
+    for (long row : keep) {
+      builder.Append(frame.col(c), row);
+    }
+    cols.push_back(builder.Finish());
+  }
+  std::vector<std::string> names = frame.names();
+  return DataFrame::Make(std::move(names), std::move(cols));
+}
+
+DataFrame GroupByAgg(const DataFrame& frame, long key0, long key1, long val, long op) {
+  const Column& k0 = frame.col(static_cast<int>(key0));
+  const Column* k1 = key1 >= 0 ? &frame.col(static_cast<int>(key1)) : nullptr;
+  const Column& v = frame.col(static_cast<int>(val));
+
+  struct Agg {
+    double sum = 0;
+    double count = 0;
+    double mn = 0;
+    double mx = 0;
+    bool seen = false;
+    long first_row = 0;
+  };
+  std::unordered_map<GroupKey, Agg, GroupKeyHash> groups;
+  for (long r = 0; r < frame.num_rows(); ++r) {
+    GroupKey key = KeyAt(k0, k1, r);
+    Agg& agg = groups[key];
+    double x = NumericAt(v, r);
+    if (!agg.seen) {
+      agg.mn = x;
+      agg.mx = x;
+      agg.first_row = r;
+      agg.seen = true;
+    } else {
+      agg.mn = std::min(agg.mn, x);
+      agg.mx = std::max(agg.mx, x);
+    }
+    agg.sum += x;
+    agg.count += 1;
+  }
+
+  // Materialize: key columns keep their original types and names.
+  ColumnBuilder kb0(k0.type());
+  ColumnBuilder kb1(k1 != nullptr ? k1->type() : ColType::kInt64);
+  std::vector<double> sums;
+  std::vector<double> counts;
+  std::vector<double> mins;
+  std::vector<double> maxs;
+  for (const auto& [key, agg] : groups) {
+    kb0.Append(k0, agg.first_row);
+    if (k1 != nullptr) {
+      kb1.Append(*k1, agg.first_row);
+    }
+    sums.push_back(agg.sum);
+    counts.push_back(agg.count);
+    mins.push_back(agg.mn);
+    maxs.push_back(agg.mx);
+  }
+
+  std::vector<std::string> names;
+  std::vector<Column> cols;
+  names.push_back(frame.names()[static_cast<std::size_t>(key0)]);
+  cols.push_back(kb0.Finish());
+  if (k1 != nullptr) {
+    names.push_back(frame.names()[static_cast<std::size_t>(key1)]);
+    cols.push_back(kb1.Finish());
+  }
+  switch (op) {
+    case kAggSum:
+      names.push_back("sum");
+      cols.push_back(Column::Doubles(std::move(sums)));
+      break;
+    case kAggCount:
+      names.push_back("count");
+      cols.push_back(Column::Doubles(std::move(counts)));
+      break;
+    case kAggMean:
+      names.push_back("sum");
+      cols.push_back(Column::Doubles(std::move(sums)));
+      names.push_back("count");
+      cols.push_back(Column::Doubles(std::move(counts)));
+      break;
+    case kAggMin:
+      names.push_back("min");
+      cols.push_back(Column::Doubles(std::move(mins)));
+      break;
+    case kAggMax:
+      names.push_back("max");
+      cols.push_back(Column::Doubles(std::move(maxs)));
+      break;
+    default:
+      MZ_THROW("unknown aggregation op " << op);
+  }
+  return DataFrame::Make(std::move(names), std::move(cols));
+}
+
+DataFrame HashJoin(const DataFrame& left, const DataFrame& right, long left_key, long right_key) {
+  const Column& lk = left.col(static_cast<int>(left_key));
+  const Column& rk = right.col(static_cast<int>(right_key));
+
+  std::unordered_map<GroupKey, std::vector<long>, GroupKeyHash> build;
+  for (long r = 0; r < right.num_rows(); ++r) {
+    build[KeyAt(rk, nullptr, r)].push_back(r);
+  }
+
+  std::vector<ColumnBuilder> out_cols;
+  std::vector<std::string> out_names;
+  for (int c = 0; c < left.num_cols(); ++c) {
+    out_cols.emplace_back(left.col(c).type());
+    out_names.push_back(left.names()[static_cast<std::size_t>(c)]);
+  }
+  for (int c = 0; c < right.num_cols(); ++c) {
+    if (c == static_cast<int>(right_key)) {
+      continue;
+    }
+    out_cols.emplace_back(right.col(c).type());
+    std::string name = right.names()[static_cast<std::size_t>(c)];
+    if (left.col_index(name) >= 0) {
+      name += "_right";
+    }
+    out_names.push_back(name);
+  }
+
+  for (long r = 0; r < left.num_rows(); ++r) {
+    auto it = build.find(KeyAt(lk, nullptr, r));
+    if (it == build.end()) {
+      continue;
+    }
+    for (long rr : it->second) {
+      int out = 0;
+      for (int c = 0; c < left.num_cols(); ++c) {
+        out_cols[static_cast<std::size_t>(out++)].Append(left.col(c), r);
+      }
+      for (int c = 0; c < right.num_cols(); ++c) {
+        if (c == static_cast<int>(right_key)) {
+          continue;
+        }
+        out_cols[static_cast<std::size_t>(out++)].Append(right.col(c), rr);
+      }
+    }
+  }
+
+  std::vector<Column> cols;
+  cols.reserve(out_cols.size());
+  for (ColumnBuilder& b : out_cols) {
+    cols.push_back(b.Finish());
+  }
+  return DataFrame::Make(std::move(out_names), std::move(cols));
+}
+
+DataFrame ReAggregate(const DataFrame& partials, long num_keys, long op) {
+  MZ_CHECK_MSG(num_keys == 1 || num_keys == 2, "ReAggregate supports 1 or 2 keys");
+  MZ_CHECK_MSG(partials.num_cols() > static_cast<int>(num_keys), "no aggregate columns");
+  const Column& k0 = partials.col(0);
+  const Column* k1 = num_keys == 2 ? &partials.col(1) : nullptr;
+  const int num_vals = partials.num_cols() - static_cast<int>(num_keys);
+  const bool fold_min = op == kAggMin;
+  const bool fold_max = op == kAggMax;
+
+  struct Entry {
+    std::vector<double> vals;
+    long first_row = 0;
+  };
+  std::unordered_map<GroupKey, Entry, GroupKeyHash> groups;
+  for (long r = 0; r < partials.num_rows(); ++r) {
+    GroupKey key = KeyAt(k0, k1, r);
+    auto [it, inserted] = groups.try_emplace(key);
+    Entry& e = it->second;
+    if (inserted) {
+      e.first_row = r;
+      e.vals.resize(static_cast<std::size_t>(num_vals));
+      for (int v = 0; v < num_vals; ++v) {
+        e.vals[static_cast<std::size_t>(v)] =
+            partials.col(static_cast<int>(num_keys) + v).d(r);
+      }
+      continue;
+    }
+    for (int v = 0; v < num_vals; ++v) {
+      double x = partials.col(static_cast<int>(num_keys) + v).d(r);
+      double& acc = e.vals[static_cast<std::size_t>(v)];
+      if (fold_min) {
+        acc = std::min(acc, x);
+      } else if (fold_max) {
+        acc = std::max(acc, x);
+      } else {
+        acc += x;  // sum, count, and mean partials all re-sum
+      }
+    }
+  }
+
+  ColumnBuilder kb0(k0.type());
+  ColumnBuilder kb1(k1 != nullptr ? k1->type() : ColType::kInt64);
+  std::vector<std::vector<double>> vals(static_cast<std::size_t>(num_vals));
+  for (const auto& [key, e] : groups) {
+    kb0.Append(k0, e.first_row);
+    if (k1 != nullptr) {
+      kb1.Append(*k1, e.first_row);
+    }
+    for (int v = 0; v < num_vals; ++v) {
+      vals[static_cast<std::size_t>(v)].push_back(e.vals[static_cast<std::size_t>(v)]);
+    }
+  }
+  std::vector<std::string> names = partials.names();
+  std::vector<Column> cols;
+  cols.push_back(kb0.Finish());
+  if (k1 != nullptr) {
+    cols.push_back(kb1.Finish());
+  }
+  for (int v = 0; v < num_vals; ++v) {
+    cols.push_back(Column::Doubles(std::move(vals[static_cast<std::size_t>(v)])));
+  }
+  return DataFrame::Make(std::move(names), std::move(cols));
+}
+
+DataFrame SortByKeys(const DataFrame& frame, int num_keys) {
+  std::vector<long> order(static_cast<std::size_t>(frame.num_rows()));
+  std::iota(order.begin(), order.end(), 0);
+  auto cmp_at = [&](const Column& c, long a, long b) -> int {
+    switch (c.type()) {
+      case ColType::kDouble: {
+        double x = c.d(a);
+        double y = c.d(b);
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case ColType::kInt64: {
+        std::int64_t x = c.i64(a);
+        std::int64_t y = c.i64(b);
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      case ColType::kString:
+        return c.str(a).compare(c.str(b));
+    }
+    return 0;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](long a, long b) {
+    for (int k = 0; k < num_keys; ++k) {
+      int c = cmp_at(frame.col(k), a, b);
+      if (c != 0) {
+        return c < 0;
+      }
+    }
+    return false;
+  });
+  std::vector<Column> cols;
+  std::vector<std::string> names = frame.names();
+  for (int c = 0; c < frame.num_cols(); ++c) {
+    ColumnBuilder builder(frame.col(c).type());
+    for (long row : order) {
+      builder.Append(frame.col(c), row);
+    }
+    cols.push_back(builder.Finish());
+  }
+  return DataFrame::Make(std::move(names), std::move(cols));
+}
+
+}  // namespace df

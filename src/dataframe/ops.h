@@ -1,0 +1,98 @@
+// The operator library of the Pandas-like substrate: unary/binary Series
+// arithmetic, predicate masks, filters, string cleaning operations, hash
+// group-bys and hash joins. These are ordinary eager functions — the split
+// annotations in annotated.h wrap them unmodified, exactly as the paper's
+// Pandas integration wraps Series/DataFrame methods (§7).
+//
+// Masks are int64 columns of 0/1. Aggregations are *commutative* (the only
+// kind the paper's GroupSplit supports); GroupByAgg with kMean emits sum and
+// count columns so partial results re-aggregate associatively.
+#ifndef MOZART_DATAFRAME_OPS_H_
+#define MOZART_DATAFRAME_OPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dataframe/dataframe.h"
+
+namespace df {
+
+// --- numeric series arithmetic (double columns) ---
+Column ColAdd(const Column& a, const Column& b);
+Column ColSub(const Column& a, const Column& b);
+Column ColMul(const Column& a, const Column& b);
+Column ColDiv(const Column& a, const Column& b);
+Column ColAddC(const Column& a, double c);
+Column ColMulC(const Column& a, double c);
+Column ColDivC(const Column& a, double c);
+
+// --- predicates → masks ---
+Column ColGtC(const Column& a, double c);
+Column ColLtC(const Column& a, double c);
+Column ColGeC(const Column& a, double c);
+Column ColEqC(const Column& a, double c);
+Column MaskAnd(const Column& a, const Column& b);
+Column MaskOr(const Column& a, const Column& b);
+Column MaskNot(const Column& a);
+
+// --- missing data (Pandas NaN conventions) ---
+Column ColIsNaN(const Column& a);
+Column ColFillNaN(const Column& a, double value);
+// where(mask, a, scalar): keep a[i] where mask, else the scalar.
+Column ColWhere(const Column& mask, const Column& a, double otherwise);
+
+// --- string series (data-cleaning substrate) ---
+Column StrStartsWith(const Column& a, const std::string& prefix);
+Column StrContains(const Column& a, const std::string& needle);
+Column StrSlice(const Column& a, long start, long len);
+Column StrRemoveChar(const Column& a, char ch);
+Column StrIsNumeric(const Column& a);
+Column StrLen(const Column& a);
+// where(mask, a, replacement): keep a[i] where mask, else the replacement.
+Column StrWhere(const Column& mask, const Column& a, const std::string& otherwise);
+// Parse strings to doubles; unparsable → NaN.
+Column StrToDouble(const Column& a);
+
+// --- casts ---
+Column IntToDouble(const Column& a);
+
+// --- reductions ---
+double ColSum(const Column& a);
+double ColMin(const Column& a);
+double ColMax(const Column& a);
+double ColCount(const Column& a);  // row count as double (mergeable by +)
+
+// --- frame operations ---
+Column ColFromFrame(const DataFrame& frame, long index);
+DataFrame WithColumn(const DataFrame& frame, const std::string& name, const Column& col);
+DataFrame FilterRows(const DataFrame& frame, const Column& mask);
+
+// Aggregation ops for GroupByAgg.
+inline constexpr long kAggSum = 0;
+inline constexpr long kAggCount = 1;
+inline constexpr long kAggMean = 2;  // emits "sum" and "count" columns
+inline constexpr long kAggMin = 3;
+inline constexpr long kAggMax = 4;
+
+// Hash group-by over one or two key columns (key1 = -1 for one key). The
+// value column must be numeric. Output schema: key columns (original names)
+// followed by "sum"/"count"/"min"/"max" per the op. Output row order is
+// hash-dependent; canonicalize with SortByKeys for comparisons.
+DataFrame GroupByAgg(const DataFrame& frame, long key0, long key1, long val, long op);
+
+// Inner hash join: builds on `right`, probes with `left`. Output columns:
+// all of left's, then right's except its key.
+DataFrame HashJoin(const DataFrame& left, const DataFrame& right, long left_key, long right_key);
+
+// Re-aggregates partial GroupByAgg outputs (schema: num_keys key columns
+// followed by numeric aggregate columns). sum/count/mean partials re-sum;
+// min/max partials re-fold. This is the GroupSplit merger's workhorse.
+DataFrame ReAggregate(const DataFrame& partials, long num_keys, long op);
+
+// Eager helper (not annotated): stable sort by the first `num_keys` columns,
+// used to canonicalize group-by/join outputs in tests and reports.
+DataFrame SortByKeys(const DataFrame& frame, int num_keys);
+
+}  // namespace df
+
+#endif  // MOZART_DATAFRAME_OPS_H_

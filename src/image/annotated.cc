@@ -1,0 +1,133 @@
+#include "image/annotated.h"
+
+#include <typeindex>
+
+#include "common/check.h"
+#include "core/registry.h"
+#include "core/unpack.h"
+#include "vecmath/annotated.h"
+
+namespace mzimg {
+namespace {
+
+using img::Image;
+using mz::Registry;
+using mz::RuntimeInfo;
+using mz::SplitContext;
+using mz::Value;
+
+const Image* ImageFromValue(const Value& v) {
+  if (v.Is<Image*>()) {
+    return v.As<Image*>();
+  }
+  if (v.Is<Image>()) {
+    return &v.As<Image>();
+  }
+  MZ_THROW("expected an image value, got " << v.type_name());
+}
+
+// ---- ImageBandSplit<height, width> ----
+
+std::optional<std::vector<std::int64_t>> ImageCtor(std::span<const Value> args) {
+  MZ_CHECK_MSG(args.size() == 1, "ImageBandSplit constructor expects the image argument");
+  if (!args[0].has_value()) {
+    return std::nullopt;
+  }
+  const Image* image = ImageFromValue(args[0]);
+  return std::vector<std::int64_t>{image->height(), image->width()};
+}
+
+RuntimeInfo ImageInfo(Image* const& image, std::span<const std::int64_t> params) {
+  (void)image;
+  MZ_CHECK_MSG(params.size() == 2, "ImageBandSplit expects (height, width) parameters");
+  return RuntimeInfo{params[0], params[1] * 3};
+}
+
+Value ImageSplitFn(Image* const& image, std::int64_t start, std::int64_t end,
+                   std::span<const std::int64_t> params, const SplitContext& ctx) {
+  (void)params;
+  (void)ctx;
+  // A real pixel copy, as in the paper's ImageMagick integration (crop).
+  return Value::Make<Image>(img::Crop(*image, start, end));
+}
+
+Value ImageMerge(const Value& original, std::vector<Value> pieces,
+                 std::span<const std::int64_t> params) {
+  (void)params;
+  MZ_CHECK_MSG(original.has_value() && original.Is<Image*>(),
+               "image merge requires the original Image* handle");
+  Image* target = original.As<Image*>();
+  for (Value& piece : pieces) {
+    if (piece.Is<Image*>() && piece.As<Image*>() == target) {
+      continue;  // a lower-level merge already wrote this band back
+    }
+    const Image& band = piece.As<Image>();
+    img::BlitRows(target, band.page_y() - target->page_y(), band);
+  }
+  return original;
+}
+
+mz::Annotation PointOpAnn(const char* name, std::initializer_list<const char*> scalar_args) {
+  mz::AnnotationBuilder b(name);
+  b.MutArg("image", mz::Split("ImageBandSplit", {"image"}));
+  for (const char* arg : scalar_args) {
+    b.Arg(arg, mz::NoSplit());
+  }
+  return b.Build();
+}
+
+const bool g_registered = [] {
+  RegisterSplits();
+  return true;
+}();
+
+}  // namespace
+
+void RegisterSplits() {
+  static const bool done = [] {
+    mzvec::RegisterSplits();  // ReduceAdd for luma sums
+    Registry& reg = Registry::Global();
+    reg.DefineSplitType("ImageBandSplit", ImageCtor, [](const Value& v) {
+      const Image* image = ImageFromValue(v);
+      return std::vector<std::int64_t>{image->height(), image->width()};
+    });
+    mz::RegisterTypedSplitter<Image*>(reg, "ImageBandSplit", ImageInfo, ImageSplitFn, ImageMerge);
+    reg.SetDefaultSplitType(std::type_index(typeid(Image*)), "ImageBandSplit");
+    return true;
+  }();
+  (void)done;
+}
+
+const mz::Annotated<void(Image*, double)> Gamma(img::Gamma, PointOpAnn("img.Gamma", {"g"}));
+
+const mz::Annotated<void(Image*, double, double, double)> Level(
+    img::Level, PointOpAnn("img.Level", {"black", "white", "gamma"}));
+
+const mz::Annotated<void(Image*, double, double, double)> ModulateHSV(
+    img::ModulateHSV, PointOpAnn("img.ModulateHSV", {"brightness", "saturation", "hue"}));
+
+const mz::Annotated<void(Image*, std::uint8_t, std::uint8_t, std::uint8_t, double)> Colorize(
+    img::Colorize, PointOpAnn("img.Colorize", {"r", "g", "b", "alpha"}));
+
+const mz::Annotated<void(Image*, double, double)> SigmoidalContrast(
+    img::SigmoidalContrast, PointOpAnn("img.SigmoidalContrast", {"contrast", "midpoint"}));
+
+const mz::Annotated<void(Image*, double, double)> BrightnessContrast(
+    img::BrightnessContrast, PointOpAnn("img.BrightnessContrast", {"brightness", "contrast"}));
+
+// Both images band-split in lockstep (same ImageBandSplit parameters when
+// shapes match); dst is mutated in place.
+const mz::Annotated<void(Image*, const Image*, double)> Blend(
+    img::Blend, mz::AnnotationBuilder("img.Blend")
+                    .MutArg("dst", mz::Split("ImageBandSplit", {"dst"}))
+                    .Arg("src", mz::Split("ImageBandSplit", {"src"}))
+                    .Arg("alpha", mz::NoSplit())
+                    .Build());
+
+const mz::Annotated<double(const Image*)> SumLuma(
+    img::SumLuma, mz::AnnotationBuilder("img.SumLuma")
+                      .Arg("image", mz::Split("ImageBandSplit", {"image"}))
+                      .Returns(mz::Split("ReduceAdd"))
+                      .Build());
+
+}  // namespace mzimg

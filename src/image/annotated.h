@@ -1,0 +1,31 @@
+// Split annotations for the image library — the paper's ImageMagick
+// integration (§7): one split type over the image handle, whose Split crops
+// a band of rows (a real pixel copy, like MagickWand's crop) and whose Merge
+// re-assembles bands using the library's append/blit primitives. Crop
+// records ImageMagick-style page geometry (the band's original y offset), so
+// merges know where each band belongs regardless of merge nesting.
+#ifndef MOZART_IMAGE_ANNOTATED_H_
+#define MOZART_IMAGE_ANNOTATED_H_
+
+#include <cstdint>
+
+#include "core/client.h"
+#include "image/image.h"
+
+namespace mzimg {
+
+void RegisterSplits();
+
+using img::Image;
+
+extern const mz::Annotated<void(Image*, double)> Gamma;
+extern const mz::Annotated<void(Image*, double, double, double)> Level, ModulateHSV;
+extern const mz::Annotated<void(Image*, std::uint8_t, std::uint8_t, std::uint8_t, double)>
+    Colorize;
+extern const mz::Annotated<void(Image*, double, double)> SigmoidalContrast, BrightnessContrast;
+extern const mz::Annotated<void(Image*, const Image*, double)> Blend;
+extern const mz::Annotated<double(const Image*)> SumLuma;
+
+}  // namespace mzimg
+
+#endif  // MOZART_IMAGE_ANNOTATED_H_

@@ -1,0 +1,329 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/cpu.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace img {
+namespace {
+
+std::atomic<int> g_num_threads{0};
+
+int EffectiveThreads() {
+  int t = g_num_threads.load(std::memory_order_relaxed);
+  return t > 0 ? t : mz::NumLogicalCpus();
+}
+
+constexpr long kParallelGrainPixels = 1 << 15;
+
+// Row-parallel dispatch over an image (OpenMP stand-in).
+template <typename Body>
+void DispatchRows(long height, long width, Body body) {
+  int threads = EffectiveThreads();
+  if (threads <= 1 || height * width < kParallelGrainPixels || height < 2) {
+    body(0, height);
+    return;
+  }
+  long chunk = (height + threads - 1) / threads;
+  mz::GlobalPool().ParallelFor(0, threads, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      long lo = static_cast<long>(t) * chunk;
+      long hi = lo + chunk < height ? lo + chunk : height;
+      if (lo < hi) {
+        body(lo, hi);
+      }
+    }
+  });
+}
+
+std::uint8_t Clamp8(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+// Applies a per-channel 256-entry lookup table — the classic ImageMagick
+// implementation shape for point operations.
+void ApplyLut(Image* image, const std::uint8_t (&lut)[256]) {
+  long width = image->width();
+  DispatchRows(image->height(), width, [&](long y0, long y1) {
+    for (long y = y0; y < y1; ++y) {
+      std::uint8_t* p = image->row(y);
+      for (long i = 0; i < width * 3; ++i) {
+        p[i] = lut[p[i]];
+      }
+    }
+  });
+}
+
+struct Hsv {
+  double h;  // [0, 360)
+  double s;  // [0, 1]
+  double v;  // [0, 1]
+};
+
+Hsv RgbToHsv(double r, double g, double b) {
+  r /= 255.0;
+  g /= 255.0;
+  b /= 255.0;
+  double mx = std::max({r, g, b});
+  double mn = std::min({r, g, b});
+  double d = mx - mn;
+  Hsv out{0, 0, mx};
+  if (d > 0) {
+    if (mx == r) {
+      out.h = 60.0 * std::fmod((g - b) / d, 6.0);
+    } else if (mx == g) {
+      out.h = 60.0 * ((b - r) / d + 2.0);
+    } else {
+      out.h = 60.0 * ((r - g) / d + 4.0);
+    }
+    if (out.h < 0) {
+      out.h += 360.0;
+    }
+  }
+  out.s = mx > 0 ? d / mx : 0.0;
+  return out;
+}
+
+void HsvToRgb(const Hsv& in, double* r, double* g, double* b) {
+  double c = in.v * in.s;
+  double x = c * (1.0 - std::fabs(std::fmod(in.h / 60.0, 2.0) - 1.0));
+  double m = in.v - c;
+  double rr = 0;
+  double gg = 0;
+  double bb = 0;
+  if (in.h < 60) {
+    rr = c, gg = x;
+  } else if (in.h < 120) {
+    rr = x, gg = c;
+  } else if (in.h < 180) {
+    gg = c, bb = x;
+  } else if (in.h < 240) {
+    gg = x, bb = c;
+  } else if (in.h < 300) {
+    rr = x, bb = c;
+  } else {
+    rr = c, bb = x;
+  }
+  *r = (rr + m) * 255.0;
+  *g = (gg + m) * 255.0;
+  *b = (bb + m) * 255.0;
+}
+
+}  // namespace
+
+Image::Image(long width, long height) : width_(width), height_(height) {
+  MZ_CHECK_MSG(width >= 0 && height >= 0, "negative image dimensions");
+  pixels_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * 3, 0);
+}
+
+void SetNumThreads(int threads) {
+  MZ_CHECK_MSG(threads >= 0, "SetNumThreads requires a non-negative count");
+  g_num_threads.store(threads, std::memory_order_relaxed);
+}
+
+int GetNumThreads() { return EffectiveThreads(); }
+
+Image Crop(const Image& src, long y0, long y1) {
+  MZ_CHECK_MSG(y0 >= 0 && y0 <= y1 && y1 <= src.height(), "crop rows out of range");
+  Image out(src.width(), y1 - y0);
+  std::memcpy(out.data(), src.row(y0),
+              static_cast<std::size_t>(y1 - y0) * static_cast<std::size_t>(src.width()) * 3);
+  out.set_page_y(src.page_y() + y0);
+  return out;
+}
+
+Image AppendVertical(const std::vector<Image>& parts) {
+  MZ_CHECK_MSG(!parts.empty(), "AppendVertical of nothing");
+  long width = parts.front().width();
+  long height = 0;
+  for (const Image& p : parts) {
+    MZ_CHECK_MSG(p.width() == width, "AppendVertical width mismatch");
+    height += p.height();
+  }
+  Image out(width, height);
+  long y = 0;
+  for (const Image& p : parts) {
+    std::memcpy(out.row(y), p.data(), p.size_bytes());
+    y += p.height();
+  }
+  out.set_page_y(parts.front().page_y());
+  return out;
+}
+
+void BlitRows(Image* dst, long y0, const Image& src) {
+  MZ_CHECK_MSG(dst->width() == src.width(), "BlitRows width mismatch");
+  MZ_CHECK_MSG(y0 + src.height() <= dst->height(), "BlitRows out of range");
+  std::memcpy(dst->row(y0), src.data(), src.size_bytes());
+}
+
+void Gamma(Image* image, double gamma) {
+  MZ_CHECK_MSG(gamma > 0, "gamma must be positive");
+  std::uint8_t lut[256];
+  double inv = 1.0 / gamma;
+  for (int i = 0; i < 256; ++i) {
+    lut[i] = Clamp8(255.0 * std::pow(i / 255.0, inv));
+  }
+  ApplyLut(image, lut);
+}
+
+void Level(Image* image, double black_point, double white_point, double gamma) {
+  MZ_CHECK_MSG(white_point > black_point, "level: white must exceed black");
+  std::uint8_t lut[256];
+  double inv = 1.0 / gamma;
+  for (int i = 0; i < 256; ++i) {
+    double x = (i - black_point) / (white_point - black_point);
+    x = std::clamp(x, 0.0, 1.0);
+    lut[i] = Clamp8(255.0 * std::pow(x, inv));
+  }
+  ApplyLut(image, lut);
+}
+
+void Colorize(Image* image, std::uint8_t r, std::uint8_t g, std::uint8_t b, double alpha) {
+  MZ_CHECK_MSG(alpha >= 0 && alpha <= 1, "colorize alpha in [0,1]");
+  long width = image->width();
+  double target[3] = {static_cast<double>(r), static_cast<double>(g), static_cast<double>(b)};
+  DispatchRows(image->height(), width, [&](long y0, long y1) {
+    for (long y = y0; y < y1; ++y) {
+      std::uint8_t* p = image->row(y);
+      for (long x = 0; x < width; ++x) {
+        for (int c = 0; c < 3; ++c) {
+          double v = p[x * 3 + c];
+          p[x * 3 + c] = Clamp8(v + (target[c] - v) * alpha);
+        }
+      }
+    }
+  });
+}
+
+void ModulateHSV(Image* image, double brightness_pct, double saturation_pct, double hue_pct) {
+  double bf = brightness_pct / 100.0;
+  double sf = saturation_pct / 100.0;
+  double hshift = (hue_pct - 100.0) * 1.8;  // ImageMagick: 100 ± 100 → ±180°
+  long width = image->width();
+  DispatchRows(image->height(), width, [&](long y0, long y1) {
+    for (long y = y0; y < y1; ++y) {
+      std::uint8_t* p = image->row(y);
+      for (long x = 0; x < width; ++x) {
+        Hsv hsv = RgbToHsv(p[x * 3], p[x * 3 + 1], p[x * 3 + 2]);
+        hsv.v = std::clamp(hsv.v * bf, 0.0, 1.0);
+        hsv.s = std::clamp(hsv.s * sf, 0.0, 1.0);
+        hsv.h = std::fmod(hsv.h + hshift + 360.0, 360.0);
+        double r;
+        double g;
+        double b;
+        HsvToRgb(hsv, &r, &g, &b);
+        p[x * 3] = Clamp8(r);
+        p[x * 3 + 1] = Clamp8(g);
+        p[x * 3 + 2] = Clamp8(b);
+      }
+    }
+  });
+}
+
+void SigmoidalContrast(Image* image, double contrast, double midpoint) {
+  std::uint8_t lut[256];
+  double mid = midpoint / 255.0;
+  double lo = 1.0 / (1.0 + std::exp(contrast * mid));
+  double hi = 1.0 / (1.0 + std::exp(contrast * (mid - 1.0)));
+  for (int i = 0; i < 256; ++i) {
+    double x = i / 255.0;
+    double s = 1.0 / (1.0 + std::exp(contrast * (mid - x)));
+    lut[i] = Clamp8(255.0 * (s - lo) / (hi - lo));
+  }
+  ApplyLut(image, lut);
+}
+
+void BrightnessContrast(Image* image, double brightness, double contrast) {
+  std::uint8_t lut[256];
+  for (int i = 0; i < 256; ++i) {
+    double v = (i - 127.5) * contrast + 127.5 + brightness;
+    lut[i] = Clamp8(v);
+  }
+  ApplyLut(image, lut);
+}
+
+void Blend(Image* dst, const Image* src, double alpha) {
+  MZ_CHECK_MSG(dst->width() == src->width() && dst->height() == src->height(),
+               "blend shape mismatch");
+  long width = dst->width();
+  DispatchRows(dst->height(), width, [&](long y0, long y1) {
+    for (long y = y0; y < y1; ++y) {
+      std::uint8_t* pd = dst->row(y);
+      const std::uint8_t* ps = src->row(y);
+      for (long i = 0; i < width * 3; ++i) {
+        pd[i] = Clamp8(pd[i] * (1.0 - alpha) + ps[i] * alpha);
+      }
+    }
+  });
+}
+
+void BoxBlur(const Image* src, int radius, Image* out) {
+  MZ_CHECK_MSG(src->width() == out->width() && src->height() == out->height(),
+               "blur shape mismatch");
+  MZ_CHECK_MSG(src != out, "BoxBlur cannot run in place");
+  long width = src->width();
+  long height = src->height();
+  DispatchRows(height, width, [&](long y0, long y1) {
+    for (long y = y0; y < y1; ++y) {
+      std::uint8_t* po = out->row(y);
+      for (long x = 0; x < width; ++x) {
+        int sum[3] = {0, 0, 0};
+        int count = 0;
+        for (long dy = -radius; dy <= radius; ++dy) {
+          long yy = std::clamp(y + dy, 0L, height - 1);  // edge clamp: the §7.1 hazard
+          const std::uint8_t* p = src->row(yy);
+          for (long dx = -radius; dx <= radius; ++dx) {
+            long xx = std::clamp(x + dx, 0L, width - 1);
+            sum[0] += p[xx * 3];
+            sum[1] += p[xx * 3 + 1];
+            sum[2] += p[xx * 3 + 2];
+            ++count;
+          }
+        }
+        po[x * 3] = static_cast<std::uint8_t>(sum[0] / count);
+        po[x * 3 + 1] = static_cast<std::uint8_t>(sum[1] / count);
+        po[x * 3 + 2] = static_cast<std::uint8_t>(sum[2] / count);
+      }
+    }
+  });
+}
+
+double SumLuma(const Image* image) {
+  double total = 0;
+  long width = image->width();
+  for (long y = 0; y < image->height(); ++y) {
+    const std::uint8_t* p = image->row(y);
+    for (long x = 0; x < width; ++x) {
+      total += 0.299 * p[x * 3] + 0.587 * p[x * 3 + 1] + 0.114 * p[x * 3 + 2];
+    }
+  }
+  return total;
+}
+
+Image MakeTestImage(long width, long height, std::uint64_t seed) {
+  Image out(width, height);
+  mz::Rng rng(seed);
+  // Smooth two-axis gradient plus pseudo-random texture: exercises the full
+  // dynamic range so LUTs, HSV math, and contrast curves all do real work.
+  double phase = rng.NextDouble(0.0, 6.28);
+  for (long y = 0; y < height; ++y) {
+    std::uint8_t* p = out.row(y);
+    for (long x = 0; x < width; ++x) {
+      double fx = static_cast<double>(x) / static_cast<double>(width);
+      double fy = static_cast<double>(y) / static_cast<double>(height);
+      double noise = 20.0 * std::sin(37.0 * fx + phase) * std::cos(23.0 * fy);
+      p[x * 3] = Clamp8(255.0 * fx + noise);
+      p[x * 3 + 1] = Clamp8(255.0 * fy + noise * 0.5);
+      p[x * 3 + 2] = Clamp8(255.0 * (1.0 - fx) * fy + noise * 0.25);
+    }
+  }
+  return out;
+}
+
+}  // namespace img

@@ -1,0 +1,27 @@
+// Split annotations for the nlp library — the paper's spaCy integration
+// (§7): a single MinibatchSplit over the corpus lets any function that
+// consumes text parallelize and pipeline. TagCorpus returns per-document
+// results (merge = concatenation); CountPos returns a PosCounts reduction
+// (merge = field-wise addition).
+#ifndef MOZART_NLP_ANNOTATED_H_
+#define MOZART_NLP_ANNOTATED_H_
+
+#include <vector>
+
+#include "core/client.h"
+#include "nlp/nlp.h"
+
+namespace mznlp {
+
+void RegisterSplits();
+
+using nlp::Corpus;
+using nlp::PosCounts;
+using nlp::TaggedDoc;
+
+extern const mz::Annotated<std::vector<TaggedDoc>(const Corpus&)> TagCorpus;
+extern const mz::Annotated<PosCounts(const Corpus&)> CountPos;
+
+}  // namespace mznlp
+
+#endif  // MOZART_NLP_ANNOTATED_H_

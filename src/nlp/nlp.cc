@@ -1,0 +1,334 @@
+#include "nlp/nlp.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nlp {
+namespace {
+
+// Compact core lexicon: common English words with their dominant tag. Words
+// outside the lexicon fall through to the suffix/shape rules, like an
+// out-of-vocabulary token in a statistical tagger.
+const std::unordered_map<std::string, PosTag>& Lexicon() {
+  static const auto* lexicon = new std::unordered_map<std::string, PosTag>{
+      {"the", PosTag::kDet},      {"a", PosTag::kDet},        {"an", PosTag::kDet},
+      {"this", PosTag::kDet},     {"that", PosTag::kDet},     {"these", PosTag::kDet},
+      {"i", PosTag::kPron},       {"you", PosTag::kPron},     {"he", PosTag::kPron},
+      {"she", PosTag::kPron},     {"it", PosTag::kPron},      {"we", PosTag::kPron},
+      {"they", PosTag::kPron},    {"me", PosTag::kPron},      {"him", PosTag::kPron},
+      {"her", PosTag::kPron},     {"them", PosTag::kPron},    {"my", PosTag::kPron},
+      {"your", PosTag::kPron},    {"its", PosTag::kPron},     {"their", PosTag::kPron},
+      {"is", PosTag::kVerb},      {"are", PosTag::kVerb},     {"was", PosTag::kVerb},
+      {"were", PosTag::kVerb},    {"be", PosTag::kVerb},      {"been", PosTag::kVerb},
+      {"has", PosTag::kVerb},     {"have", PosTag::kVerb},    {"had", PosTag::kVerb},
+      {"do", PosTag::kVerb},      {"does", PosTag::kVerb},    {"did", PosTag::kVerb},
+      {"will", PosTag::kVerb},    {"would", PosTag::kVerb},   {"can", PosTag::kVerb},
+      {"could", PosTag::kVerb},   {"should", PosTag::kVerb},  {"may", PosTag::kVerb},
+      {"see", PosTag::kVerb},     {"saw", PosTag::kVerb},     {"go", PosTag::kVerb},
+      {"went", PosTag::kVerb},    {"make", PosTag::kVerb},    {"made", PosTag::kVerb},
+      {"think", PosTag::kVerb},   {"know", PosTag::kVerb},    {"take", PosTag::kVerb},
+      {"get", PosTag::kVerb},     {"give", PosTag::kVerb},    {"find", PosTag::kVerb},
+      {"watch", PosTag::kVerb},   {"love", PosTag::kVerb},    {"hate", PosTag::kVerb},
+      {"and", PosTag::kConj},     {"or", PosTag::kConj},      {"but", PosTag::kConj},
+      {"because", PosTag::kConj}, {"while", PosTag::kConj},   {"if", PosTag::kConj},
+      {"of", PosTag::kAdp},       {"in", PosTag::kAdp},       {"on", PosTag::kAdp},
+      {"at", PosTag::kAdp},       {"by", PosTag::kAdp},       {"with", PosTag::kAdp},
+      {"from", PosTag::kAdp},     {"to", PosTag::kAdp},       {"for", PosTag::kAdp},
+      {"about", PosTag::kAdp},    {"into", PosTag::kAdp},     {"over", PosTag::kAdp},
+      {"movie", PosTag::kNoun},   {"film", PosTag::kNoun},    {"story", PosTag::kNoun},
+      {"plot", PosTag::kNoun},    {"actor", PosTag::kNoun},   {"scene", PosTag::kNoun},
+      {"time", PosTag::kNoun},    {"way", PosTag::kNoun},     {"man", PosTag::kNoun},
+      {"woman", PosTag::kNoun},   {"day", PosTag::kNoun},     {"year", PosTag::kNoun},
+      {"thing", PosTag::kNoun},   {"life", PosTag::kNoun},    {"world", PosTag::kNoun},
+      {"school", PosTag::kNoun},  {"house", PosTag::kNoun},   {"music", PosTag::kNoun},
+      {"good", PosTag::kAdj},     {"bad", PosTag::kAdj},      {"great", PosTag::kAdj},
+      {"terrible", PosTag::kAdj}, {"long", PosTag::kAdj},     {"short", PosTag::kAdj},
+      {"new", PosTag::kAdj},      {"old", PosTag::kAdj},      {"first", PosTag::kAdj},
+      {"last", PosTag::kAdj},     {"best", PosTag::kAdj},     {"worst", PosTag::kAdj},
+      {"very", PosTag::kAdv},     {"really", PosTag::kAdv},   {"never", PosTag::kAdv},
+      {"always", PosTag::kAdv},   {"often", PosTag::kAdv},    {"again", PosTag::kAdv},
+      {"not", PosTag::kAdv},      {"too", PosTag::kAdv},      {"so", PosTag::kAdv},
+      {"one", PosTag::kNum},      {"two", PosTag::kNum},      {"three", PosTag::kNum},
+  };
+  return *lexicon;
+}
+
+std::string ToLowerAscii(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool IsAllDigits(const std::string& s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  std::string_view sv(suffix);
+  return s.size() >= sv.size() && s.compare(s.size() - sv.size(), sv.size(), sv) == 0;
+}
+
+PosTag SuffixAndShapeTag(const std::string& token, bool sentence_start) {
+  if (IsAllDigits(token)) {
+    return PosTag::kNum;
+  }
+  if (!token.empty() && std::isupper(static_cast<unsigned char>(token[0])) && !sentence_start) {
+    return PosTag::kPropn;
+  }
+  std::string lower = ToLowerAscii(token);
+  if (EndsWith(lower, "ing") || EndsWith(lower, "ize") || EndsWith(lower, "ise")) {
+    return PosTag::kVerb;
+  }
+  if (EndsWith(lower, "ed")) {
+    return PosTag::kVerb;
+  }
+  if (EndsWith(lower, "ly")) {
+    return PosTag::kAdv;
+  }
+  if (EndsWith(lower, "ful") || EndsWith(lower, "ous") || EndsWith(lower, "ive") ||
+      EndsWith(lower, "able") || EndsWith(lower, "al") || EndsWith(lower, "est")) {
+    return PosTag::kAdj;
+  }
+  if (EndsWith(lower, "tion") || EndsWith(lower, "ness") || EndsWith(lower, "ment") ||
+      EndsWith(lower, "ity") || EndsWith(lower, "ers") || EndsWith(lower, "er")) {
+    return PosTag::kNoun;
+  }
+  return PosTag::kNoun;  // default open-class guess, as in classic taggers
+}
+
+}  // namespace
+
+const char* TagName(PosTag tag) {
+  switch (tag) {
+    case PosTag::kNoun:
+      return "NOUN";
+    case PosTag::kPropn:
+      return "PROPN";
+    case PosTag::kVerb:
+      return "VERB";
+    case PosTag::kAdj:
+      return "ADJ";
+    case PosTag::kAdv:
+      return "ADV";
+    case PosTag::kPron:
+      return "PRON";
+    case PosTag::kDet:
+      return "DET";
+    case PosTag::kAdp:
+      return "ADP";
+    case PosTag::kConj:
+      return "CONJ";
+    case PosTag::kNum:
+      return "NUM";
+    case PosTag::kPunct:
+      return "PUNCT";
+    case PosTag::kOther:
+      return "X";
+  }
+  return "?";
+}
+
+Corpus Corpus::FromDocuments(std::vector<std::string> docs) {
+  Corpus c;
+  c.len_ = static_cast<long>(docs.size());
+  c.docs_ = std::make_shared<const std::vector<std::string>>(std::move(docs));
+  return c;
+}
+
+const std::string& Corpus::doc(long i) const {
+  MZ_CHECK_MSG(i >= 0 && i < len_, "document index out of range");
+  return (*docs_)[static_cast<std::size_t>(offset_ + i)];
+}
+
+Corpus Corpus::Slice(long d0, long d1) const {
+  MZ_CHECK_MSG(d0 >= 0 && d0 <= d1 && d1 <= len_, "corpus slice out of range");
+  Corpus c = *this;
+  c.offset_ = offset_ + d0;
+  c.len_ = d1 - d0;
+  return c;
+}
+
+Corpus Corpus::Concat(std::span<const Corpus> parts) {
+  MZ_CHECK_MSG(!parts.empty(), "Corpus::Concat of nothing");
+  std::vector<std::string> docs;
+  for (const Corpus& p : parts) {
+    for (long i = 0; i < p.size(); ++i) {
+      docs.push_back(p.doc(i));
+    }
+  }
+  return FromDocuments(std::move(docs));
+}
+
+long Corpus::MeanDocBytes() const {
+  if (len_ == 0) {
+    return 1;
+  }
+  long total = 0;
+  for (long i = 0; i < len_; ++i) {
+    total += static_cast<long>(doc(i).size());
+  }
+  return std::max<long>(total / len_, 1);
+}
+
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  bool sentence_start = true;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      Token t;
+      t.text = std::move(current);
+      t.sentence_start = sentence_start;
+      sentence_start = false;
+      current.clear();
+      tokens.push_back(std::move(t));
+    }
+  };
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '\'') {
+      current.push_back(c);
+      continue;
+    }
+    flush();
+    if (c == '.' || c == '!' || c == '?') {
+      Token t;
+      t.text = std::string(1, c);
+      t.tag = PosTag::kPunct;
+      tokens.push_back(std::move(t));
+      sentence_start = true;
+    } else if (c == ',' || c == ';' || c == ':' || c == '"' || c == '(' || c == ')') {
+      Token t;
+      t.text = std::string(1, c);
+      t.tag = PosTag::kPunct;
+      tokens.push_back(std::move(t));
+    }
+    // whitespace and other bytes: separator only
+  }
+  flush();
+  return tokens;
+}
+
+void TagTokens(std::vector<Token>* tokens) {
+  const auto& lexicon = Lexicon();
+  for (std::size_t i = 0; i < tokens->size(); ++i) {
+    Token& t = (*tokens)[i];
+    if (t.tag == PosTag::kPunct) {
+      continue;
+    }
+    auto it = lexicon.find(ToLowerAscii(t.text));
+    if (it != lexicon.end()) {
+      t.tag = it->second;
+    } else {
+      t.tag = SuffixAndShapeTag(t.text, t.sentence_start);
+    }
+  }
+  // Context fixups (the classic Brill-style pass): a noun right after a
+  // pronoun is usually a verb ("they watch"); a verb right after a
+  // determiner is usually a noun ("the watch").
+  for (std::size_t i = 1; i < tokens->size(); ++i) {
+    Token& prev = (*tokens)[i - 1];
+    Token& t = (*tokens)[i];
+    if (prev.tag == PosTag::kDet && t.tag == PosTag::kVerb) {
+      t.tag = PosTag::kNoun;
+    } else if (prev.tag == PosTag::kPron && t.tag == PosTag::kNoun && !EndsWith(t.text, "s")) {
+      t.tag = PosTag::kVerb;
+    }
+  }
+}
+
+std::vector<TaggedDoc> TagCorpus(const Corpus& corpus) {
+  std::vector<TaggedDoc> out;
+  out.reserve(static_cast<std::size_t>(corpus.size()));
+  for (long i = 0; i < corpus.size(); ++i) {
+    TaggedDoc doc = Tokenize(corpus.doc(i));
+    TagTokens(&doc);
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+PosCounts& PosCounts::operator+=(const PosCounts& other) {
+  for (int i = 0; i < kNumTags; ++i) {
+    counts[static_cast<std::size_t>(i)] += other.counts[static_cast<std::size_t>(i)];
+  }
+  tokens += other.tokens;
+  sentences += other.sentences;
+  return *this;
+}
+
+PosCounts CountPos(const Corpus& corpus) {
+  PosCounts out;
+  for (long i = 0; i < corpus.size(); ++i) {
+    TaggedDoc doc = Tokenize(corpus.doc(i));
+    TagTokens(&doc);
+    for (const Token& t : doc) {
+      out.counts[static_cast<std::size_t>(t.tag)]++;
+      out.tokens++;
+      if (t.sentence_start) {
+        out.sentences++;
+      }
+    }
+  }
+  return out;
+}
+
+Corpus MakeSyntheticCorpus(long num_docs, long mean_words, std::uint64_t seed) {
+  mz::Rng rng(seed);
+  // Vocabulary: lexicon words plus generated open-class words with
+  // suffix-rule-visible endings.
+  std::vector<std::string> vocab;
+  for (const auto& [word, tag] : Lexicon()) {
+    vocab.push_back(word);
+  }
+  std::sort(vocab.begin(), vocab.end());  // deterministic order
+  const char* suffixes[] = {"ing", "ed", "ly", "tion", "ness", "ful", "er", ""};
+  for (int i = 0; i < 400; ++i) {
+    std::string w = rng.NextWord(static_cast<int>(3 + rng.NextBounded(6)));
+    w += suffixes[rng.NextBounded(8)];
+    vocab.push_back(std::move(w));
+  }
+
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<std::size_t>(num_docs));
+  for (long d = 0; d < num_docs; ++d) {
+    long words = mean_words / 2 + static_cast<long>(rng.NextBounded(
+                                      static_cast<std::uint64_t>(mean_words)));
+    std::string doc;
+    doc.reserve(static_cast<std::size_t>(words) * 6);
+    long sentence_len = 0;
+    for (long w = 0; w < words; ++w) {
+      // Zipf-ish: favour the head of the vocabulary.
+      std::size_t idx;
+      if (rng.NextBool(0.6)) {
+        idx = rng.NextBounded(std::min<std::uint64_t>(64, vocab.size()));
+      } else {
+        idx = rng.NextBounded(vocab.size());
+      }
+      std::string word = vocab[idx];
+      if (sentence_len == 0 && !word.empty()) {
+        word[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(word[0])));
+      }
+      doc += word;
+      ++sentence_len;
+      if (sentence_len > 6 && rng.NextBool(0.2)) {
+        doc += ". ";
+        sentence_len = 0;
+      } else {
+        doc += " ";
+      }
+    }
+    doc += ".";
+    docs.push_back(std::move(doc));
+  }
+  return Corpus::FromDocuments(std::move(docs));
+}
+
+}  // namespace nlp

@@ -1,0 +1,99 @@
+// nlp: a natural-language-processing library in the mold of spaCy's
+// tokenizer + part-of-speech tagger (substrate for the Speech Tag workload).
+//
+// The pipeline mirrors spaCy's: tokenize → lexicon lookup → suffix/shape
+// rules → contextual fixups. The tagger is deliberately lexicon-and-rule
+// based (hash lookups plus string scans per token): its cost profile —
+// pointer chasing over many small strings — matches what the paper's spaCy
+// workload stresses, where Mozart's win is pure minibatch parallelism.
+//
+// A Corpus is an immutable shared list of documents; slices are zero-copy
+// views (the "minibatch" split of §7).
+#ifndef MOZART_NLP_NLP_H_
+#define MOZART_NLP_NLP_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nlp {
+
+enum class PosTag : int {
+  kNoun = 0,
+  kPropn,
+  kVerb,
+  kAdj,
+  kAdv,
+  kPron,
+  kDet,
+  kAdp,
+  kConj,
+  kNum,
+  kPunct,
+  kOther,
+};
+inline constexpr int kNumTags = 12;
+
+const char* TagName(PosTag tag);
+
+struct Token {
+  std::string text;
+  PosTag tag = PosTag::kOther;
+  bool sentence_start = false;
+};
+
+using TaggedDoc = std::vector<Token>;
+
+class Corpus {
+ public:
+  Corpus() = default;
+  static Corpus FromDocuments(std::vector<std::string> docs);
+
+  long size() const { return len_; }
+  const std::string& doc(long i) const;
+
+  // Zero-copy view over documents [d0, d1).
+  Corpus Slice(long d0, long d1) const;
+  static Corpus Concat(std::span<const Corpus> parts);
+
+  // Mean document length in bytes (for the splitter's Info()).
+  long MeanDocBytes() const;
+
+ private:
+  std::shared_ptr<const std::vector<std::string>> docs_;
+  long offset_ = 0;
+  long len_ = 0;
+};
+
+// Tokenizes one document (whitespace + punctuation splitting, sentence
+// boundary detection on ./!/?).
+std::vector<Token> Tokenize(const std::string& text);
+
+// Tags tokens in place: lexicon → suffix/shape rules → context fixups.
+void TagTokens(std::vector<Token>* tokens);
+
+// Tokenize + tag every document. The unit of splitting in the SA.
+std::vector<TaggedDoc> TagCorpus(const Corpus& corpus);
+
+// Per-tag counts over a corpus; the reduction form of the same pipeline.
+struct PosCounts {
+  std::array<std::int64_t, kNumTags> counts{};
+  std::int64_t tokens = 0;
+  std::int64_t sentences = 0;
+
+  PosCounts& operator+=(const PosCounts& other);
+};
+
+PosCounts CountPos(const Corpus& corpus);
+
+// Deterministic synthetic corpus with a Zipf-ish vocabulary drawn from the
+// tagger's lexicon plus noise words (stand-in for the IMDb reviews the paper
+// uses); mean document length ~ `mean_words`.
+Corpus MakeSyntheticCorpus(long num_docs, long mean_words, std::uint64_t seed);
+
+}  // namespace nlp
+
+#endif  // MOZART_NLP_NLP_H_

@@ -1,0 +1,47 @@
+// Split annotations for the vecmath library (the paper's MKL integration,
+// §7). This is the "wrapped library" the application links instead of — or
+// alongside — raw vecmath: same call shapes, but calls are captured into the
+// Mozart dataflow graph. The split types mirror Listing 2 of the paper:
+//
+//   @splittable(size: SizeSplit(size), a: ArraySplit(size),
+//               mut out: ArraySplit(size))
+//   void vdLog1p(long size, double *a, double *out);
+//
+//  * SizeSplit  — the element-count argument; splits arithmetically.
+//  * ArraySplit — contiguous double arrays; splits are pointer offsets and
+//                 updates happen in place, so merges are no-ops.
+//  * ReduceAdd / ReduceMax / ReduceMin — merge-only types for reductions
+//                 (Ex. 5 in the paper's Listing 4): pieces are per-batch
+//                 partials, the merge folds them.
+#ifndef MOZART_VECMATH_ANNOTATED_H_
+#define MOZART_VECMATH_ANNOTATED_H_
+
+#include "core/client.h"
+#include "vecmath/vecmath.h"
+
+namespace mzvec {
+
+// Registers the split types and splitters with the global registry.
+// Idempotent; invoked automatically when this translation unit is linked.
+void RegisterSplits();
+
+using UnaryFn = mz::Annotated<void(long, const double*, double*)>;
+using BinaryFn = mz::Annotated<void(long, const double*, const double*, double*)>;
+using ScalarFn = mz::Annotated<void(long, const double*, double, double*)>;
+using TernaryFn = mz::Annotated<void(long, const double*, const double*, const double*, double*)>;
+using ReduceFn = mz::Annotated<double(long, const double*)>;
+using Reduce2Fn = mz::Annotated<double(long, const double*, const double*)>;
+
+extern const UnaryFn Sqrt, Exp, Log, Log1p, Erf, Sin, Cos, Tan, Asin, Acos, Atan, Abs, Neg, Inv,
+    Sqr, Floor, Ceil, Copy;
+extern const BinaryFn Add, Sub, Mul, Div, Pow, Atan2, Hypot, Max, Min, GreaterThan, LessThan;
+extern const ScalarFn AddC, SubC, MulC, DivC, RSubC, RDivC, PowC;
+extern const TernaryFn Fma, Select;
+extern const mz::Annotated<void(long, double, const double*, double*)> Axpy;
+extern const mz::Annotated<void(long, double, double*)> Fill;
+extern const ReduceFn Sum, MaxReduce, MinReduce;
+extern const Reduce2Fn Dot;
+
+}  // namespace mzvec
+
+#endif  // MOZART_VECMATH_ANNOTATED_H_

@@ -1,0 +1,315 @@
+#include "workloads/analytics.h"
+
+#include <cmath>
+
+#include "baselines/fused.h"
+#include "dataframe/annotated.h"
+#include "dataframe/ops.h"
+#include "image/annotated.h"
+#include "nlp/annotated.h"
+#include "workloads/data_gen.h"
+
+namespace workloads {
+
+// ---- Data Cleaning ----
+
+DataCleaning::DataCleaning(long rows, std::uint64_t seed)
+    : requests_(Make311Requests(rows, seed)) {}
+
+void DataCleaning::RunBase() {
+  const df::Column& zip = requests_.col("incident_zip");
+  df::Column no_dash = df::StrRemoveChar(zip, '-');
+  df::Column five = df::StrSlice(no_dash, 0, 5);
+  df::Column len_mask = df::ColEqC(df::IntToDouble(df::StrLen(five)), 5.0);
+  df::Column numeric = df::StrIsNumeric(five);
+  df::Column ok = df::MaskAnd(len_mask, numeric);
+  df::Column cleaned = df::StrWhere(ok, five, "nan");
+  df::Column parsed = df::StrToDouble(cleaned);
+  df::Column nan_mask = df::ColIsNaN(parsed);
+  df::Column valid = df::ColFillNaN(parsed, 0.0);
+  nan_count_ = df::ColSum(df::IntToDouble(nan_mask));
+  valid_sum_ = df::ColSum(valid);
+}
+
+void DataCleaning::RunMozart(mz::Runtime* rt) {
+  mz::RuntimeScope scope(rt);
+  mz::Future<double> nan_count;
+  mz::Future<double> valid_sum;
+  {
+    // Intermediates are scoped so their Futures die before evaluation —
+    // exactly what Python refcounting does for rebound temporaries. Values
+    // nothing can observe are never merged (they live only as pipeline
+    // pieces), which is essential for operator-at-a-time performance.
+    auto zip = mzdf::ColFromFrame(requests_, 0);
+    auto no_dash = mzdf::StrRemoveChar(zip, '-');
+    auto five = mzdf::StrSlice(no_dash, 0, 5);
+    auto len_mask = mzdf::ColEqC(mzdf::IntToDouble(mzdf::StrLen(five)), 5.0);
+    auto numeric = mzdf::StrIsNumeric(five);
+    auto ok = mzdf::MaskAnd(len_mask, numeric);
+    auto cleaned = mzdf::StrWhere(ok, five, "nan");
+    auto parsed = mzdf::StrToDouble(cleaned);
+    auto nan_mask = mzdf::ColIsNaN(parsed);
+    auto valid = mzdf::ColFillNaN(parsed, 0.0);
+    nan_count = mzdf::ColSum(mzdf::IntToDouble(nan_mask));
+    valid_sum = mzdf::ColSum(valid);
+  }
+  nan_count_ = nan_count.get();
+  valid_sum_ = valid_sum.get();
+}
+
+void DataCleaning::RunFused(int threads) {
+  baselines::DataCleaningFused(requests_, &nan_count_, &valid_sum_, threads);
+}
+
+// ---- Crime Index ----
+
+CrimeIndex::CrimeIndex(long rows, std::uint64_t seed) : cities_(MakeCityStats(rows, seed)) {}
+
+void CrimeIndex::RunBase() {
+  const df::Column& population = cities_.col("population");
+  const df::Column& crimes = cities_.col("crimes");
+  df::Column big = df::ColGtC(population, 500000.0);
+  df::DataFrame big_cities = df::FilterRows(cities_, big);
+  df::Column ratio = df::ColDiv(big_cities.col("crimes"), big_cities.col("population"));
+  df::Column high = df::ColGtC(ratio, 0.02);
+  df::Column clipped = df::ColWhere(df::MaskNot(high), ratio, 0.032);
+  df::Column index = df::ColMulC(clipped, 1000.0);
+  double sum = df::ColSum(index);
+  double count = df::ColCount(index);
+  (void)crimes;
+  index_ = count > 0 ? sum / count : 0.0;
+}
+
+void CrimeIndex::RunMozart(mz::Runtime* rt) {
+  mz::RuntimeScope scope(rt);
+  mz::Future<double> sum;
+  mz::Future<double> count;
+  {
+    auto population = mzdf::ColFromFrame(cities_, 1);
+    auto big = mzdf::ColGtC(population, 500000.0);
+    auto big_cities = mzdf::FilterRows(cities_, big);
+    auto crimes_f = mzdf::ColFromFrame(big_cities, 2);
+    auto pop_f = mzdf::ColFromFrame(big_cities, 1);
+    auto ratio = mzdf::ColDiv(crimes_f, pop_f);
+    auto high = mzdf::ColGtC(ratio, 0.02);
+    auto clipped = mzdf::ColWhere(mzdf::MaskNot(high), ratio, 0.032);
+    auto index = mzdf::ColMulC(clipped, 1000.0);
+    sum = mzdf::ColSum(index);
+    count = mzdf::ColCount(index);
+  }
+  double s = sum.get();
+  double c = count.get();
+  index_ = c > 0 ? s / c : 0.0;
+}
+
+void CrimeIndex::RunFused(int threads) { index_ = baselines::CrimeIndexFused(cities_, threads); }
+
+// ---- Birth Analysis ----
+
+BirthAnalysis::BirthAnalysis(long rows, std::uint64_t seed)
+    : births_(MakeBabyNames(rows, seed)) {}
+
+double BirthAnalysis::GroupChecksum(const df::DataFrame& grouped) {
+  // Sort-independent checksum over (year, gender, sum) triples.
+  double acc = 0;
+  for (long r = 0; r < grouped.num_rows(); ++r) {
+    double year = static_cast<double>(grouped.col(0).i64(r));
+    double gender = static_cast<double>(grouped.col(1).i64(r));
+    acc += year * 31.0 + gender * 7.0 + grouped.col("sum").d(r) * 1e-3;
+  }
+  return acc;
+}
+
+void BirthAnalysis::RunBase() {
+  df::Column lesl = df::StrStartsWith(births_.col("name"), "Lesl");
+  df::DataFrame filtered = df::FilterRows(births_, lesl);
+  df::DataFrame grouped = df::GroupByAgg(filtered, 1, 2, 3, df::kAggSum);
+  checksum_ = GroupChecksum(grouped);
+}
+
+void BirthAnalysis::RunMozart(mz::Runtime* rt) {
+  mz::RuntimeScope scope(rt);
+  mz::Future<df::DataFrame> grouped;
+  {
+    auto names = mzdf::ColFromFrame(births_, 0);
+    auto lesl = mzdf::StrStartsWith(names, "Lesl");
+    auto filtered = mzdf::FilterRows(births_, lesl);
+    grouped = mzdf::GroupByAgg(filtered, 1, 2, 3, df::kAggSum);
+  }
+  checksum_ = GroupChecksum(grouped.get());
+}
+
+void BirthAnalysis::RunFused(int threads) {
+  checksum_ = GroupChecksum(baselines::BirthAnalysisFused(births_, threads));
+}
+
+// ---- MovieLens ----
+
+MovieLens::MovieLens(long num_ratings, std::uint64_t seed) {
+  MovieLensTables tables =
+      MakeMovieLens(num_ratings, /*num_users=*/num_ratings / 50 + 10,
+                    /*num_movies=*/num_ratings / 100 + 10, seed);
+  tables_.ratings = std::move(tables.ratings);
+  tables_.users = std::move(tables.users);
+  tables_.movies = std::move(tables.movies);
+}
+
+double MovieLens::DivisiveChecksum(const df::DataFrame& grouped) {
+  // grouped: (movie, gender, sum, count) — mean rating gap per movie, summed.
+  // Sort-independent: accumulate gender-signed means per movie.
+  double acc = 0;
+  for (long r = 0; r < grouped.num_rows(); ++r) {
+    double movie = static_cast<double>(grouped.col(0).i64(r));
+    double gender = static_cast<double>(grouped.col(1).i64(r));
+    double mean = grouped.col("sum").d(r) / grouped.col("count").d(r);
+    acc += (gender * 2.0 - 1.0) * mean * (movie + 1.0) * 1e-4;
+  }
+  return acc;
+}
+
+void MovieLens::RunBase() {
+  df::DataFrame joined = df::HashJoin(tables_.ratings, tables_.users, 0, 0);
+  df::DataFrame grouped = df::GroupByAgg(joined, 1, 3, 2, df::kAggMean);
+  checksum_ = DivisiveChecksum(grouped);
+}
+
+void MovieLens::RunMozart(mz::Runtime* rt) {
+  mz::RuntimeScope scope(rt);
+  mz::Future<df::DataFrame> grouped;
+  {
+    auto joined = mzdf::HashJoin(tables_.ratings, tables_.users, 0, 0);
+    grouped = mzdf::GroupByAgg(joined, 1, 3, 2, df::kAggMean);
+  }
+  checksum_ = DivisiveChecksum(grouped.get());
+}
+
+void MovieLens::RunFused(int threads) {
+  checksum_ = DivisiveChecksum(baselines::MovieLensFused(tables_.ratings, tables_.users, threads));
+}
+
+// ---- Speech Tag ----
+
+SpeechTag::SpeechTag(long docs, long mean_words, std::uint64_t seed)
+    : corpus_(nlp::MakeSyntheticCorpus(docs, mean_words, seed)) {}
+
+void SpeechTag::RunBase() { counts_ = nlp::CountPos(corpus_); }
+
+void SpeechTag::RunMozart(mz::Runtime* rt) {
+  mz::RuntimeScope scope(rt);
+  counts_ = mznlp::CountPos(corpus_).get();
+}
+
+double SpeechTag::Checksum() const {
+  double acc = static_cast<double>(counts_.tokens) + 0.5 * static_cast<double>(counts_.sentences);
+  for (int i = 0; i < nlp::kNumTags; ++i) {
+    acc += static_cast<double>(counts_.counts[static_cast<std::size_t>(i)]) * (i + 1);
+  }
+  return acc;
+}
+
+// ---- Image filters ----
+
+ImageFilter::ImageFilter(Filter filter, long width, long height, std::uint64_t seed)
+    : filter_(filter), width_(width), height_(height), seed_(seed) {
+  ResetImage();
+}
+
+void ImageFilter::ResetImage() { image_ = img::MakeTestImage(width_, height_, seed_); }
+
+int ImageFilter::NumOperators() const {
+  return static_cast<int>(
+      (filter_ == Filter::kNashville ? baselines::NashvilleRecipe() : baselines::GothamRecipe())
+          .size());
+}
+
+namespace {
+
+void RunRecipeBase(img::Image* image, std::span<const baselines::PointOp> recipe) {
+  for (const baselines::PointOp& op : recipe) {
+    using Kind = baselines::PointOp::Kind;
+    switch (op.kind) {
+      case Kind::kGamma:
+        img::Gamma(image, op.p0);
+        break;
+      case Kind::kLevel:
+        img::Level(image, op.p0, op.p1, op.p2);
+        break;
+      case Kind::kColorize:
+        img::Colorize(image, op.rgb[0], op.rgb[1], op.rgb[2], op.p0);
+        break;
+      case Kind::kModulate:
+        img::ModulateHSV(image, op.p0, op.p1, op.p2);
+        break;
+      case Kind::kSigmoidalContrast:
+        img::SigmoidalContrast(image, op.p0, op.p1);
+        break;
+      case Kind::kBrightnessContrast:
+        img::BrightnessContrast(image, op.p0, op.p1);
+        break;
+    }
+  }
+}
+
+void RunRecipeMozart(img::Image* image, std::span<const baselines::PointOp> recipe) {
+  for (const baselines::PointOp& op : recipe) {
+    using Kind = baselines::PointOp::Kind;
+    switch (op.kind) {
+      case Kind::kGamma:
+        mzimg::Gamma(image, op.p0);
+        break;
+      case Kind::kLevel:
+        mzimg::Level(image, op.p0, op.p1, op.p2);
+        break;
+      case Kind::kColorize:
+        mzimg::Colorize(image, op.rgb[0], op.rgb[1], op.rgb[2], op.p0);
+        break;
+      case Kind::kModulate:
+        mzimg::ModulateHSV(image, op.p0, op.p1, op.p2);
+        break;
+      case Kind::kSigmoidalContrast:
+        mzimg::SigmoidalContrast(image, op.p0, op.p1);
+        break;
+      case Kind::kBrightnessContrast:
+        mzimg::BrightnessContrast(image, op.p0, op.p1);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void ImageFilter::RunBase() {
+  ResetImage();
+  RunRecipeBase(&image_, filter_ == Filter::kNashville ? baselines::NashvilleRecipe()
+                                                       : baselines::GothamRecipe());
+}
+
+void ImageFilter::RunMozart(mz::Runtime* rt) {
+  ResetImage();
+  mz::RuntimeScope scope(rt);
+  RunRecipeMozart(&image_, filter_ == Filter::kNashville ? baselines::NashvilleRecipe()
+                                                         : baselines::GothamRecipe());
+  rt->Evaluate();
+}
+
+void ImageFilter::RunFused(int threads) {
+  ResetImage();
+  baselines::FusedPointPipeline(&image_, filter_ == Filter::kNashville
+                                             ? baselines::NashvilleRecipe()
+                                             : baselines::GothamRecipe(),
+                                threads);
+}
+
+double ImageFilter::Checksum() const {
+  double acc = 0;
+  const long stride = 31;
+  for (long y = 0; y < image_.height(); y += stride) {
+    const std::uint8_t* p = image_.row(y);
+    for (long x = 0; x < image_.width() * 3; x += 7) {
+      acc += p[x];
+    }
+  }
+  return acc;
+}
+
+}  // namespace workloads

@@ -1,0 +1,133 @@
+// The Pandas (Data Cleaning, Crime Index, Birth Analysis, MovieLens), spaCy
+// (Speech Tag), and ImageMagick (Nashville, Gotham) workloads of Table 2,
+// each in base / Mozart / fused-baseline modes (see numerical.h for the mode
+// conventions; spaCy has no compiler baseline, as in the paper).
+#ifndef MOZART_WORKLOADS_ANALYTICS_H_
+#define MOZART_WORKLOADS_ANALYTICS_H_
+
+#include <cstdint>
+
+#include "core/runtime.h"
+#include "dataframe/dataframe.h"
+#include "image/image.h"
+#include "nlp/nlp.h"
+
+namespace workloads {
+
+// §8.2 Data Cleaning: normalize the 311 requests' zip column (strip hyphens,
+// truncate ZIP+4, NaN out broken values), then count NaNs and sum the valid
+// parsed zips. Result is (nan_count, valid_sum) folded into one checksum.
+class DataCleaning {
+ public:
+  DataCleaning(long rows, std::uint64_t seed);
+  void RunBase();
+  void RunMozart(mz::Runtime* rt);
+  void RunFused(int threads);
+  double Checksum() const { return nan_count_ * 1e9 + valid_sum_; }
+  long size() const { return requests_.num_rows(); }
+  static int NumOperators() { return 8; }
+
+ private:
+  df::DataFrame requests_;
+  double nan_count_ = 0;
+  double valid_sum_ = 0;
+};
+
+// §8.2 Crime Index: filter big cities, compute a clipped crime index, and
+// average it.
+class CrimeIndex {
+ public:
+  CrimeIndex(long rows, std::uint64_t seed);
+  void RunBase();
+  void RunMozart(mz::Runtime* rt);
+  void RunFused(int threads);
+  double Checksum() const { return index_; }
+  long size() const { return cities_.num_rows(); }
+  static int NumOperators() { return 12; }
+
+ private:
+  df::DataFrame cities_;
+  double index_ = 0;
+};
+
+// §8.2 Birth Analysis: fraction of "Lesl*" births by (year, gender).
+class BirthAnalysis {
+ public:
+  BirthAnalysis(long rows, std::uint64_t seed);
+  void RunBase();
+  void RunMozart(mz::Runtime* rt);
+  void RunFused(int threads);
+  double Checksum() const { return checksum_; }
+  long size() const { return births_.num_rows(); }
+  static int NumOperators() { return 6; }
+
+ private:
+  static double GroupChecksum(const df::DataFrame& grouped);
+  df::DataFrame births_;
+  double checksum_ = 0;
+};
+
+// §8.2 MovieLens: join ratings with users, group mean rating by
+// (movie, gender), report the most gender-divisive movies.
+class MovieLens {
+ public:
+  MovieLens(long num_ratings, std::uint64_t seed);
+  void RunBase();
+  void RunMozart(mz::Runtime* rt);
+  void RunFused(int threads);
+  double Checksum() const { return checksum_; }
+  long size() const { return tables_.ratings.num_rows(); }
+  static int NumOperators() { return 8; }
+
+ private:
+  static double DivisiveChecksum(const df::DataFrame& grouped);
+  struct MovieLensTablesHolder;
+  // Generated tables (ratings/users/movies).
+  struct Tables {
+    df::DataFrame ratings;
+    df::DataFrame users;
+    df::DataFrame movies;
+  } tables_;
+  double checksum_ = 0;
+};
+
+// §8.2 Speech Tag: part-of-speech tagging over a synthetic review corpus.
+// No compiler baseline existed for spaCy in the paper; RunFused is absent.
+class SpeechTag {
+ public:
+  SpeechTag(long docs, long mean_words, std::uint64_t seed);
+  void RunBase();
+  void RunMozart(mz::Runtime* rt);
+  double Checksum() const;
+  long size() const { return corpus_.size(); }
+  static int NumOperators() { return 2; }
+
+ private:
+  nlp::Corpus corpus_;
+  nlp::PosCounts counts_;
+};
+
+// §8.2 Nashville / Gotham: Instagram-style filter pipelines.
+class ImageFilter {
+ public:
+  enum class Filter { kNashville, kGotham };
+  ImageFilter(Filter filter, long width, long height, std::uint64_t seed);
+  void RunBase();
+  void RunMozart(mz::Runtime* rt);
+  void RunFused(int threads);
+  double Checksum() const;
+  long size() const { return image_.height(); }
+  int NumOperators() const;
+
+ private:
+  void ResetImage();
+  Filter filter_;
+  long width_;
+  long height_;
+  std::uint64_t seed_;
+  img::Image image_;
+};
+
+}  // namespace workloads
+
+#endif  // MOZART_WORKLOADS_ANALYTICS_H_

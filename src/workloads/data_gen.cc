@@ -1,0 +1,122 @@
+#include "workloads/data_gen.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace workloads {
+
+df::DataFrame Make311Requests(long rows, std::uint64_t seed) {
+  mz::Rng rng(seed);
+  std::vector<std::string> zips;
+  std::vector<std::string> complaints;
+  zips.reserve(static_cast<std::size_t>(rows));
+  complaints.reserve(static_cast<std::size_t>(rows));
+  const char* kComplaints[] = {"Noise", "Heating", "Street Condition", "Rodent", "Water"};
+  for (long i = 0; i < rows; ++i) {
+    double dice = rng.NextDouble();
+    std::string zip = std::to_string(10000 + rng.NextBounded(89999));
+    if (dice < 0.70) {
+      // clean 5-digit
+    } else if (dice < 0.80) {
+      zip += "-" + std::to_string(1000 + rng.NextBounded(8999));  // ZIP+4 with hyphen
+    } else if (dice < 0.88) {
+      zip += std::to_string(1000 + rng.NextBounded(8999));  // 9 digits, no hyphen
+    } else if (dice < 0.94) {
+      zip = rng.NextBool(0.5) ? "N/A" : "NO CLUE";
+    } else {
+      zip = "";
+    }
+    zips.push_back(std::move(zip));
+    complaints.push_back(kComplaints[rng.NextBounded(5)]);
+  }
+  return df::DataFrame::Make({"incident_zip", "complaint_type"},
+                             {df::Column::Strings(std::move(zips)),
+                              df::Column::Strings(std::move(complaints))});
+}
+
+df::DataFrame MakeCityStats(long rows, std::uint64_t seed) {
+  mz::Rng rng(seed);
+  std::vector<std::string> cities;
+  std::vector<double> population;
+  std::vector<double> crimes;
+  for (long i = 0; i < rows; ++i) {
+    cities.push_back("city" + std::to_string(i));
+    // Log-ish spread: many small towns, few metropolises.
+    double p = 1000.0 * std::exp(rng.NextDouble(0.0, 7.5));
+    population.push_back(p);
+    crimes.push_back(p * rng.NextDouble(0.001, 0.03));
+  }
+  return df::DataFrame::Make(
+      {"city", "population", "crimes"},
+      {df::Column::Strings(std::move(cities)), df::Column::Doubles(std::move(population)),
+       df::Column::Doubles(std::move(crimes))});
+}
+
+df::DataFrame MakeBabyNames(long rows, std::uint64_t seed) {
+  mz::Rng rng(seed);
+  const char* kNames[] = {"Leslie", "Lesley", "Leslee", "Lesli",  "Lesly",  "James",
+                          "Mary",   "John",   "Linda",  "Robert", "Susan",  "Michael",
+                          "Karen",  "David",  "Nancy",  "Carol",  "Daniel", "Laura"};
+  std::vector<std::string> names;
+  std::vector<std::int64_t> years;
+  std::vector<std::int64_t> genders;
+  std::vector<double> births;
+  for (long i = 0; i < rows; ++i) {
+    names.push_back(kNames[rng.NextBounded(18)]);
+    years.push_back(1940 + static_cast<std::int64_t>(rng.NextBounded(70)));
+    genders.push_back(static_cast<std::int64_t>(rng.NextBounded(2)));
+    births.push_back(static_cast<double>(5 + rng.NextBounded(2000)));
+  }
+  return df::DataFrame::Make(
+      {"name", "year", "gender", "births"},
+      {df::Column::Strings(std::move(names)), df::Column::Ints(std::move(years)),
+       df::Column::Ints(std::move(genders)), df::Column::Doubles(std::move(births))});
+}
+
+MovieLensTables MakeMovieLens(long num_ratings, long num_users, long num_movies,
+                              std::uint64_t seed) {
+  mz::Rng rng(seed);
+  MovieLensTables out;
+
+  std::vector<std::int64_t> r_user;
+  std::vector<std::int64_t> r_movie;
+  std::vector<double> r_rating;
+  for (long i = 0; i < num_ratings; ++i) {
+    r_user.push_back(static_cast<std::int64_t>(rng.NextBounded(
+        static_cast<std::uint64_t>(num_users))));
+    // Popularity skew: square the uniform draw to favour low movie ids.
+    double u = rng.NextDouble();
+    r_movie.push_back(static_cast<std::int64_t>(u * u * static_cast<double>(num_movies)));
+    r_rating.push_back(static_cast<double>(1 + rng.NextBounded(5)));
+  }
+  out.ratings = df::DataFrame::Make(
+      {"user", "movie", "rating"},
+      {df::Column::Ints(std::move(r_user)), df::Column::Ints(std::move(r_movie)),
+       df::Column::Doubles(std::move(r_rating))});
+
+  std::vector<std::int64_t> u_user;
+  std::vector<std::int64_t> u_gender;
+  for (long i = 0; i < num_users; ++i) {
+    u_user.push_back(i);
+    u_gender.push_back(static_cast<std::int64_t>(rng.NextBounded(2)));
+  }
+  out.users = df::DataFrame::Make(
+      {"user", "gender"},
+      {df::Column::Ints(std::move(u_user)), df::Column::Ints(std::move(u_gender))});
+
+  std::vector<std::int64_t> m_movie;
+  std::vector<std::string> m_title;
+  for (long i = 0; i < num_movies; ++i) {
+    m_movie.push_back(i);
+    m_title.push_back("movie_" + std::to_string(i));
+  }
+  out.movies = df::DataFrame::Make(
+      {"movie", "title"},
+      {df::Column::Ints(std::move(m_movie)), df::Column::Strings(std::move(m_title))});
+  return out;
+}
+
+}  // namespace workloads

@@ -1,0 +1,114 @@
+// Tests for the common utility layer: interner, RNG determinism, thread
+// pool (including nested-parallelism composability), aligned buffers, and
+// CPU topology discovery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/cpu.h"
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+TEST(InternerTest, SameStringSameId) {
+  mz::InternedId a = mz::InternName("ArraySplit");
+  mz::InternedId b = mz::InternName("ArraySplit");
+  mz::InternedId c = mz::InternName("MatrixSplit");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(mz::InternedName(a), "ArraySplit");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  mz::Rng a(123);
+  mz::Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DoublesInRange) {
+  mz::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble(2.0, 5.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  mz::Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    seen.insert(rng.NextBounded(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(AlignedBufferTest, AlignmentAndMove) {
+  mz::AlignedBuffer<double> buf(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+  buf.Fill(3.0);
+  mz::AlignedBuffer<double> moved = std::move(buf);
+  EXPECT_EQ(moved.size(), 1000u);
+  EXPECT_DOUBLE_EQ(moved[999], 3.0);
+  EXPECT_TRUE(buf.empty());  // NOLINT(bugprone-use-after-move): asserting moved-from state
+}
+
+TEST(CpuTest, SaneTopology) {
+  EXPECT_GE(mz::NumLogicalCpus(), 1);
+  EXPECT_GE(mz::L2CacheBytes(), 64u * 1024);
+  EXPECT_GE(mz::LlcBytes(), mz::L2CacheBytes());
+  EXPECT_GE(mz::CacheLineBytes(), 16u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  mz::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, RunOnAllWorkersInvokesEachIndex) {
+  mz::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(3);
+  pool.RunOnAllWorkers([&](int worker) { hits[static_cast<std::size_t>(worker)].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // Composability: a ParallelFor issued from inside a pool worker must not
+  // deadlock or re-fan-out — it runs inline on the worker.
+  mz::ThreadPool outer(2);
+  std::atomic<int> total{0};
+  outer.RunOnAllWorkers([&](int) {
+    EXPECT_TRUE(mz::ThreadPool::InWorker());
+    mz::GlobalPool().ParallelFor(0, 100, [&](std::int64_t lo, std::int64_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(total.load(), 200);  // 100 per outer worker, inline
+  EXPECT_FALSE(mz::ThreadPool::InWorker());
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  mz::ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace

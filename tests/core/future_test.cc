@@ -1,0 +1,130 @@
+// Tests for Future semantics (§4.1): laziness, alias sharing, readiness,
+// pipelined Future arguments, and runtime scoping.
+#include "core/future.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "vecmath/annotated.h"
+
+namespace mz {
+namespace {
+
+RuntimeOptions Opts() {
+  RuntimeOptions o;
+  o.num_threads = 2;
+  o.pedantic = true;
+  return o;
+}
+
+TEST(FutureTest, DefaultConstructedIsInvalid) {
+  Future<double> f;
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(FutureTest, CopiesShareResolution) {
+  const long n = 1000;
+  std::vector<double> a(n, 2.0);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  Future<double> f1 = mzvec::Sum(n, a.data());
+  Future<double> f2 = f1;  // alias
+  EXPECT_FALSE(f2.ready());
+  EXPECT_DOUBLE_EQ(f1.get(), 2.0 * n);
+  EXPECT_TRUE(f2.ready());  // alias observes the evaluation
+  EXPECT_DOUBLE_EQ(f2.get(), 2.0 * n);
+}
+
+TEST(FutureTest, GetIsIdempotent) {
+  const long n = 500;
+  std::vector<double> a(n, 1.0);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  Future<double> f = mzvec::Sum(n, a.data());
+  double v1 = f.get();
+  auto evals_after_first = rt.stats().Take().evaluations;
+  double v2 = f.get();
+  EXPECT_DOUBLE_EQ(v1, v2);
+  EXPECT_EQ(rt.stats().Take().evaluations, evals_after_first);  // no re-evaluation
+}
+
+TEST(FutureTest, SeparateRuntimesAreIndependent) {
+  const long n = 100;
+  std::vector<double> a(n, 3.0);
+  Runtime rt1(Opts());
+  Runtime rt2(Opts());
+  Future<double> f1;
+  Future<double> f2;
+  {
+    RuntimeScope scope(&rt1);
+    f1 = mzvec::Sum(n, a.data());
+  }
+  {
+    RuntimeScope scope(&rt2);
+    f2 = mzvec::Sum(n, a.data());
+  }
+  EXPECT_EQ(rt1.num_pending_nodes(), 1);
+  EXPECT_EQ(rt2.num_pending_nodes(), 1);
+  EXPECT_DOUBLE_EQ(f1.get(), 300.0);
+  EXPECT_EQ(rt1.num_pending_nodes(), 0);
+  EXPECT_EQ(rt2.num_pending_nodes(), 1);  // untouched
+  EXPECT_DOUBLE_EQ(f2.get(), 300.0);
+}
+
+TEST(FutureTest, CrossRuntimeArgumentThrows) {
+  const long n = 64;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> out(n);
+  Runtime rt1(Opts());
+  Runtime rt2(Opts());
+  Future<double> f;
+  {
+    RuntimeScope scope(&rt1);
+    f = mzvec::Sum(n, a.data());
+  }
+  RuntimeScope scope(&rt2);
+  // Passing rt1's Future into a wrapper bound to rt2 must be rejected.
+  EXPECT_THROW(mzvec::Fill(n, f, out.data()), Error);
+  (void)f.get();
+}
+
+TEST(FutureTest, StatsPhasesArePopulated) {
+  const long n = 100000;
+  std::vector<double> a(n, 2.0);
+  std::vector<double> out(n);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());
+  mzvec::Exp(n, out.data(), out.data());
+  rt.Evaluate();
+  auto s = rt.stats().Take();
+  EXPECT_GT(s.client_ns, 0);
+  EXPECT_GT(s.planner_ns, 0);
+  EXPECT_GT(s.split_ns, 0);
+  EXPECT_GT(s.task_ns, 0);
+  EXPECT_EQ(s.evaluations, 1);
+  EXPECT_EQ(s.nodes_executed, 2);
+  EXPECT_GT(s.batches, 0);
+}
+
+TEST(FutureTest, CurrentRuntimeDefaultsToProcessRuntime) {
+  EXPECT_EQ(Runtime::Current(), &Runtime::Default());
+  Runtime rt(Opts());
+  {
+    RuntimeScope scope(&rt);
+    EXPECT_EQ(Runtime::Current(), &rt);
+    Runtime rt2(Opts());
+    {
+      RuntimeScope inner(&rt2);
+      EXPECT_EQ(Runtime::Current(), &rt2);
+    }
+    EXPECT_EQ(Runtime::Current(), &rt);  // scopes nest
+  }
+  EXPECT_EQ(Runtime::Current(), &Runtime::Default());
+}
+
+}  // namespace
+}  // namespace mz

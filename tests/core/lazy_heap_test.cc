@@ -1,0 +1,94 @@
+// Tests for memory-protection-based lazy evaluation (§4.1): protected
+// allocations, transparent fault-triggered evaluation, and re-protection
+// after capture.
+#include "core/lazy_heap.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "vecmath/annotated.h"
+
+namespace {
+
+TEST(LazyHeapTest, AllocProtectedAndTouchUnprotects) {
+  mz::LazyHeap& heap = mz::LazyHeap::Global();
+  auto* p = static_cast<double*>(heap.Alloc(4096));
+  EXPECT_TRUE(heap.Contains(p));
+  EXPECT_TRUE(heap.is_protected());
+  // First touch faults; the handler unprotects (no runtime attached).
+  p[0] = 42.0;
+  EXPECT_FALSE(heap.is_protected());
+  EXPECT_DOUBLE_EQ(p[0], 42.0);
+  heap.Free(p);
+}
+
+TEST(LazyHeapTest, ContainsIsExact) {
+  mz::LazyHeap& heap = mz::LazyHeap::Global();
+  auto* p = static_cast<char*>(heap.Alloc(100));
+  heap.Unprotect();
+  EXPECT_TRUE(heap.Contains(p));
+  EXPECT_TRUE(heap.Contains(p + 99));
+  int stack_var = 0;
+  EXPECT_FALSE(heap.Contains(&stack_var));
+  heap.Free(p);
+}
+
+TEST(LazyHeapTest, FaultEvaluatesAttachedRuntime) {
+  mz::Runtime rt;
+  mz::RuntimeScope scope(&rt);
+  mz::LazyHeap& heap = mz::LazyHeap::Global();
+  heap.AttachTo(&rt);
+
+  const long n = 1024;
+  auto* data = static_cast<double*>(heap.Alloc(static_cast<std::size_t>(n) * sizeof(double)));
+  for (long i = 0; i < n; ++i) {
+    data[i] = 4.0;  // first touch unprotects (empty graph)
+  }
+
+  mzvec::Sqrt(n, data, data);  // capture re-protects
+  EXPECT_TRUE(heap.is_protected());
+  EXPECT_EQ(rt.num_pending_nodes(), 1);
+
+  // Raw read of lazily-mutated memory: evaluates transparently.
+  EXPECT_DOUBLE_EQ(data[7], 2.0);
+  EXPECT_EQ(rt.num_pending_nodes(), 0);
+
+  heap.AttachTo(nullptr);
+  heap.Unprotect();
+  heap.Free(data);
+}
+
+TEST(LazyHeapTest, ReprotectionCyclesAcrossEvaluations) {
+  mz::Runtime rt;
+  mz::RuntimeScope scope(&rt);
+  mz::LazyHeap& heap = mz::LazyHeap::Global();
+  heap.AttachTo(&rt);
+
+  const long n = 512;
+  auto* data = static_cast<double*>(heap.Alloc(static_cast<std::size_t>(n) * sizeof(double)));
+  for (long i = 0; i < n; ++i) {
+    data[i] = 16.0;
+  }
+  mzvec::Sqrt(n, data, data);
+  EXPECT_DOUBLE_EQ(data[0], 4.0);  // fault → evaluate
+  mzvec::Sqrt(n, data, data);      // capture again → re-protect
+  EXPECT_TRUE(heap.is_protected());
+  EXPECT_DOUBLE_EQ(data[1], 2.0);  // fault → evaluate again
+
+  heap.AttachTo(nullptr);
+  heap.Unprotect();
+  heap.Free(data);
+}
+
+TEST(LazyHeapTest, AccountsUnprotectTime) {
+  mz::LazyHeap& heap = mz::LazyHeap::Global();
+  auto* p = static_cast<char*>(heap.Alloc(1 << 20));
+  std::int64_t before = heap.unprotect_ns();
+  heap.Unprotect();
+  heap.Protect();
+  heap.Unprotect();
+  EXPECT_GT(heap.unprotect_ns(), before);
+  heap.Free(p);
+}
+
+}  // namespace

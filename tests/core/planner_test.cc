@@ -1,0 +1,260 @@
+// Planner-focused tests: stage formation rules, generic inference across
+// edges, unknown semantics, defaults, and failure injection against
+// misbehaving splitting APIs (§5.1 and the pedantic mode of §7.1).
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "dataframe/annotated.h"
+#include "vecmath/annotated.h"
+
+namespace mz {
+namespace {
+
+RuntimeOptions Opts(int threads = 2, bool pedantic = true) {
+  RuntimeOptions o;
+  o.num_threads = threads;
+  o.pedantic = pedantic;
+  return o;
+}
+
+// A deliberately broken split type whose Info() misreports totals, to verify
+// the runtime's §5.2 "same number of elements" check fires.
+void RegisterLyingSplit() {
+  static bool once = [] {
+    Registry& reg = Registry::Global();
+    reg.DefineSplitType(
+        "LyingSplit",
+        [](std::span<const Value> args) -> std::optional<std::vector<std::int64_t>> {
+          return std::vector<std::int64_t>{ValueToInt64(args[0])};
+        },
+        nullptr);
+    mz::RegisterTypedSplitter<double*>(
+        reg, "LyingSplit",
+        [](double* const&, std::span<const std::int64_t> params) {
+          return RuntimeInfo{params[0] * 2, 8};  // lies: double the elements
+        },
+        [](double* const& base, std::int64_t start, std::int64_t, std::span<const std::int64_t>,
+           const SplitContext&) { return Value::Make<double*>(base + start); },
+        [](const Value& original, std::vector<Value>, std::span<const std::int64_t>) {
+          return original;
+        });
+    return true;
+  }();
+  (void)once;
+}
+
+TEST(PlannerRules, MatchingTypesShareOneStage) {
+  const long n = 10000;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> out(n);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());
+  mzvec::Exp(n, out.data(), out.data());
+  mzvec::Log1p(n, out.data(), out.data());
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 1);
+}
+
+TEST(PlannerRules, SameNameDifferentParamsNeverCoReside) {
+  const long n = 10000;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> b(n / 2, 1.0);
+  std::vector<double> oa(n);
+  std::vector<double> ob(n / 2);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), oa.data());
+  mzvec::Sqrt(n / 2, b.data(), ob.data());  // ArraySplit<n/2> ≠ ArraySplit<n>
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 2);
+}
+
+TEST(PlannerRules, ReductionPipelinesWithProducer) {
+  const long n = 50000;
+  std::vector<double> a(n, 2.0);
+  std::vector<double> sq(n);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  mzvec::Sqr(n, a.data(), sq.data());
+  Future<double> s = mzvec::Sum(n, sq.data());
+  EXPECT_DOUBLE_EQ(s.get(), 4.0 * n);
+  EXPECT_EQ(rt.stats().Take().stages, 1);
+}
+
+TEST(PlannerRules, UnknownOutputFeedsGenericInStage) {
+  // filter -> unknown, then a generic consumer stays in-stage (§3.2 Ex. 3/4).
+  const long n = 20000;
+  std::vector<double> vals;
+  for (long i = 0; i < n; ++i) {
+    vals.push_back(static_cast<double>(i % 100));
+  }
+  df::DataFrame frame =
+      df::DataFrame::Make({"v"}, {df::Column::Doubles(std::move(vals))});
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  auto col = mzdf::ColFromFrame(frame, 0);
+  auto mask = mzdf::ColGtC(col, 50.0);
+  auto kept = mzdf::FilterRows(frame, mask);
+  auto kept_col = mzdf::ColFromFrame(kept, 0);  // generic over unknown stream
+  auto doubled = mzdf::ColMulC(kept_col, 2.0);  // still in-stage
+  auto sum = mzdf::ColSum(doubled);
+  double got = sum.get();
+  EXPECT_GT(got, 0.0);
+  EXPECT_EQ(rt.stats().Take().stages, 1);
+}
+
+TEST(PlannerRules, TwoUnknownsNeverUnify) {
+  // Two independent filters produce distinct unknowns; a binary generic
+  // consumer (same S for both args) cannot pipeline with both → new stage.
+  const long n = 10000;
+  std::vector<double> vals(n, 1.0);
+  df::DataFrame frame = df::DataFrame::Make({"v"}, {df::Column::Doubles(std::move(vals))});
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  auto c = mzdf::ColFromFrame(frame, 0);
+  auto m = mzdf::ColGtC(c, 0.5);
+  auto f1 = mzdf::FilterRows(frame, m);   // unknown#1
+  auto f2 = mzdf::FilterRows(frame, m);   // unknown#2
+  auto c1 = mzdf::ColFromFrame(f1, 0);
+  auto c2 = mzdf::ColFromFrame(f2, 0);
+  auto sum = mzdf::ColAdd(c1, c2);        // ColAdd(a: S, b: S) — S can't be both
+  df::Column out = sum.get();
+  EXPECT_EQ(out.size(), n);  // both filters kept everything
+  EXPECT_DOUBLE_EQ(out.d(0), 2.0);
+  EXPECT_GE(rt.stats().Take().stages, 2);
+}
+
+TEST(PlannerRules, MissingArgOnSplitValueBreaksStage) {
+  // Axpy mutates x (split); OuterDiff-style consumers that need the *full*
+  // vector ("_") must wait for the merge. Modeled here with vecmath only:
+  // Fill broadcasts its scalar but mutates out — use Sum's "_"-free shape
+  // via a custom annotated function taking the full array unsplit.
+  const long n = 8192;
+  static std::vector<double> report;
+  const Annotated<void(long, const double*)> snapshot(
+      [](long count, const double* data) {
+        report.assign(data, data + count);
+      },
+      AnnotationBuilder("snapshot")
+          .Arg("n", NoSplit())
+          .Arg("data", NoSplit())
+          .Build());
+  std::vector<double> xs(n, 9.0);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, xs.data(), xs.data());
+  snapshot(n, xs.data());  // serial node reading the full mutated array
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 2);  // split stage + serial stage
+  ASSERT_EQ(report.size(), static_cast<std::size_t>(n));
+  EXPECT_DOUBLE_EQ(report[123], 3.0);
+}
+
+TEST(PlannerRules, PipelineOffForcesStagePerNode) {
+  const long n = 4096;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> out(n);
+  RuntimeOptions opts = Opts();
+  opts.pipeline = false;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());
+  mzvec::Exp(n, out.data(), out.data());
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 2);
+}
+
+TEST(FailureInjection, LyingInfoTotalsThrow) {
+  RegisterLyingSplit();
+  const long n = 1000;
+  static std::vector<double> sink(1000);
+  const Annotated<void(long, const double*, double*)> bad_fn(
+      [](long count, const double* in, double* out) {
+        for (long i = 0; i < count; ++i) {
+          out[i] = in[i];
+        }
+      },
+      AnnotationBuilder("bad_fn")
+          .Arg("n", Split("SizeSplit", {"n"}))
+          .Arg("in", Split("LyingSplit", {"n"}))  // Info() reports 2n elements
+          .MutArg("out", Split("ArraySplit", {"n"}))
+          .Build());
+  std::vector<double> in(n, 1.0);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  bad_fn(n, in.data(), sink.data());
+  EXPECT_THROW(rt.Evaluate(), Error);
+}
+
+TEST(FailureInjection, MissingSplitterThrows) {
+  // A split type with no splitter registered for the argument's C++ type.
+  static bool once = [] {
+    Registry::Global().DefineSplitType(
+        "NoImplSplit",
+        [](std::span<const Value>) -> std::optional<std::vector<std::int64_t>> {
+          return std::vector<std::int64_t>{};
+        },
+        nullptr);
+    return true;
+  }();
+  (void)once;
+  const Annotated<void(long, const double*)> fn(
+      [](long, const double*) {},
+      AnnotationBuilder("no_impl")
+          .Arg("n", Split("SizeSplit", {"n"}))
+          .Arg("in", Split("NoImplSplit"))
+          .Build());
+  std::vector<double> in(64, 1.0);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  fn(64, in.data());
+  EXPECT_THROW(rt.Evaluate(), Error);
+}
+
+TEST(FailureInjection, MutMissingOnSplittableFunctionThrows) {
+  // A splittable function with a mut "_" argument would let every pipeline
+  // mutate the same value concurrently; the planner refuses.
+  const Annotated<void(long, const double*, double*)> unsafe(
+      [](long, const double*, double*) {},
+      AnnotationBuilder("unsafe")
+          .Arg("n", Split("SizeSplit", {"n"}))
+          .Arg("in", Split("ArraySplit", {"n"}))
+          .MutArg("acc", NoSplit())
+          .Build());
+  std::vector<double> in(64, 1.0);
+  double acc = 0;
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  unsafe(64, in.data(), &acc);
+  EXPECT_THROW(rt.Evaluate(), Error);
+}
+
+TEST(FailureInjection, CaptureDuringEvaluationThrows) {
+  // Annotated functions must not call annotated functions (§6: Mozart makes
+  // repeated calls to black-box functions; re-entrant capture is refused).
+  const long n = 256;
+  const Annotated<void(long, const double*, double*)> reentrant(
+      [](long count, const double* in, double* out) {
+        mzvec::Sqrt(count, in, out);  // capture inside evaluation
+      },
+      AnnotationBuilder("reentrant")
+          .Arg("n", Split("SizeSplit", {"n"}))
+          .Arg("in", Split("ArraySplit", {"n"}))
+          .MutArg("out", Split("ArraySplit", {"n"}))
+          .Build());
+  std::vector<double> in(n, 1.0);
+  std::vector<double> out(n);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  reentrant(n, in.data(), out.data());
+  EXPECT_THROW(rt.Evaluate(), Error);
+}
+
+}  // namespace
+}  // namespace mz

@@ -1,0 +1,339 @@
+// End-to-end tests of the Mozart runtime through the vecmath wrapped library:
+// capture, planning, pipelined parallel execution, merging, futures.
+#include "core/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/client.h"
+#include "vecmath/annotated.h"
+#include "vecmath/vecmath.h"
+
+namespace mz {
+namespace {
+
+std::vector<double> Iota(long n, double start = 1.0) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = start + static_cast<double>(i);
+  }
+  return v;
+}
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeOptions MakeOptions(int threads = 2) {
+    RuntimeOptions opts;
+    opts.num_threads = threads;
+    opts.pedantic = true;
+    return opts;
+  }
+};
+
+TEST_F(RuntimeTest, SingleCallMatchesDirectExecution) {
+  const long n = 10000;
+  std::vector<double> a = Iota(n);
+  std::vector<double> got(static_cast<std::size_t>(n));
+  std::vector<double> want(static_cast<std::size_t>(n));
+  vecmath::Sqrt(n, a.data(), want.data());
+
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), got.data());
+  EXPECT_EQ(rt.num_pending_nodes(), 1);
+  rt.Evaluate();
+  EXPECT_EQ(rt.num_pending_nodes(), 0);
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(RuntimeTest, PipelinedChainMatchesDirectExecution) {
+  const long n = 50000;
+  std::vector<double> a = Iota(n);
+  std::vector<double> b = Iota(n, 2.0);
+  std::vector<double> got(static_cast<std::size_t>(n));
+  std::vector<double> tmp(static_cast<std::size_t>(n));
+  std::vector<double> want(static_cast<std::size_t>(n));
+
+  // want = log1p(a) + b, then / b
+  vecmath::Log1p(n, a.data(), want.data());
+  vecmath::Add(n, want.data(), b.data(), want.data());
+  vecmath::Div(n, want.data(), b.data(), want.data());
+
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::Log1p(n, a.data(), got.data());
+  mzvec::Add(n, got.data(), b.data(), got.data());
+  mzvec::Div(n, got.data(), b.data(), got.data());
+  rt.Evaluate();
+  EXPECT_EQ(got, want);
+  // All three ops have matching split types — one pipelined stage.
+  EXPECT_EQ(rt.stats().Take().stages, 1);
+}
+
+TEST_F(RuntimeTest, ReductionReturnsFuture) {
+  const long n = 100000;
+  std::vector<double> a(static_cast<std::size_t>(n), 0.5);
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  Future<double> total = mzvec::Sum(n, a.data());
+  EXPECT_FALSE(total.ready());
+  EXPECT_DOUBLE_EQ(total.get(), 0.5 * static_cast<double>(n));
+  EXPECT_TRUE(total.ready());
+}
+
+TEST_F(RuntimeTest, PipelineIntoReduction) {
+  const long n = 65536;
+  std::vector<double> a(static_cast<std::size_t>(n), 3.0);
+  std::vector<double> sq(static_cast<std::size_t>(n));
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::Sqr(n, a.data(), sq.data());
+  Future<double> total = mzvec::Sum(n, sq.data());
+  // Sqr and Sum share the ArraySplit stream — single stage.
+  EXPECT_DOUBLE_EQ(total.get(), 9.0 * static_cast<double>(n));
+  EXPECT_EQ(rt.stats().Take().stages, 1);
+}
+
+TEST_F(RuntimeTest, MinMaxReductions) {
+  const long n = 40000;
+  std::vector<double> a = Iota(n);
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  Future<double> max = mzvec::MaxReduce(n, a.data());
+  Future<double> min = mzvec::MinReduce(n, a.data());
+  Future<double> dot = mzvec::Dot(n, a.data(), a.data());
+  EXPECT_DOUBLE_EQ(max.get(), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(min.get(), 1.0);
+  double want_dot = 0;
+  for (double x : a) {
+    want_dot += x * x;
+  }
+  EXPECT_DOUBLE_EQ(dot.get(), want_dot);
+}
+
+TEST_F(RuntimeTest, MismatchedSizesBreakStages) {
+  const long n = 30000;
+  const long m = 20000;
+  std::vector<double> a = Iota(n);
+  std::vector<double> b = Iota(m);
+  std::vector<double> out_a(static_cast<std::size_t>(n));
+  std::vector<double> out_b(static_cast<std::size_t>(m));
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out_a.data());
+  // Different length → ArraySplit<m> ≠ ArraySplit<n>... but these are
+  // *independent* streams (no shared slots), so they still share a stage
+  // only if totals agree — they don't, so the planner must separate them.
+  mzvec::Sqrt(m, b.data(), out_b.data());
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 2);
+  EXPECT_DOUBLE_EQ(out_a[0], 1.0);
+  EXPECT_DOUBLE_EQ(out_b[static_cast<std::size_t>(m - 1)], std::sqrt(static_cast<double>(m)));
+}
+
+TEST_F(RuntimeTest, DependentDifferentSizesBreakStages) {
+  const long n = 30000;
+  std::vector<double> a = Iota(n);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());
+  // Second call reads `out` but with a different length: split types
+  // ArraySplit<n> vs ArraySplit<n/2> differ → stage break.
+  mzvec::Sqrt(n / 2, out.data(), out.data());
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 2);
+}
+
+TEST_F(RuntimeTest, ExplicitEvaluateIsIdempotent) {
+  const long n = 1000;
+  std::vector<double> a = Iota(n);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::Exp(n, a.data(), out.data());
+  rt.Evaluate();
+  auto s1 = rt.stats().Take();
+  rt.Evaluate();
+  auto s2 = rt.stats().Take();
+  EXPECT_EQ(s1.nodes_executed, s2.nodes_executed);
+}
+
+TEST_F(RuntimeTest, CaptureAfterEvaluateContinues) {
+  const long n = 4096;
+  std::vector<double> a(static_cast<std::size_t>(n), 4.0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());
+  rt.Evaluate();
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  mzvec::Sqrt(n, out.data(), out.data());
+  rt.Evaluate();
+  EXPECT_DOUBLE_EQ(out[0], std::sqrt(2.0));
+}
+
+TEST_F(RuntimeTest, DataflowEdgesAreDetected) {
+  const long n = 1024;
+  std::vector<double> a = Iota(n);
+  std::vector<double> b = Iota(n);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());       // writes out
+  mzvec::Add(n, out.data(), b.data(), out.data());  // reads + writes out
+  auto edges = rt.ComputeEdges();
+  bool has_raw = false;
+  for (const Edge& e : edges) {
+    if (e.kind == Edge::Kind::kRaw && e.from == 0 && e.to == 1) {
+      has_raw = true;
+    }
+  }
+  EXPECT_TRUE(has_raw);
+  rt.Evaluate();
+}
+
+TEST_F(RuntimeTest, PipelineAblationRunsEveryNodeAlone) {
+  const long n = 20000;
+  std::vector<double> a = Iota(n);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  RuntimeOptions opts = MakeOptions();
+  opts.pipeline = false;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());
+  mzvec::Exp(n, out.data(), out.data());
+  mzvec::Log(n, out.data(), out.data());
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 3);
+  EXPECT_NEAR(out[0], 1.0, 1e-12);  // log(exp(sqrt(1))) == 1
+}
+
+TEST_F(RuntimeTest, BatchOverrideIsHonored) {
+  const long n = 10000;
+  std::vector<double> a = Iota(n);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  RuntimeOptions opts = MakeOptions(/*threads=*/1);
+  opts.batch_elems_override = 100;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().batches, 100);
+}
+
+TEST_F(RuntimeTest, ManyThreadsOverSmallInput) {
+  const long n = 7;  // fewer elements than threads
+  std::vector<double> a = Iota(n);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  Runtime rt(MakeOptions(/*threads=*/4));
+  RuntimeScope scope(&rt);
+  mzvec::Sqr(n, a.data(), out.data());
+  rt.Evaluate();
+  for (long i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     a[static_cast<std::size_t>(i)] * a[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(RuntimeTest, ScalarBroadcastArguments) {
+  const long n = 30000;
+  std::vector<double> a = Iota(n);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::MulC(n, a.data(), 2.0, out.data());
+  mzvec::AddC(n, out.data(), 1.0, out.data());
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 1);
+  EXPECT_DOUBLE_EQ(out[9], a[9] * 2.0 + 1.0);
+}
+
+TEST_F(RuntimeTest, ResetClearsGraph) {
+  const long n = 128;
+  std::vector<double> a = Iota(n);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());
+  rt.Evaluate();
+  rt.Reset();
+  EXPECT_EQ(rt.num_captured_nodes(), 0);
+}
+
+TEST_F(RuntimeTest, ResetWithLiveFutureThrows) {
+  const long n = 128;
+  std::vector<double> a = Iota(n);
+  Runtime rt(MakeOptions());
+  RuntimeScope scope(&rt);
+  Future<double> f = mzvec::Sum(n, a.data());
+  EXPECT_THROW(rt.Reset(), Error);
+  (void)f.get();
+}
+
+// Property sweep: random pipelines of unary ops must match direct execution
+// for every (threads, size) combination.
+struct SweepParam {
+  int threads;
+  long n;
+};
+
+class PipelineSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweepTest, RandomUnaryChainsMatchDirect) {
+  const SweepParam p = GetParam();
+  std::vector<double> input = Iota(p.n, 0.25);
+  for (double& x : input) {
+    x = x / static_cast<double>(p.n);  // keep in a numerically tame range
+  }
+
+  using UnaryPtr = void (*)(long, const double*, double*);
+  const UnaryPtr direct_ops[] = {vecmath::Sqrt, vecmath::Log1p, vecmath::Sin, vecmath::Abs,
+                                 vecmath::Sqr};
+  const mzvec::UnaryFn* wrapped_ops[] = {&mzvec::Sqrt, &mzvec::Log1p, &mzvec::Sin, &mzvec::Abs,
+                                         &mzvec::Sqr};
+
+  std::vector<double> want = input;
+  std::vector<double> got = input;
+  std::uint64_t chain = 0x243F6A8885A308D3ull;  // deterministic op selection
+  const int kChainLength = 7;
+
+  for (int i = 0; i < kChainLength; ++i) {
+    std::size_t op = static_cast<std::size_t>(chain % 5);
+    chain /= 5;
+    direct_ops[op](p.n, want.data(), want.data());
+  }
+
+  RuntimeOptions opts;
+  opts.num_threads = p.threads;
+  opts.pedantic = true;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  chain = 0x243F6A8885A308D3ull;
+  for (int i = 0; i < kChainLength; ++i) {
+    std::size_t op = static_cast<std::size_t>(chain % 5);
+    chain /= 5;
+    (*wrapped_ops[op])(p.n, got.data(), got.data());
+  }
+  rt.Evaluate();
+  ASSERT_EQ(rt.stats().Take().stages, 1);
+  for (long i = 0; i < p.n; i += std::max<long>(1, p.n / 97)) {
+    EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(i)], want[static_cast<std::size_t>(i)])
+        << "at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsAndSizes, PipelineSweepTest,
+                         ::testing::Values(SweepParam{1, 1}, SweepParam{1, 1000},
+                                           SweepParam{2, 4096}, SweepParam{2, 100000},
+                                           SweepParam{4, 65537}, SweepParam{4, 3},
+                                           SweepParam{3, 12345}),
+                         [](const ::testing::TestParamInfo<SweepParam>& info) {
+                           return "t" + std::to_string(info.param.threads) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+}  // namespace
+}  // namespace mz

@@ -1,0 +1,96 @@
+// Unit tests for the type-erased Value and argument unpacking rules.
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/unpack.h"
+
+namespace mz {
+namespace {
+
+TEST(ValueTest, EmptyValueHasNoValue) {
+  Value v;
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(ValueTest, HoldsArithmetic) {
+  Value v = Value::Make<long>(42);
+  ASSERT_TRUE(v.Is<long>());
+  EXPECT_EQ(v.As<long>(), 42);
+  EXPECT_FALSE(v.Is<int>());
+}
+
+TEST(ValueTest, HoldsPointer) {
+  double x = 3.5;
+  Value v = Value::Make<double*>(&x);
+  ASSERT_TRUE(v.Is<double*>());
+  EXPECT_EQ(v.As<double*>(), &x);
+}
+
+TEST(ValueTest, HoldsObjectByValue) {
+  Value v = Value::Make<std::vector<int>>({1, 2, 3});
+  ASSERT_TRUE(v.Is<std::vector<int>>());
+  EXPECT_EQ(v.As<std::vector<int>>().size(), 3u);
+}
+
+TEST(ValueTest, CopiesShareHolder) {
+  Value a = Value::Make<int>(7);
+  Value b = a;
+  EXPECT_EQ(a.holder_identity(), b.holder_identity());
+}
+
+TEST(ValueTest, MutableAccessWritesThrough) {
+  Value v = Value::Make<std::string>("abc");
+  *v.MutableAs<std::string>() += "def";
+  EXPECT_EQ(v.As<std::string>(), "abcdef");
+}
+
+TEST(UnpackTest, ExactArithmetic) {
+  Value v = Value::Make<long>(9);
+  EXPECT_EQ(UnpackAs<long>(v), 9);
+}
+
+TEST(UnpackTest, WideningIntegerConversions) {
+  Value v = Value::Make<std::int64_t>(123);
+  EXPECT_EQ(UnpackAs<int>(v), 123);
+  EXPECT_EQ(UnpackAs<long>(v), 123);
+  EXPECT_DOUBLE_EQ(UnpackAs<double>(v), 123.0);
+}
+
+TEST(UnpackTest, ConstPointerFromMutablePointer) {
+  double x = 1.0;
+  Value v = Value::Make<double*>(&x);
+  const double* p = UnpackAs<const double*>(v);
+  EXPECT_EQ(p, &x);
+}
+
+TEST(UnpackTest, PointerFromOwnedObject) {
+  Value v = Value::Make<std::vector<double>>({1.0, 2.0});
+  const std::vector<double>* p = UnpackAs<const std::vector<double>*>(v);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->size(), 2u);
+}
+
+TEST(UnpackTest, ClassTypeByReference) {
+  Value v = Value::Make<std::string>("hello");
+  const std::string& s = UnpackAs<const std::string&>(v);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(UnpackTest, MismatchThrows) {
+  Value v = Value::Make<std::string>("hello");
+  EXPECT_THROW(UnpackAs<double>(v), Error);
+  EXPECT_THROW(UnpackAs<const double*>(v), Error);
+}
+
+TEST(UnpackTest, ValueToInt64Conversions) {
+  EXPECT_EQ(ValueToInt64(Value::Make<int>(5)), 5);
+  EXPECT_EQ(ValueToInt64(Value::Make<long>(6)), 6);
+  EXPECT_EQ(ValueToInt64(Value::Make<std::size_t>(7)), 7);
+}
+
+}  // namespace
+}  // namespace mz

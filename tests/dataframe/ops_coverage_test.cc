@@ -1,0 +1,158 @@
+// Coverage for DataFrame operators not exercised by the workload paths:
+// remaining arithmetic/mask/string ops, min/max aggregations (including
+// their GroupSplit partial-merge behaviour under Mozart), multi-key sorting,
+// and re-aggregation folds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "dataframe/annotated.h"
+#include "dataframe/ops.h"
+
+namespace {
+
+using df::Column;
+using df::DataFrame;
+
+TEST(OpsCoverage, RemainingColumnArithmetic) {
+  Column a = Column::Doubles({4.0, 9.0, 16.0});
+  Column b = Column::Doubles({2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(df::ColSub(a, b).d(1), 6.0);
+  EXPECT_DOUBLE_EQ(df::ColMul(a, b).d(2), 64.0);
+  EXPECT_DOUBLE_EQ(df::ColAddC(a, 1.5).d(0), 5.5);
+  EXPECT_DOUBLE_EQ(df::ColDivC(a, 2.0).d(0), 2.0);
+}
+
+TEST(OpsCoverage, RemainingPredicates) {
+  Column a = Column::Doubles({1.0, 2.0, 3.0});
+  EXPECT_EQ(df::ColLtC(a, 2.5).i64(1), 1);
+  EXPECT_EQ(df::ColGeC(a, 2.0).i64(0), 0);
+  EXPECT_EQ(df::ColGeC(a, 2.0).i64(1), 1);
+  EXPECT_EQ(df::ColEqC(a, 3.0).i64(2), 1);
+  Column m1 = df::ColGtC(a, 1.5);
+  Column m2 = df::ColLtC(a, 2.5);
+  EXPECT_EQ(df::MaskOr(m1, m2).i64(0), 1);
+  EXPECT_EQ(df::MaskAnd(m1, m2).i64(1), 1);
+  EXPECT_EQ(df::MaskAnd(m1, m2).i64(2), 0);
+}
+
+TEST(OpsCoverage, RemainingStringOps) {
+  Column s = Column::Strings({"hello world", "goodbye", "WORLD peace"});
+  EXPECT_EQ(df::StrContains(s, "world").i64(0), 1);
+  EXPECT_EQ(df::StrContains(s, "world").i64(2), 0);  // case sensitive
+  EXPECT_EQ(df::StrLen(s).i64(1), 7);
+  Column nums = df::StrToDouble(Column::Strings({"3.25", "x", "-7"}));
+  EXPECT_DOUBLE_EQ(nums.d(0), 3.25);
+  EXPECT_TRUE(std::isnan(nums.d(1)));
+  EXPECT_DOUBLE_EQ(nums.d(2), -7.0);
+}
+
+TEST(OpsCoverage, ColMinMaxReductions) {
+  Column a = Column::Doubles({5.0, -2.0, 7.0, 0.5});
+  EXPECT_DOUBLE_EQ(df::ColMin(a), -2.0);
+  EXPECT_DOUBLE_EQ(df::ColMax(a), 7.0);
+}
+
+TEST(OpsCoverage, GroupByMinMax) {
+  DataFrame f = DataFrame::Make(
+      {"k", "v"},
+      {Column::Ints({1, 2, 1, 2, 1}), Column::Doubles({5.0, 10.0, 2.0, 20.0, 3.0})});
+  DataFrame mins = df::SortByKeys(df::GroupByAgg(f, 0, -1, 1, df::kAggMin), 1);
+  EXPECT_DOUBLE_EQ(mins.col("min").d(0), 2.0);
+  EXPECT_DOUBLE_EQ(mins.col("min").d(1), 10.0);
+  DataFrame maxs = df::SortByKeys(df::GroupByAgg(f, 0, -1, 1, df::kAggMax), 1);
+  EXPECT_DOUBLE_EQ(maxs.col("max").d(0), 5.0);
+  EXPECT_DOUBLE_EQ(maxs.col("max").d(1), 20.0);
+}
+
+TEST(OpsCoverage, ReAggregateMinMaxFolds) {
+  DataFrame f = DataFrame::Make(
+      {"k", "v"}, {Column::Ints({1, 1, 2, 2}), Column::Doubles({4.0, 9.0, 1.0, 6.0})});
+  DataFrame p1 = df::GroupByAgg(f.Slice(0, 2), 0, -1, 1, df::kAggMin);
+  DataFrame p2 = df::GroupByAgg(f.Slice(2, 4), 0, -1, 1, df::kAggMin);
+  std::vector<DataFrame> parts = {p1, p2};
+  DataFrame merged = df::SortByKeys(df::ReAggregate(DataFrame::Concat(parts), 1, df::kAggMin), 1);
+  EXPECT_DOUBLE_EQ(merged.col("min").d(0), 4.0);
+  EXPECT_DOUBLE_EQ(merged.col("min").d(1), 1.0);
+}
+
+TEST(OpsCoverage, GroupByMinThroughMozart) {
+  const long n = 20000;
+  std::vector<std::int64_t> keys;
+  std::vector<double> vals;
+  for (long i = 0; i < n; ++i) {
+    keys.push_back(i % 37);
+    vals.push_back(static_cast<double>((i * 7919) % 10007));
+  }
+  DataFrame f = DataFrame::Make(
+      {"k", "v"}, {Column::Ints(std::move(keys)), Column::Doubles(std::move(vals))});
+  DataFrame want = df::SortByKeys(df::GroupByAgg(f, 0, -1, 1, df::kAggMin), 1);
+
+  mz::RuntimeOptions opts;
+  opts.num_threads = 3;
+  opts.pedantic = true;
+  mz::Runtime rt(opts);
+  mz::RuntimeScope scope(&rt);
+  DataFrame got = df::SortByKeys(mzdf::GroupByAgg(f, 0, -1, 1, df::kAggMin).get(), 1);
+  ASSERT_EQ(got.num_rows(), want.num_rows());
+  for (long r = 0; r < got.num_rows(); ++r) {
+    EXPECT_EQ(got.col(0).i64(r), want.col(0).i64(r));
+    EXPECT_DOUBLE_EQ(got.col("min").d(r), want.col("min").d(r));
+  }
+}
+
+TEST(OpsCoverage, GroupByCountThroughMozart) {
+  const long n = 9000;
+  std::vector<std::int64_t> keys;
+  std::vector<double> vals(static_cast<std::size_t>(n), 1.0);
+  for (long i = 0; i < n; ++i) {
+    keys.push_back(i % 3);
+  }
+  DataFrame f = DataFrame::Make(
+      {"k", "v"}, {Column::Ints(std::move(keys)), Column::Doubles(std::move(vals))});
+  mz::RuntimeOptions opts;
+  opts.num_threads = 2;
+  mz::Runtime rt(opts);
+  mz::RuntimeScope scope(&rt);
+  DataFrame got = df::SortByKeys(mzdf::GroupByAgg(f, 0, -1, 1, df::kAggCount).get(), 1);
+  ASSERT_EQ(got.num_rows(), 3);
+  for (long r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(got.col("count").d(r), static_cast<double>(n / 3));
+  }
+}
+
+TEST(OpsCoverage, SortByKeysTwoKeysStable) {
+  DataFrame f = DataFrame::Make(
+      {"a", "b", "v"},
+      {Column::Ints({2, 1, 2, 1}), Column::Strings({"y", "x", "x", "y"}),
+       Column::Doubles({1, 2, 3, 4})});
+  DataFrame sorted = df::SortByKeys(f, 2);
+  EXPECT_EQ(sorted.col(0).i64(0), 1);
+  EXPECT_EQ(sorted.col(1).str(0), "x");
+  EXPECT_DOUBLE_EQ(sorted.col(2).d(0), 2.0);
+  EXPECT_EQ(sorted.col(0).i64(3), 2);
+  EXPECT_EQ(sorted.col(1).str(3), "y");
+}
+
+TEST(OpsCoverage, SelectProjection) {
+  DataFrame f = DataFrame::Make(
+      {"a", "b", "c"},
+      {Column::Ints({1}), Column::Strings({"s"}), Column::Doubles({2.0})});
+  const int idx[] = {2, 0};
+  DataFrame proj = f.Select(idx);
+  EXPECT_EQ(proj.num_cols(), 2);
+  EXPECT_EQ(proj.names()[0], "c");
+  EXPECT_EQ(proj.col(1).i64(0), 1);
+}
+
+TEST(OpsCoverage, WithColumnReplacesExisting) {
+  DataFrame f = DataFrame::Make({"a"}, {Column::Doubles({1.0, 2.0})});
+  DataFrame g = f.WithColumn("a", Column::Doubles({3.0, 4.0}));
+  EXPECT_EQ(g.num_cols(), 1);
+  EXPECT_DOUBLE_EQ(g.col("a").d(0), 3.0);
+}
+
+}  // namespace

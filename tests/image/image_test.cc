@@ -1,0 +1,171 @@
+// Tests for the image substrate: point ops, crop/append geometry, and the
+// band-split annotations (including the two-image Blend pipeline).
+#include "image/image.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "image/annotated.h"
+
+namespace {
+
+using img::Image;
+
+mz::RuntimeOptions TestOptions(int threads = 2) {
+  mz::RuntimeOptions opts;
+  opts.num_threads = threads;
+  opts.pedantic = true;
+  return opts;
+}
+
+bool ImagesEqual(const Image& a, const Image& b) {
+  return a.width() == b.width() && a.height() == b.height() &&
+         std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+}
+
+TEST(ImageTest, CropCopiesAndTracksPageGeometry) {
+  Image src = img::MakeTestImage(64, 48, 1);
+  Image band = img::Crop(src, 10, 20);
+  EXPECT_EQ(band.height(), 10);
+  EXPECT_EQ(band.page_y(), 10);
+  EXPECT_EQ(std::memcmp(band.row(0), src.row(10), static_cast<std::size_t>(64) * 3), 0);
+  // Crop of a crop accumulates offsets.
+  Image inner = img::Crop(band, 4, 8);
+  EXPECT_EQ(inner.page_y(), 14);
+}
+
+TEST(ImageTest, AppendVerticalRestoresImage) {
+  Image src = img::MakeTestImage(32, 30, 2);
+  std::vector<Image> parts = {img::Crop(src, 0, 13), img::Crop(src, 13, 30)};
+  Image merged = img::AppendVertical(parts);
+  EXPECT_TRUE(ImagesEqual(merged, src));
+}
+
+TEST(ImageTest, GammaIdentityAndBrighten) {
+  Image a = img::MakeTestImage(16, 16, 3);
+  Image b = a;
+  img::Gamma(&b, 1.0);
+  EXPECT_TRUE(ImagesEqual(a, b));
+  img::Gamma(&b, 2.0);  // gamma > 1 brightens midtones
+  EXPECT_GE(b.row(8)[24], a.row(8)[24]);
+}
+
+TEST(ImageTest, ColorizeFullAlphaSetsColor) {
+  Image a = img::MakeTestImage(8, 8, 4);
+  img::Colorize(&a, 10, 20, 30, 1.0);
+  EXPECT_EQ(a.row(3)[0], 10);
+  EXPECT_EQ(a.row(3)[1], 20);
+  EXPECT_EQ(a.row(3)[2], 30);
+}
+
+TEST(ImageTest, ModulateDesaturateGraysOut) {
+  Image a = img::MakeTestImage(8, 8, 5);
+  img::ModulateHSV(&a, 100.0, 0.0, 100.0);  // saturation → 0
+  const std::uint8_t* p = a.row(4);
+  EXPECT_NEAR(p[0], p[1], 2);
+  EXPECT_NEAR(p[1], p[2], 2);
+}
+
+TEST(ImageTest, SumLumaMatchesManual) {
+  Image a = img::MakeTestImage(16, 8, 6);
+  double total = img::SumLuma(&a);
+  EXPECT_GT(total, 0.0);
+  Image black(16, 8);
+  EXPECT_DOUBLE_EQ(img::SumLuma(&black), 0.0);
+}
+
+TEST(ImageAnnotatedTest, FilterPipelineMatchesDirect) {
+  Image want = img::MakeTestImage(200, 300, 7);
+  Image got = want;
+
+  img::Colorize(&want, 34, 43, 109, 0.2);
+  img::Gamma(&want, 1.2);
+  img::ModulateHSV(&want, 100.0, 150.0, 100.0);
+  img::SigmoidalContrast(&want, 3.0, 127.0);
+
+  mz::Runtime rt(TestOptions());
+  mz::RuntimeScope scope(&rt);
+  mzimg::Colorize(&got, 34, 43, 109, 0.2);
+  mzimg::Gamma(&got, 1.2);
+  mzimg::ModulateHSV(&got, 100.0, 150.0, 100.0);
+  mzimg::SigmoidalContrast(&got, 3.0, 127.0);
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 1);
+  EXPECT_TRUE(ImagesEqual(got, want));
+}
+
+TEST(ImageAnnotatedTest, BlendTwoImagesPipelines) {
+  Image base_want = img::MakeTestImage(100, 160, 8);
+  Image overlay = img::MakeTestImage(100, 160, 9);
+  Image base_got = base_want;
+
+  img::Gamma(&base_want, 0.8);
+  img::Blend(&base_want, &overlay, 0.35);
+
+  mz::Runtime rt(TestOptions());
+  mz::RuntimeScope scope(&rt);
+  mzimg::Gamma(&base_got, 0.8);
+  mzimg::Blend(&base_got, &overlay, 0.35);
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().stages, 1);
+  EXPECT_TRUE(ImagesEqual(base_got, base_want));
+}
+
+TEST(ImageAnnotatedTest, LumaReductionMatches) {
+  Image a = img::MakeTestImage(128, 257, 10);
+  mz::Runtime rt(TestOptions());
+  mz::RuntimeScope scope(&rt);
+  double got = mzimg::SumLuma(&a).get();
+  EXPECT_NEAR(got, img::SumLuma(&a), 1e-6 * img::SumLuma(&a));
+}
+
+// §7.1: Blur's boundary condition makes it unsound to annotate — running it
+// per band applies the edge clamp at every band seam. This test documents
+// the exact failure an annotator must screen for.
+TEST(ImageAnnotatedTest, BoxBlurWouldBeUnsoundUnderSplitting) {
+  Image src = img::MakeTestImage(64, 60, 12);
+  Image whole(64, 60);
+  img::BoxBlur(&src, 2, &whole);
+
+  // Simulate what ImageBandSplit + per-band execution would compute.
+  Image top_band = img::Crop(src, 0, 30);
+  Image bottom_band = img::Crop(src, 30, 60);
+  Image top_out(64, 30);
+  Image bottom_out(64, 30);
+  img::BoxBlur(&top_band, 2, &top_out);
+  img::BoxBlur(&bottom_band, 2, &bottom_out);
+  std::vector<Image> parts = {top_out, bottom_out};
+  Image stitched = img::AppendVertical(parts);
+
+  // Interior rows agree; rows at the band seam (29/30) do not.
+  EXPECT_EQ(std::memcmp(whole.row(10), stitched.row(10), 64 * 3), 0);
+  EXPECT_NE(std::memcmp(whole.row(29), stitched.row(29), 64 * 3), 0);
+  EXPECT_NE(std::memcmp(whole.row(30), stitched.row(30), 64 * 3), 0);
+}
+
+class ImageThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImageThreadSweep, PipelineCorrectAcrossThreads) {
+  Image want = img::MakeTestImage(150, 401, 11);
+  Image got = want;
+  img::Level(&want, 10.0, 245.0, 1.1);
+  img::BrightnessContrast(&want, 5.0, 1.2);
+
+  mz::Runtime rt(TestOptions(GetParam()));
+  mz::RuntimeScope scope(&rt);
+  mzimg::Level(&got, 10.0, 245.0, 1.1);
+  mzimg::BrightnessContrast(&got, 5.0, 1.2);
+  rt.Evaluate();
+  EXPECT_TRUE(ImagesEqual(got, want));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ImageThreadSweep, ::testing::Values(1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Tests for the NLP substrate: tokenizer, tagger rules, corpus slicing, and
+// the minibatch-split annotations.
+#include "nlp/nlp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "nlp/annotated.h"
+
+namespace {
+
+using nlp::Corpus;
+using nlp::PosCounts;
+using nlp::PosTag;
+using nlp::Token;
+
+mz::RuntimeOptions TestOptions(int threads = 2) {
+  mz::RuntimeOptions opts;
+  opts.num_threads = threads;
+  opts.pedantic = true;
+  return opts;
+}
+
+TEST(NlpTest, TokenizeSplitsWordsAndPunct) {
+  std::vector<Token> tokens = nlp::Tokenize("The movie was great, really!");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].text, "The");
+  EXPECT_TRUE(tokens[0].sentence_start);
+  EXPECT_EQ(tokens[4].text, ",");
+  EXPECT_EQ(tokens[6].text, "!");
+}
+
+TEST(NlpTest, TaggerUsesLexiconAndSuffixes) {
+  std::vector<Token> tokens = nlp::Tokenize("dogs kept running and barked loudly");
+  nlp::TagTokens(&tokens);
+  EXPECT_EQ(tokens[2].tag, PosTag::kVerb);  // -ing suffix
+  EXPECT_EQ(tokens[3].tag, PosTag::kConj);  // lexicon
+  EXPECT_EQ(tokens[4].tag, PosTag::kVerb);  // -ed suffix
+  EXPECT_EQ(tokens[5].tag, PosTag::kAdv);   // -ly suffix
+}
+
+TEST(NlpTest, ContextRuleGerundAfterDeterminerIsNominal) {
+  // Brill-style fixup: "the running" reads as a nominal use of the gerund.
+  std::vector<Token> tokens = nlp::Tokenize("The running dog");
+  nlp::TagTokens(&tokens);
+  EXPECT_EQ(tokens[0].tag, PosTag::kDet);
+  EXPECT_EQ(tokens[1].tag, PosTag::kNoun);
+}
+
+TEST(NlpTest, ContextRuleDetNounFix) {
+  std::vector<Token> tokens = nlp::Tokenize("the watch");
+  nlp::TagTokens(&tokens);
+  EXPECT_EQ(tokens[1].tag, PosTag::kNoun);  // verb reinterpreted after det
+}
+
+TEST(NlpTest, ProperNounShapeRule) {
+  std::vector<Token> tokens = nlp::Tokenize("we met Oslo yesterday");
+  nlp::TagTokens(&tokens);
+  EXPECT_EQ(tokens[2].tag, PosTag::kPropn);  // capitalized, not sentence start
+}
+
+TEST(NlpTest, CorpusSliceAndConcat) {
+  Corpus c = Corpus::FromDocuments({"a b", "c d", "e f", "g"});
+  Corpus mid = c.Slice(1, 3);
+  EXPECT_EQ(mid.size(), 2);
+  EXPECT_EQ(mid.doc(0), "c d");
+  std::vector<Corpus> parts = {c.Slice(0, 2), c.Slice(2, 4)};
+  Corpus merged = Corpus::Concat(parts);
+  EXPECT_EQ(merged.size(), 4);
+  EXPECT_EQ(merged.doc(3), "g");
+}
+
+TEST(NlpTest, SyntheticCorpusIsDeterministic) {
+  Corpus a = nlp::MakeSyntheticCorpus(10, 50, 42);
+  Corpus b = nlp::MakeSyntheticCorpus(10, 50, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (long i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.doc(i), b.doc(i));
+  }
+}
+
+TEST(NlpTest, CountPosSumsOverDocs) {
+  Corpus c = Corpus::FromDocuments({"The movie was great.", "I hated it."});
+  PosCounts counts = nlp::CountPos(c);
+  EXPECT_GT(counts.tokens, 0);
+  EXPECT_EQ(counts.sentences, 2);
+}
+
+TEST(NlpAnnotatedTest, TagCorpusMatchesDirect) {
+  Corpus c = nlp::MakeSyntheticCorpus(500, 40, 7);
+  std::vector<nlp::TaggedDoc> want = nlp::TagCorpus(c);
+
+  mz::Runtime rt(TestOptions());
+  mz::RuntimeScope scope(&rt);
+  std::vector<nlp::TaggedDoc> got = mznlp::TagCorpus(c).get();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t d = 0; d < got.size(); d += 37) {
+    ASSERT_EQ(got[d].size(), want[d].size()) << "doc " << d;
+    for (std::size_t t = 0; t < got[d].size(); ++t) {
+      EXPECT_EQ(got[d][t].tag, want[d][t].tag);
+    }
+  }
+}
+
+class NlpThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NlpThreadSweep, CountPosReductionMatches) {
+  Corpus c = nlp::MakeSyntheticCorpus(701, 30, 9);
+  PosCounts want = nlp::CountPos(c);
+
+  mz::Runtime rt(TestOptions(GetParam()));
+  mz::RuntimeScope scope(&rt);
+  PosCounts got = mznlp::CountPos(c).get();
+  EXPECT_EQ(got.tokens, want.tokens);
+  EXPECT_EQ(got.sentences, want.sentences);
+  for (int i = 0; i < nlp::kNumTags; ++i) {
+    EXPECT_EQ(got.counts[static_cast<std::size_t>(i)], want.counts[static_cast<std::size_t>(i)])
+        << nlp::TagName(static_cast<PosTag>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, NlpThreadSweep, ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Unit tests for the vecmath substrate itself: element-wise semantics vs the
+// C math library, internal-parallel-mode equivalence, aliasing (in-place
+// operation), and reductions.
+#include "vecmath/vecmath.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace {
+
+std::vector<double> RandomVec(long n, double lo, double hi, std::uint64_t seed) {
+  mz::Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) {
+    x = rng.NextDouble(lo, hi);
+  }
+  return v;
+}
+
+using UnaryFn = void (*)(long, const double*, double*);
+using StdFn = double (*)(double);
+
+struct UnaryCase {
+  const char* name;
+  UnaryFn fn;
+  StdFn ref;
+  double lo;
+  double hi;
+};
+
+class UnaryOpTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryOpTest, MatchesStdMath) {
+  const UnaryCase& c = GetParam();
+  const long n = 10001;
+  std::vector<double> in = RandomVec(n, c.lo, c.hi, 5);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  vecmath::SetNumThreads(1);
+  c.fn(n, in.data(), out.data());
+  for (long i = 0; i < n; i += 419) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], c.ref(in[static_cast<std::size_t>(i)]))
+        << c.name << " at " << i;
+  }
+  vecmath::SetNumThreads(0);
+}
+
+TEST_P(UnaryOpTest, ParallelMatchesSerial) {
+  const UnaryCase& c = GetParam();
+  const long n = vecmath::kParallelGrain * 3 + 7;  // force internal threading
+  std::vector<double> in = RandomVec(n, c.lo, c.hi, 6);
+  std::vector<double> serial(static_cast<std::size_t>(n));
+  std::vector<double> parallel(static_cast<std::size_t>(n));
+  vecmath::SetNumThreads(1);
+  c.fn(n, in.data(), serial.data());
+  vecmath::SetNumThreads(4);
+  c.fn(n, in.data(), parallel.data());
+  vecmath::SetNumThreads(0);
+  EXPECT_EQ(serial, parallel) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, UnaryOpTest,
+    ::testing::Values(UnaryCase{"sqrt", vecmath::Sqrt, std::sqrt, 0.0, 100.0},
+                      UnaryCase{"exp", vecmath::Exp, std::exp, -5.0, 5.0},
+                      UnaryCase{"log", vecmath::Log, std::log, 0.1, 100.0},
+                      UnaryCase{"log1p", vecmath::Log1p, std::log1p, -0.5, 10.0},
+                      UnaryCase{"erf", vecmath::Erf, std::erf, -3.0, 3.0},
+                      UnaryCase{"sin", vecmath::Sin, std::sin, -3.14, 3.14},
+                      UnaryCase{"cos", vecmath::Cos, std::cos, -3.14, 3.14},
+                      UnaryCase{"asin", vecmath::Asin, std::asin, -1.0, 1.0},
+                      UnaryCase{"atan", vecmath::Atan, std::atan, -10.0, 10.0},
+                      UnaryCase{"floor", vecmath::Floor, std::floor, -10.0, 10.0}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) { return info.param.name; });
+
+TEST(VecmathTest, BinaryOps) {
+  const long n = 1000;
+  std::vector<double> a = RandomVec(n, 1.0, 10.0, 7);
+  std::vector<double> b = RandomVec(n, 1.0, 10.0, 8);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  vecmath::Add(n, a.data(), b.data(), out.data());
+  EXPECT_DOUBLE_EQ(out[17], a[17] + b[17]);
+  vecmath::Div(n, a.data(), b.data(), out.data());
+  EXPECT_DOUBLE_EQ(out[17], a[17] / b[17]);
+  vecmath::Atan2(n, a.data(), b.data(), out.data());
+  EXPECT_DOUBLE_EQ(out[17], std::atan2(a[17], b[17]));
+  vecmath::Max(n, a.data(), b.data(), out.data());
+  EXPECT_DOUBLE_EQ(out[17], std::max(a[17], b[17]));
+}
+
+TEST(VecmathTest, InPlaceAliasing) {
+  // MKL semantics: `vdLog1p(n, d1, d1)` operates in place.
+  const long n = 512;
+  std::vector<double> d = RandomVec(n, 0.5, 2.0, 9);
+  std::vector<double> want(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    want[static_cast<std::size_t>(i)] = std::log1p(d[static_cast<std::size_t>(i)]);
+  }
+  vecmath::Log1p(n, d.data(), d.data());
+  EXPECT_EQ(d, want);
+}
+
+TEST(VecmathTest, ScalarOps) {
+  const long n = 256;
+  std::vector<double> a = RandomVec(n, 1.0, 5.0, 10);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  vecmath::RSubC(n, a.data(), 1.0, out.data());
+  EXPECT_DOUBLE_EQ(out[3], 1.0 - a[3]);
+  vecmath::RDivC(n, a.data(), 2.0, out.data());
+  EXPECT_DOUBLE_EQ(out[3], 2.0 / a[3]);
+  vecmath::PowC(n, a.data(), 1.5, out.data());
+  EXPECT_DOUBLE_EQ(out[3], std::pow(a[3], 1.5));
+}
+
+TEST(VecmathTest, FmaAndAxpy) {
+  const long n = 128;
+  std::vector<double> a = RandomVec(n, 1.0, 2.0, 11);
+  std::vector<double> b = RandomVec(n, 1.0, 2.0, 12);
+  std::vector<double> c = RandomVec(n, 1.0, 2.0, 13);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  vecmath::Fma(n, a.data(), b.data(), c.data(), out.data());
+  EXPECT_DOUBLE_EQ(out[5], a[5] * b[5] + c[5]);
+  std::vector<double> y = c;
+  vecmath::Axpy(n, 2.5, a.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[5], c[5] + 2.5 * a[5]);
+}
+
+TEST(VecmathTest, Reductions) {
+  const long n = 100000;
+  std::vector<double> a = RandomVec(n, -1.0, 1.0, 14);
+  double want_sum = 0;
+  double want_max = a[0];
+  double want_min = a[0];
+  for (double x : a) {
+    want_sum += x;
+    want_max = std::max(want_max, x);
+    want_min = std::min(want_min, x);
+  }
+  vecmath::SetNumThreads(1);
+  EXPECT_NEAR(vecmath::Sum(n, a.data()), want_sum, 1e-9);
+  EXPECT_DOUBLE_EQ(vecmath::MaxReduce(n, a.data()), want_max);
+  EXPECT_DOUBLE_EQ(vecmath::MinReduce(n, a.data()), want_min);
+  // Parallel reductions agree up to reassociation.
+  vecmath::SetNumThreads(4);
+  EXPECT_NEAR(vecmath::Sum(n, a.data()), want_sum, 1e-9);
+  EXPECT_DOUBLE_EQ(vecmath::MaxReduce(n, a.data()), want_max);
+  vecmath::SetNumThreads(0);
+}
+
+TEST(VecmathTest, SelectAndComparisons) {
+  const long n = 64;
+  std::vector<double> a = RandomVec(n, 0.0, 1.0, 15);
+  std::vector<double> b = RandomVec(n, 0.0, 1.0, 16);
+  std::vector<double> mask(static_cast<std::size_t>(n));
+  std::vector<double> out(static_cast<std::size_t>(n));
+  vecmath::GreaterThan(n, a.data(), b.data(), mask.data());
+  vecmath::Select(n, mask.data(), a.data(), b.data(), out.data());
+  for (long i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     std::max(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(VecmathTest, DotMatchesManual) {
+  const long n = 4096;
+  std::vector<double> a = RandomVec(n, -1.0, 1.0, 17);
+  std::vector<double> b = RandomVec(n, -1.0, 1.0, 18);
+  double want = 0;
+  for (long i = 0; i < n; ++i) {
+    want += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  }
+  vecmath::SetNumThreads(1);
+  EXPECT_NEAR(vecmath::Dot(n, a.data(), b.data()), want, 1e-10);
+  vecmath::SetNumThreads(0);
+}
+
+TEST(VecmathTest, ZeroLengthIsNoop) {
+  vecmath::Sqrt(0, nullptr, nullptr);
+  vecmath::Add(0, nullptr, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(vecmath::Sum(0, nullptr), 0.0);
+}
+
+}  // namespace
