@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build every target (libs, tests, benches,
+# examples), and run the full ctest suite. This is the exact command sequence
+# ROADMAP.md pins; CI and pre-merge checks should call this script.
+#
+# Usage:
+#   scripts/check.sh            # plain build + tests
+#   scripts/check.sh --asan     # additionally run the suite under ASan/UBSan
+#   MOZART_CHECK_JOBS=4 scripts/check.sh   # override build/test parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${MOZART_CHECK_JOBS:-$(nproc)}"
+
+echo "== tier-1: cmake -B build -S . && cmake --build build -j && ctest =="
+# Pin the options the gate depends on so a stale CMake cache (e.g. a manual
+# -DMZ_SANITIZE=address configure of build/) cannot change what "plain" means.
+cmake -B build -S . -DMZ_SANITIZE=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [[ "${1:-}" == "--asan" ]]; then
+  echo "== sanitize: -DMZ_SANITIZE=address (ASan + UBSan) =="
+  cmake -B build-asan -S . -DMZ_SANITIZE=address
+  cmake --build build-asan -j "$jobs"
+  (cd build-asan && ctest --output-on-failure -j "$jobs")
+fi

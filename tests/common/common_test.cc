@@ -1,27 +1,83 @@
-// Tests for the common utility layer: interner, RNG determinism, thread
-// pool (including nested-parallelism composability), aligned buffers, and
-// CPU topology discovery.
+// Tests for the common utility layer: error channels, logging levels, RNG
+// determinism, timers, and CPU topology discovery. The interner, thread
+// pool, and aligned buffers have dedicated suites (interner_test.cc,
+// thread_pool_test.cc, aligned_test.cc).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <set>
-#include <vector>
+#include <thread>
 
-#include "common/aligned.h"
+#include "common/check.h"
 #include "common/cpu.h"
-#include "common/interner.h"
+#include "common/logging.h"
 #include "common/rng.h"
-#include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace {
 
-TEST(InternerTest, SameStringSameId) {
-  mz::InternedId a = mz::InternName("ArraySplit");
-  mz::InternedId b = mz::InternName("ArraySplit");
-  mz::InternedId c = mz::InternName("MatrixSplit");
-  EXPECT_EQ(a, b);
-  EXPECT_NE(a, c);
-  EXPECT_EQ(mz::InternedName(a), "ArraySplit");
+TEST(CheckTest, ThrowCarriesStreamedMessage) {
+  try {
+    MZ_THROW("bad axis " << 3 << " of " << 2);
+    FAIL() << "MZ_THROW did not throw";
+  } catch (const mz::Error& e) {
+    EXPECT_STREQ(e.what(), "bad axis 3 of 2");
+  }
+}
+
+TEST(CheckTest, ThrowIfOnlyFiresWhenTrue) {
+  EXPECT_NO_THROW(MZ_THROW_IF(false, "never"));
+  EXPECT_THROW(MZ_THROW_IF(1 + 1 == 2, "always"), mz::Error);
+}
+
+TEST(CheckTest, ErrorIsARuntimeError) {
+  // Callers catch std::runtime_error at API boundaries; mz::Error must stay
+  // part of that hierarchy.
+  EXPECT_THROW(MZ_THROW("boom"), std::runtime_error);
+}
+
+TEST(LoggingTest, SetLogLevelOverridesAndReadsBack) {
+  mz::LogLevel original = mz::GetLogLevel();
+  mz::SetLogLevel(mz::LogLevel::kDebug);
+  EXPECT_EQ(mz::GetLogLevel(), mz::LogLevel::kDebug);
+  mz::SetLogLevel(mz::LogLevel::kOff);
+  EXPECT_EQ(mz::GetLogLevel(), mz::LogLevel::kOff);
+  // MZ_LOG below the current level must not even evaluate its operands.
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return "msg";
+  };
+  MZ_LOG(Trace) << touch();
+  EXPECT_FALSE(evaluated);
+  mz::SetLogLevel(original);
+}
+
+TEST(TimerTest, NowNanosIsMonotonic) {
+  std::int64_t a = mz::NowNanos();
+  std::int64_t b = mz::NowNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, WallTimerMeasuresSleepAndResets) {
+  mz::WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(timer.ElapsedNanos(), 2'000'000);
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+TEST(TimerTest, ScopedAccumTimerAddsFromConcurrentScopes) {
+  std::atomic<std::int64_t> sink{0};
+  {
+    mz::ScopedAccumTimer t1(&sink);
+    mz::ScopedAccumTimer t2(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(sink.load(), 2 * 1'000'000);
+  { mz::ScopedAccumTimer null_sink(nullptr); }  // must be safe
 }
 
 TEST(RngTest, DeterministicAcrossInstances) {
@@ -50,14 +106,33 @@ TEST(RngTest, BoundedCoversRange) {
   EXPECT_EQ(seen.size(), 7u);
 }
 
-TEST(AlignedBufferTest, AlignmentAndMove) {
-  mz::AlignedBuffer<double> buf(1000);
-  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
-  buf.Fill(3.0);
-  mz::AlignedBuffer<double> moved = std::move(buf);
-  EXPECT_EQ(moved.size(), 1000u);
-  EXPECT_DOUBLE_EQ(moved[999], 3.0);
-  EXPECT_TRUE(buf.empty());  // NOLINT(bugprone-use-after-move): asserting moved-from state
+TEST(RngTest, NextIntStaysInClosedRange) {
+  mz::Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextWordIsLowerCaseAscii) {
+  mz::Rng rng(13);
+  std::string word = rng.NextWord(32);
+  ASSERT_EQ(word.size(), 32u);
+  for (char c : word) {
+    EXPECT_TRUE(std::islower(static_cast<unsigned char>(c))) << c;
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  mz::Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
 }
 
 TEST(CpuTest, SaneTopology) {
@@ -65,50 +140,6 @@ TEST(CpuTest, SaneTopology) {
   EXPECT_GE(mz::L2CacheBytes(), 64u * 1024);
   EXPECT_GE(mz::LlcBytes(), mz::L2CacheBytes());
   EXPECT_GE(mz::CacheLineBytes(), 16u);
-}
-
-TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
-  mz::ThreadPool pool(4);
-  std::vector<std::atomic<int>> hits(1000);
-  pool.ParallelFor(0, 1000, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      hits[static_cast<std::size_t>(i)].fetch_add(1);
-    }
-  });
-  for (const auto& h : hits) {
-    EXPECT_EQ(h.load(), 1);
-  }
-}
-
-TEST(ThreadPoolTest, RunOnAllWorkersInvokesEachIndex) {
-  mz::ThreadPool pool(3);
-  std::vector<std::atomic<int>> hits(3);
-  pool.RunOnAllWorkers([&](int worker) { hits[static_cast<std::size_t>(worker)].fetch_add(1); });
-  for (const auto& h : hits) {
-    EXPECT_EQ(h.load(), 1);
-  }
-}
-
-TEST(ThreadPoolTest, NestedParallelForRunsInline) {
-  // Composability: a ParallelFor issued from inside a pool worker must not
-  // deadlock or re-fan-out — it runs inline on the worker.
-  mz::ThreadPool outer(2);
-  std::atomic<int> total{0};
-  outer.RunOnAllWorkers([&](int) {
-    EXPECT_TRUE(mz::ThreadPool::InWorker());
-    mz::GlobalPool().ParallelFor(0, 100, [&](std::int64_t lo, std::int64_t hi) {
-      total.fetch_add(static_cast<int>(hi - lo));
-    });
-  });
-  EXPECT_EQ(total.load(), 200);  // 100 per outer worker, inline
-  EXPECT_FALSE(mz::ThreadPool::InWorker());
-}
-
-TEST(ThreadPoolTest, EmptyRangeIsNoop) {
-  mz::ThreadPool pool(2);
-  bool called = false;
-  pool.ParallelFor(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
-  EXPECT_FALSE(called);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+// Unit tests for the string interner: dense stable ids, roundtrips, and
+// thread-safety under concurrent interning of overlapping name sets.
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mz {
+namespace {
+
+TEST(InternerTest, SameStringSameId) {
+  Interner interner;
+  InternedId a = interner.Intern("ArraySplit");
+  InternedId b = interner.Intern("ArraySplit");
+  EXPECT_EQ(a, b);
+}
+
+TEST(InternerTest, DistinctStringsDistinctIds) {
+  Interner interner;
+  InternedId a = interner.Intern("SizeSplit");
+  InternedId b = interner.Intern("ArraySplit");
+  EXPECT_NE(a, b);
+}
+
+TEST(InternerTest, NameRoundTrips) {
+  Interner interner;
+  InternedId id = interner.Intern("ReduceAdd");
+  EXPECT_EQ(interner.Name(id), "ReduceAdd");
+}
+
+TEST(InternerTest, IdsAreDense) {
+  Interner interner;
+  InternedId first = interner.Intern("a");
+  EXPECT_EQ(interner.Intern("b"), first + 1);
+  EXPECT_EQ(interner.Intern("c"), first + 2);
+  EXPECT_EQ(interner.Intern("a"), first);  // re-intern does not burn an id
+  EXPECT_EQ(interner.Intern("d"), first + 3);
+}
+
+TEST(InternerTest, GlobalWrappersAgree) {
+  InternedId id = InternName("InternerTest.GlobalWrappersAgree");
+  EXPECT_EQ(InternName("InternerTest.GlobalWrappersAgree"), id);
+  EXPECT_EQ(InternedName(id), "InternerTest.GlobalWrappersAgree");
+  EXPECT_EQ(Interner::Global().Intern("InternerTest.GlobalWrappersAgree"), id);
+}
+
+TEST(InternerTest, ConcurrentInternIsConsistent) {
+  // Many threads intern the same 64 names; every thread must observe the
+  // same name -> id mapping and ids must stay dense (64 distinct values).
+  Interner interner;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 64;
+  std::vector<std::vector<InternedId>> per_thread(kThreads,
+                                                  std::vector<InternedId>(kNames));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &interner, &per_thread] {
+      for (int i = 0; i < kNames; ++i) {
+        // Interleave orders across threads to provoke races on first-intern.
+        int name = (t % 2 == 0) ? i : kNames - 1 - i;
+        per_thread[t][name] = interner.Intern("name" + std::to_string(name));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::set<InternedId> distinct;
+  for (int i = 0; i < kNames; ++i) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(per_thread[t][i], per_thread[0][i]) << "name" << i;
+    }
+    distinct.insert(per_thread[0][i]);
+    EXPECT_EQ(interner.Name(per_thread[0][i]), "name" + std::to_string(i));
+  }
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kNames));
+}
+
+}  // namespace
+}  // namespace mz

@@ -330,9 +330,9 @@ INSTANTIATE_TEST_SUITE_P(ThreadsAndSizes, PipelineSweepTest,
                                            SweepParam{2, 4096}, SweepParam{2, 100000},
                                            SweepParam{4, 65537}, SweepParam{4, 3},
                                            SweepParam{3, 12345}),
-                         [](const ::testing::TestParamInfo<SweepParam>& info) {
-                           return "t" + std::to_string(info.param.threads) + "_n" +
-                                  std::to_string(info.param.n);
+                         [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+                           return "t" + std::to_string(param_info.param.threads) + "_n" +
+                                  std::to_string(param_info.param.n);
                          });
 
 }  // namespace

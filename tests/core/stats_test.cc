@@ -1,0 +1,105 @@
+// Unit tests for the runtime's phase accounting (the Fig. 5 breakdown), both
+// standalone EvalStats semantics and the counters a real evaluation populates.
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "vecmath/annotated.h"
+
+namespace mz {
+namespace {
+
+TEST(EvalStatsTest, SnapshotCopiesCounters) {
+  EvalStats stats;
+  stats.client_ns = 10;
+  stats.planner_ns = 20;
+  stats.task_ns = 30;
+  stats.stages = 2;
+  EvalStats::Snapshot snap = stats.Take();
+  EXPECT_EQ(snap.client_ns, 10);
+  EXPECT_EQ(snap.planner_ns, 20);
+  EXPECT_EQ(snap.task_ns, 30);
+  EXPECT_EQ(snap.stages, 2);
+  // The snapshot is decoupled from later mutation.
+  stats.stages = 99;
+  EXPECT_EQ(snap.stages, 2);
+}
+
+TEST(EvalStatsTest, TotalSumsOnlyPhaseTimers) {
+  EvalStats::Snapshot snap;
+  snap.client_ns = 1;
+  snap.unprotect_ns = 2;
+  snap.planner_ns = 3;
+  snap.split_ns = 4;
+  snap.task_ns = 5;
+  snap.merge_ns = 6;
+  snap.stages = 1000;   // counters must not leak into the time total
+  snap.batches = 1000;
+  EXPECT_EQ(snap.TotalNs(), 21);
+}
+
+TEST(EvalStatsTest, ResetZeroesEverything) {
+  EvalStats stats;
+  stats.merge_ns = 7;
+  stats.evaluations = 3;
+  stats.nodes_executed = 5;
+  stats.Reset();
+  EvalStats::Snapshot snap = stats.Take();
+  EXPECT_EQ(snap.TotalNs(), 0);
+  EXPECT_EQ(snap.evaluations, 0);
+  EXPECT_EQ(snap.nodes_executed, 0);
+}
+
+TEST(EvalStatsTest, ToStringMentionsEveryPhase) {
+  EvalStats stats;
+  std::string s = stats.Take().ToString();
+  for (const char* phase : {"client", "planner", "split", "task", "merge"}) {
+    EXPECT_NE(s.find(phase), std::string::npos) << phase;
+  }
+}
+
+TEST(EvalStatsTest, RealEvaluationPopulatesCounters) {
+  RuntimeOptions opts;
+  opts.num_threads = 2;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  const long n = 1 << 16;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> out(n);
+  mzvec::Sqrt(n, a.data(), out.data());
+  mzvec::Exp(n, out.data(), out.data());
+  rt.Evaluate();
+  EvalStats::Snapshot snap = rt.stats().Take();
+  EXPECT_EQ(snap.evaluations, 1);
+  EXPECT_EQ(snap.stages, 1);       // Sqrt/Exp pipeline into one stage
+  EXPECT_GE(snap.batches, 1);
+  EXPECT_EQ(snap.nodes_executed, 2);
+  EXPECT_GT(snap.task_ns, 0);
+}
+
+TEST(EvalStatsTest, EvaluationsAccumulateAcrossRounds) {
+  RuntimeOptions opts;
+  opts.num_threads = 1;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  const long n = 4096;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> out(n);
+  mzvec::Sqrt(n, a.data(), out.data());
+  rt.Evaluate();
+  mzvec::Exp(n, a.data(), out.data());
+  rt.Evaluate();
+  rt.Evaluate();  // nothing pending: must not count a third evaluation round
+  EvalStats::Snapshot snap = rt.stats().Take();
+  EXPECT_EQ(snap.evaluations, 2);
+  EXPECT_EQ(snap.nodes_executed, 2);
+  rt.stats().Reset();
+  EXPECT_EQ(rt.stats().Take().evaluations, 0);
+}
+
+}  // namespace
+}  // namespace mz

@@ -1,0 +1,219 @@
+// Unit tests for the captured dataflow graph: slot identity rules (pointer
+// aliasing vs fresh slots), pending bookkeeping, dependency-edge kinds
+// (RAW/WAR/WAW), and use-after queries the lazy heap relies on.
+#include "core/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "vecmath/annotated.h"
+
+namespace mz {
+namespace {
+
+RuntimeOptions SmallOpts() {
+  RuntimeOptions o;
+  o.num_threads = 2;
+  return o;
+}
+
+TEST(TaskGraphSlots, PointerSlotsAliasByAddress) {
+  TaskGraph graph;
+  double buf[4] = {0};
+  SlotId a = graph.SlotForPointer(buf, Value::Make<double*>(buf));
+  SlotId b = graph.SlotForPointer(buf, Value::Make<double*>(buf));
+  EXPECT_EQ(a, b);
+  SlotId c = graph.SlotForPointer(buf + 1, Value::Make<double*>(buf + 1));
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(graph.slot(a).external);
+  EXPECT_EQ(graph.num_slots(), 2u);
+}
+
+TEST(TaskGraphSlots, FirstCaptureWinsForPointerSlots) {
+  TaskGraph graph;
+  double buf[4] = {0};
+  SlotId a = graph.SlotForPointer(buf, Value::Make<double*>(buf));
+  graph.SlotForPointer(buf, Value::Make<double*>(buf + 2));  // ignored seed
+  EXPECT_EQ(graph.slot(a).value.As<double*>(), buf);
+}
+
+TEST(TaskGraphSlots, ValueSlotsAreAlwaysFresh) {
+  TaskGraph graph;
+  Value v = Value::Make<long>(5);
+  SlotId a = graph.NewValueSlot(v);
+  SlotId b = graph.NewValueSlot(v);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(graph.slot(a).pending);
+  EXPECT_FALSE(graph.slot(a).external);
+}
+
+TEST(TaskGraphSlots, PendingSlotsStartEmpty) {
+  TaskGraph graph;
+  SlotId s = graph.NewPendingSlot();
+  EXPECT_TRUE(graph.slot(s).pending);
+  EXPECT_FALSE(graph.slot(s).value.has_value());
+}
+
+// The capture-path tests drive TaskGraph exactly the way applications do —
+// through wrapped vecmath calls against a scoped Runtime — and then inspect
+// the graph directly.
+class TaskGraphCaptureTest : public ::testing::Test {
+ protected:
+  TaskGraphCaptureTest() : rt_(SmallOpts()), scope_(&rt_) {}
+
+  TaskGraph& graph() { return rt_.graph_for_test(); }
+
+  Runtime rt_;
+  RuntimeScope scope_;
+};
+
+TEST_F(TaskGraphCaptureTest, CaptureBuildsNodesAndSharesPointerSlots) {
+  const long n = 1024;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> out(n);
+  mzvec::Sqrt(n, a.data(), out.data());
+  mzvec::Exp(n, out.data(), out.data());
+  EXPECT_EQ(graph().num_nodes(), 2);
+  const Node& sqrt_node = graph().nodes()[0];
+  const Node& exp_node = graph().nodes()[1];
+  ASSERT_EQ(sqrt_node.args.size(), 3u);
+  // Sqrt's out and Exp's in/out all alias the same buffer -> same slot.
+  EXPECT_EQ(sqrt_node.args[2], exp_node.args[1]);
+  EXPECT_EQ(exp_node.args[1], exp_node.args[2]);
+  EXPECT_NE(sqrt_node.args[1], sqrt_node.args[2]);
+  EXPECT_TRUE(graph().slot(sqrt_node.args[2]).pending);
+  rt_.Evaluate();
+  EXPECT_DOUBLE_EQ(out[0], std::exp(1.0));
+}
+
+TEST_F(TaskGraphCaptureTest, RawEdgeFromProducerToReader) {
+  const long n = 512;
+  std::vector<double> a(n, 4.0);
+  std::vector<double> mid(n);
+  std::vector<double> fin(n);
+  mzvec::Sqrt(n, a.data(), mid.data());
+  mzvec::Exp(n, mid.data(), fin.data());
+  std::vector<Edge> edges = graph().ComputeEdges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, 0);
+  EXPECT_EQ(edges[0].to, 1);
+  EXPECT_EQ(edges[0].kind, Edge::Kind::kRaw);
+  rt_.Evaluate();
+}
+
+TEST_F(TaskGraphCaptureTest, WarEdgeFromReaderToOverwriter) {
+  const long n = 512;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> b(n, 2.0);
+  std::vector<double> out(n);
+  mzvec::Sqrt(n, a.data(), out.data());  // reads a
+  mzvec::Copy(n, b.data(), a.data());    // overwrites a -> WAR on node 0
+  std::vector<Edge> edges = graph().ComputeEdges();
+  bool saw_war = false;
+  for (const Edge& e : edges) {
+    if (e.kind == Edge::Kind::kWar) {
+      saw_war = true;
+      EXPECT_EQ(e.from, 0);
+      EXPECT_EQ(e.to, 1);
+    }
+  }
+  EXPECT_TRUE(saw_war);
+  rt_.Evaluate();
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+}
+
+TEST_F(TaskGraphCaptureTest, WawEdgeBetweenWritersOfOneBuffer) {
+  const long n = 512;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> b(n, 9.0);
+  std::vector<double> out(n);
+  mzvec::Sqrt(n, a.data(), out.data());  // writes out
+  mzvec::Sqrt(n, b.data(), out.data());  // rewrites out -> WAW on node 0
+  std::vector<Edge> edges = graph().ComputeEdges();
+  bool saw_waw = false;
+  for (const Edge& e : edges) {
+    if (e.kind == Edge::Kind::kWaw) {
+      saw_waw = true;
+      EXPECT_EQ(e.from, 0);
+      EXPECT_EQ(e.to, 1);
+    }
+  }
+  EXPECT_TRUE(saw_waw);
+  rt_.Evaluate();
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+}
+
+TEST_F(TaskGraphCaptureTest, UsedAfterAndMutatedAfterScanForward) {
+  const long n = 256;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> out(n);
+  mzvec::Sqrt(n, a.data(), out.data());   // node 0: reads a, writes out
+  mzvec::Exp(n, out.data(), out.data());  // node 1: rewrites out
+  const Node& node0 = graph().nodes()[0];
+  SlotId a_slot = node0.args[1];
+  SlotId out_slot = node0.args[2];
+  // After node 0, `a` is never touched again but `out` is both read and
+  // mutated by node 1.
+  EXPECT_FALSE(graph().UsedAfter(a_slot, 0));
+  EXPECT_TRUE(graph().UsedAfter(out_slot, 0));
+  EXPECT_TRUE(graph().MutatedAfter(out_slot, 0));
+  EXPECT_FALSE(graph().MutatedAfter(out_slot, 1));
+  // Before node 0 everything is still in play.
+  EXPECT_TRUE(graph().UsedAfter(a_slot, -1));
+  EXPECT_TRUE(graph().MutatedAfter(out_slot, -1));
+  rt_.Evaluate();
+}
+
+TEST_F(TaskGraphCaptureTest, MarkExecutedAdvancesFrontier) {
+  const long n = 128;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> out(n);
+  EXPECT_EQ(graph().first_unexecuted(), 0);
+  mzvec::Sqrt(n, a.data(), out.data());
+  EXPECT_EQ(graph().first_unexecuted(), 0);
+  EXPECT_EQ(rt_.num_pending_nodes(), 1);
+  rt_.Evaluate();
+  EXPECT_EQ(graph().first_unexecuted(), graph().num_nodes());
+  EXPECT_EQ(rt_.num_pending_nodes(), 0);
+  // Pending flags clear once the producer has run.
+  const Node& node0 = graph().nodes()[0];
+  EXPECT_FALSE(graph().slot(node0.args[2]).pending);
+}
+
+TEST_F(TaskGraphCaptureTest, ReturnValuesGetFreshPendingSlots) {
+  const long n = 2048;
+  std::vector<double> a(n, 2.0);
+  Future<double> s1 = mzvec::Sum(n, a.data());
+  Future<double> s2 = mzvec::Sum(n, a.data());
+  const Node& node0 = graph().nodes()[0];
+  const Node& node1 = graph().nodes()[1];
+  EXPECT_NE(node0.ret, kInvalidSlot);
+  EXPECT_NE(node0.ret, node1.ret);
+  EXPECT_TRUE(graph().slot(node0.ret).pending);
+  EXPECT_DOUBLE_EQ(s1.get(), 2.0 * n);
+  EXPECT_DOUBLE_EQ(s2.get(), 2.0 * n);
+}
+
+TEST_F(TaskGraphCaptureTest, ClearDropsNodesAndSlots) {
+  const long n = 64;
+  std::vector<double> a(n, 1.0);
+  std::vector<double> out(n);
+  mzvec::Sqrt(n, a.data(), out.data());
+  rt_.Evaluate();
+  rt_.Reset();
+  EXPECT_EQ(graph().num_nodes(), 0);
+  EXPECT_EQ(graph().num_slots(), 0u);
+  EXPECT_EQ(graph().first_unexecuted(), 0);
+  // The graph is immediately reusable, with slot ids starting over.
+  mzvec::Sqrt(n, a.data(), out.data());
+  EXPECT_EQ(graph().num_nodes(), 1);
+  rt_.Evaluate();
+}
+
+}  // namespace
+}  // namespace mz

@@ -164,8 +164,8 @@ TEST_P(ImageThreadSweep, PipelineCorrectAcrossThreads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, ImageThreadSweep, ::testing::Values(1, 2, 3, 4),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "t" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "t" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -332,10 +332,10 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MatrixPipelineSweep,
                          ::testing::Values(MatrixSweep{1, 1, 1}, MatrixSweep{1, 100, 3},
                                            MatrixSweep{2, 64, 64}, MatrixSweep{2, 999, 17},
                                            MatrixSweep{4, 3, 1000}, MatrixSweep{4, 513, 129}),
-                         [](const ::testing::TestParamInfo<MatrixSweep>& info) {
-                           return "t" + std::to_string(info.param.threads) + "_r" +
-                                  std::to_string(info.param.rows) + "_c" +
-                                  std::to_string(info.param.cols);
+                         [](const ::testing::TestParamInfo<MatrixSweep>& param_info) {
+                           return "t" + std::to_string(param_info.param.threads) + "_r" +
+                                  std::to_string(param_info.param.rows) + "_c" +
+                                  std::to_string(param_info.param.cols);
                          });
 
 }  // namespace

@@ -121,8 +121,8 @@ TEST_P(NlpThreadSweep, CountPosReductionMatches) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, NlpThreadSweep, ::testing::Values(1, 2, 4),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "t" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "t" + std::to_string(param_info.param);
                          });
 
 }  // namespace

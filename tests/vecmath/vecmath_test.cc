@@ -74,7 +74,7 @@ INSTANTIATE_TEST_SUITE_P(
                       UnaryCase{"asin", vecmath::Asin, std::asin, -1.0, 1.0},
                       UnaryCase{"atan", vecmath::Atan, std::atan, -10.0, 10.0},
                       UnaryCase{"floor", vecmath::Floor, std::floor, -10.0, 10.0}),
-    [](const ::testing::TestParamInfo<UnaryCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<UnaryCase>& param_info) { return param_info.param.name; });
 
 TEST(VecmathTest, BinaryOps) {
   const long n = 1000;

@@ -146,8 +146,8 @@ TEST_P(WorkloadThreads, GothamModesAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, WorkloadThreads, ::testing::Values(1, 2, 4),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "t" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "t" + std::to_string(param_info.param);
                          });
 
 // Mozart over the already-parallel library ("MKL mode") must also agree.
