@@ -1,0 +1,118 @@
+// Serving-layer throughput: N simulated clients over one ServingContext.
+//
+// Each client owns a Session and repeatedly evaluates the same three-node
+// vecmath pipeline (log1p / add / div — one pipelined stage) on its own
+// buffers. The sweep reports evaluations/second at 1, 4, and 16 clients,
+// cold (first round: every client misses the plan cache) vs. warm (plans
+// served from cache), plus the plan-cache hit rate and the admission split.
+//
+// What to look for:
+//  * warm throughput should scale with clients until the executor pool
+//    saturates, instead of collapsing into oversubscription (admission
+//    bounds pool entry; small plans run inline on the client's thread);
+//  * warm vs. cold shows the planning cost the cache amortizes away —
+//    the Weld-style "build once, run many" win for repeated pipelines.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/cpu.h"
+#include "core/client.h"
+#include "core/session.h"
+#include "vecmath/annotated.h"
+
+namespace {
+
+constexpr long kBaseElems = 1 << 18;  // per client, ~6 MB of doubles
+constexpr int kWarmRounds = 8;
+
+struct SweepResult {
+  double cold_evals_per_sec = 0;
+  double warm_evals_per_sec = 0;
+  mz::EvalStats::Snapshot stats;
+};
+
+SweepResult RunClients(int num_clients, long n) {
+  mz::ServingContext ctx(mz::ServingOptions{
+      .pool_threads = 0,  // machine-sized
+      .max_pool_sessions = 2,
+      .serial_cutoff_elems = 4096,
+  });
+
+  std::vector<std::vector<double>> a(static_cast<std::size_t>(num_clients));
+  std::vector<std::vector<double>> b(static_cast<std::size_t>(num_clients));
+  std::vector<std::vector<double>> out(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    a[static_cast<std::size_t>(c)].assign(static_cast<std::size_t>(n), 1.5 + c);
+    b[static_cast<std::size_t>(c)].assign(static_cast<std::size_t>(n), 2.5 + c);
+    out[static_cast<std::size_t>(c)].resize(static_cast<std::size_t>(n));
+  }
+
+  // One round = every client evaluates the pipeline once.
+  auto run_round = [&] {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_clients));
+    for (int c = 0; c < num_clients; ++c) {
+      threads.emplace_back([&, c] {
+        mz::SessionOptions opts;
+        opts.serving = &ctx;
+        mz::Session session(opts);
+        mz::Session::Scope scope(session);
+        auto* pa = a[static_cast<std::size_t>(c)].data();
+        auto* pb = b[static_cast<std::size_t>(c)].data();
+        auto* po = out[static_cast<std::size_t>(c)].data();
+        mzvec::Log1p(n, pa, po);
+        mzvec::Add(n, po, pb, po);
+        mzvec::Div(n, po, pb, po);
+        session.Evaluate();
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  };
+
+  SweepResult r;
+  {
+    mz::WallTimer timer;
+    run_round();  // cold: plan cache empty
+    r.cold_evals_per_sec = static_cast<double>(num_clients) / timer.ElapsedSeconds();
+  }
+  {
+    mz::WallTimer timer;
+    for (int round = 0; round < kWarmRounds; ++round) {
+      run_round();
+    }
+    r.warm_evals_per_sec =
+        static_cast<double>(num_clients) * kWarmRounds / timer.ElapsedSeconds();
+  }
+  r.stats = ctx.AggregateStats();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  mzvec::EnsureRegistered();
+  const long n = bench::Scaled(kBaseElems);
+
+  bench::Title("Serving throughput: concurrent sessions, cold vs. warm plan cache");
+  bench::Note("pipeline: log1p/add/div over " + std::to_string(n) + " doubles per client; " +
+              std::to_string(mz::NumLogicalCpus()) + " logical CPUs");
+
+  std::printf("%8s %16s %16s %10s %10s %10s\n", "clients", "cold evals/s", "warm evals/s",
+              "hit rate", "inline", "pooled");
+  for (int clients : {1, 4, 16}) {
+    SweepResult r = RunClients(clients, n);
+    double lookups = static_cast<double>(r.stats.plan_cache_hits + r.stats.plan_cache_misses);
+    double hit_rate =
+        lookups > 0 ? static_cast<double>(r.stats.plan_cache_hits) / lookups : 0.0;
+    std::printf("%8d %16.1f %16.1f %9.0f%% %10lld %10lld\n", clients, r.cold_evals_per_sec,
+                r.warm_evals_per_sec, 100.0 * hit_rate,
+                static_cast<long long>(r.stats.serial_evals),
+                static_cast<long long>(r.stats.pooled_evals));
+  }
+  return 0;
+}

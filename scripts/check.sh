@@ -6,6 +6,7 @@
 # Usage:
 #   scripts/check.sh            # plain build + tests
 #   scripts/check.sh --asan     # additionally run the suite under ASan/UBSan
+#   scripts/check.sh --tsan     # additionally run core/common under TSan
 #   MOZART_CHECK_JOBS=4 scripts/check.sh   # override build/test parallelism
 set -euo pipefail
 
@@ -24,4 +25,17 @@ if [[ "${1:-}" == "--asan" ]]; then
   cmake -B build-asan -S . -DMZ_SANITIZE=address
   cmake --build build-asan -j "$jobs"
   (cd build-asan && ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # Concurrency-focused subset: the serving layer (sessions, plan cache,
+  # admission), the runtime, and the pool. The full suite under TSan's ~10x
+  # slowdown is not worth the wall time; these labels cover every lock.
+  # lazy_heap_test is excluded: the lazy heap evaluates inside a SIGSEGV
+  # handler by design (§4.1 protected memory), which trips TSan's
+  # signal-safety checker — a design property, not a data race.
+  echo "== sanitize: -DMZ_SANITIZE=thread (TSan, labels core|common) =="
+  cmake -B build-tsan -S . -DMZ_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs"
+  (cd build-tsan && ctest --output-on-failure -j "$jobs" -L "core|common" -E lazy_heap)
 fi

@@ -5,11 +5,11 @@
 #define MOZART_COMMON_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace mz {
 
@@ -23,13 +23,16 @@ class Interner {
 
   InternedId Intern(std::string_view name);
 
-  // Looks up the string for an id; aborts on out-of-range ids.
+  // Looks up the string for an id; aborts on out-of-range ids. The returned
+  // reference stays valid (and its contents immutable) for the process
+  // lifetime even while other threads intern new names — names_ is a deque
+  // precisely so growth never relocates existing strings.
   const std::string& Name(InternedId id) const;
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, InternedId> ids_;
-  std::vector<std::string> names_;
+  std::deque<std::string> names_;
 };
 
 // Convenience wrappers over the global interner.

@@ -83,7 +83,13 @@ void ThreadPool::WorkerLoop() {
 
 bool ThreadPool::InWorker() { return tls_in_pool_worker; }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
   int n = num_threads();
   if (n == 1) {
     WorkerMark mark;

@@ -1,16 +1,23 @@
 // Fixed-size thread pool.
 //
-// Two users:
+// Three users:
 //  * the vecmath/matrix substrates run their *internal* parallel mode on a
-//    pool (standing in for MKL's TBB-backed threading), and
+//    pool (standing in for MKL's TBB-backed threading),
 //  * Mozart's executor dispatches one task per worker per stage (the paper
-//    uses static parallelism, §5.2).
+//    uses static parallelism, §5.2), and
+//  * the serving layer (core/session.h) shares ONE pool between many
+//    concurrent sessions: RunOnAllWorkers is safe to call from multiple
+//    threads at once — each call carries its own completion barrier, so
+//    concurrent submissions interleave through the queue and each caller
+//    blocks only on its own tasks. Admission control (core/admission.h)
+//    bounds how many evaluations pile onto the queue, not correctness.
 //
 // ParallelFor partitions [0, n) into contiguous chunks, one per worker, which
 // matches the static partitioning Mozart uses for split ranges.
 #ifndef MOZART_COMMON_THREAD_POOL_H_
 #define MOZART_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -50,6 +57,11 @@ class ThreadPool {
   // True on threads currently executing pool work (any pool).
   static bool InWorker();
 
+  // Introspection for benches and the serving layer's admission tuning:
+  // total RunOnAllWorkers dispatches and the current queue depth.
+  std::int64_t dispatches() const { return dispatches_.load(std::memory_order_relaxed); }
+  std::size_t queue_depth() const;
+
  private:
   struct Task {
     std::function<void(int)> fn;
@@ -60,10 +72,11 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::queue<Task> queue_;
   bool shutdown_ = false;
+  std::atomic<std::int64_t> dispatches_{0};
 };
 
 // Returns a process-wide pool sized to the machine (used as the default by

@@ -1,0 +1,96 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "core/splitter.h"
+
+namespace mz {
+
+AdmissionGate::AdmissionGate(int tokens) : tokens_(std::max(1, tokens)) {}
+
+AdmissionGate::Ticket AdmissionGate::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return in_use_ < tokens_; });
+  ++in_use_;
+  return Ticket(this);
+}
+
+int AdmissionGate::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+void AdmissionGate::ReleaseToken() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MZ_CHECK_MSG(in_use_ > 0, "AdmissionGate: release without acquire");
+    --in_use_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionGate::Ticket::Release() {
+  if (gate_ != nullptr) {
+    gate_->ReleaseToken();
+    gate_ = nullptr;
+  }
+}
+
+std::int64_t EstimatePlanElems(const Plan& plan, const TaskGraph& graph,
+                               const Registry& registry) {
+  constexpr std::int64_t kUnknown = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_elems = 0;
+  for (const Stage& stage : plan.stages) {
+    if (stage.serial) {
+      continue;
+    }
+    bool sized = false;
+    for (const StageBuffer& def : stage.buffers) {
+      if (!def.is_input) {
+        continue;
+      }
+      // Deferred parameters are computed by the executor; re-deriving them
+      // here risks an Info call with parameters the split type cannot
+      // produce early (MZ_CHECK aborts, not throws). Skip such buffers —
+      // another input of the stage usually sizes it.
+      if (def.params_deferred) {
+        continue;
+      }
+      const Slot& slot = graph.slot(def.slot);
+      if (!slot.value.has_value()) {
+        continue;
+      }
+      try {
+        InternedId name = def.split_name;
+        std::vector<std::int64_t> late_params;
+        std::span<const std::int64_t> params = def.params;
+        if (def.use_default_split) {
+          auto dflt = registry.DefaultSplitTypeFor(slot.value.type());
+          if (!dflt.has_value()) {
+            continue;
+          }
+          name = *dflt;
+          late_params = registry.RunLateCtor(name, slot.value);
+          params = late_params;
+        }
+        const Splitter* splitter = registry.FindSplitter(name, slot.value.type());
+        if (splitter == nullptr) {
+          continue;
+        }
+        max_elems = std::max(max_elems, splitter->Info(slot.value, params).total_elements);
+        sized = true;
+        break;  // one sized input bounds the stage; all inputs must agree
+      } catch (...) {
+        // Sizing is best-effort; leave the stage unsized and fall through.
+      }
+    }
+    if (!sized) {
+      return kUnknown;  // cannot bound this stage's work before execution
+    }
+  }
+  return max_elems;
+}
+
+}  // namespace mz

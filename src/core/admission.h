@@ -1,0 +1,86 @@
+// Admission control for sessions sharing one executor ThreadPool.
+//
+// With N concurrent sessions and one machine-sized pool, letting every
+// evaluation fan out across all workers collapses throughput: every session
+// queues full-width stage dispatches behind every other one, and tiny plans
+// pay handoff latency for parallelism they cannot use. The serving layer
+// (session.h) therefore routes each evaluation through two decisions:
+//
+//  * small plans (estimated parallel work under a cutoff, or all-serial
+//    plans) run entirely on the calling thread via a 1-thread inline pool —
+//    no shared-pool traffic at all;
+//  * large plans must hold one of a fixed number of tokens while they use
+//    the shared pool, bounding the number of evaluations in flight on it.
+//
+// The gate is a plain counting semaphore; tickets are RAII.
+#ifndef MOZART_CORE_ADMISSION_H_
+#define MOZART_CORE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "core/planner.h"
+#include "core/registry.h"
+#include "core/task_graph.h"
+
+namespace mz {
+
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(int tokens);
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  // RAII token. Default-constructed tickets hold nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& other) noexcept : gate_(other.gate_) { other.gate_ = nullptr; }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gate_ = other.gate_;
+        other.gate_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool held() const { return gate_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionGate;
+    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    AdmissionGate* gate_ = nullptr;
+  };
+
+  // Blocks until a token is free.
+  Ticket Acquire();
+
+  int tokens() const { return tokens_; }
+  int in_use() const;
+
+ private:
+  void ReleaseToken();
+
+  const int tokens_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int in_use_ = 0;
+};
+
+// Cheap upper-bound estimate of a plan's parallel work, in elements: the
+// maximum split-input element count across non-serial stages (via the
+// splitters' Info). Returns 0 for all-serial plans and INT64_MAX when an
+// input cannot be sized before execution (conservative: treat as large).
+std::int64_t EstimatePlanElems(const Plan& plan, const TaskGraph& graph,
+                               const Registry& registry);
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_ADMISSION_H_

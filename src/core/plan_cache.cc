@@ -1,0 +1,229 @@
+#include "core/plan_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mz {
+namespace {
+
+// Fingerprint format version: bump when the word stream changes so stale
+// processes (or a future persisted cache) can never mix formats.
+constexpr std::uint64_t kFormatVersion = 1;
+// Marker hashed in place of ctor parameters when the constructor defers
+// (nullopt: a parameter depends on a still-pending value).
+constexpr std::uint64_t kDeferredCtor = 0x9e3779b97f4a7c15ull;
+
+// splitmix64 finalizer: decorrelates raw pointers / small ints before they
+// enter the rolling hash.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct WordSink {
+  std::vector<std::uint64_t>* words;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void Put(std::uint64_t w) {
+    words->push_back(w);
+    h = (h ^ Mix(w)) * 0x100000001b3ull;
+  }
+};
+
+}  // namespace
+
+RangeFingerprint FingerprintRange(const TaskGraph& graph, const Registry& registry, int first,
+                                  int end, bool pipeline) {
+  MZ_CHECK(first >= 0 && first <= end && end <= graph.num_nodes());
+  RangeFingerprint out;
+  WordSink sink{&out.key.words};
+
+  std::unordered_map<SlotId, std::uint64_t> local;
+  auto local_id = [&](SlotId s) {
+    auto it = local.find(s);
+    if (it != local.end()) {
+      return it->second;
+    }
+    std::uint64_t id = out.canon_slots.size();
+    local.emplace(s, id);
+    out.canon_slots.push_back(s);
+    return id;
+  };
+  auto slot_flags = [&](const Slot& s) -> std::uint64_t {
+    return (s.pending ? 1u : 0u) | (s.value.has_value() ? 2u : 0u) | (s.external ? 4u : 0u) |
+           (s.external_refs > 0 ? 8u : 0u);
+  };
+
+  sink.Put(kFormatVersion);
+  out.registry_version = registry.version();
+  sink.Put(out.registry_version);
+  sink.Put(pipeline ? 1 : 0);
+  sink.Put(static_cast<std::uint64_t>(end - first));
+
+  std::vector<Value> ctor_args;
+  for (int n = first; n < end; ++n) {
+    const Node& node = graph.nodes()[static_cast<std::size_t>(n)];
+    sink.Put(reinterpret_cast<std::uintptr_t>(node.ann.get()));
+    sink.Put(reinterpret_cast<std::uintptr_t>(node.fn.get()));
+    out.pins.push_back(node.ann);
+    out.pins.push_back(node.fn);
+    const bool has_ret = node.ret != kInvalidSlot;
+    sink.Put(node.args.size() | (has_ret ? (1ull << 32) : 0));
+
+    for (SlotId s : node.args) {
+      const Slot& slot = graph.slot(s);
+      sink.Put(local_id(s));
+      sink.Put(slot_flags(slot));
+      if (slot.value.has_value()) {
+        sink.Put(static_cast<std::uint64_t>(slot.value.type().hash_code()));
+      }
+    }
+    if (has_ret) {
+      sink.Put(local_id(node.ret));
+      sink.Put(slot_flags(graph.slot(node.ret)));
+    }
+
+    // Concrete split expressions bake their constructor results into the
+    // plan (planner.cc ClassForConcreteExpr), so the results are part of the
+    // key: same pipeline over differently-sized data must key differently.
+    auto put_ctor = [&](const SplitExpr& expr) {
+      if (expr.kind != SplitExpr::Kind::kConcrete) {
+        return;
+      }
+      sink.Put(expr.split_name);
+      ctor_args.clear();
+      for (int idx : expr.ctor_arg_indices) {
+        ctor_args.push_back(graph.slot(node.args[static_cast<std::size_t>(idx)]).value);
+      }
+      std::optional<std::vector<std::int64_t>> params =
+          registry.RunCtor(expr.split_name, ctor_args);
+      if (!params.has_value()) {
+        sink.Put(kDeferredCtor);
+        return;
+      }
+      sink.Put(params->size());
+      for (std::int64_t p : *params) {
+        sink.Put(static_cast<std::uint64_t>(p));
+      }
+    };
+    for (const ArgSpec& arg : node.ann->args()) {
+      put_ctor(arg.expr);
+    }
+    if (has_ret) {
+      put_ctor(node.ann->ret());
+    }
+  }
+
+  out.key.hash = sink.h;
+  return out;
+}
+
+Plan MakePlanTemplate(const Plan& plan, std::span<const SlotId> canon_slots, int first_node) {
+  std::unordered_map<SlotId, SlotId> to_local;
+  to_local.reserve(canon_slots.size());
+  for (std::size_t i = 0; i < canon_slots.size(); ++i) {
+    to_local.emplace(canon_slots[i], static_cast<SlotId>(i));
+  }
+  Plan tmpl = plan;
+  for (Stage& stage : tmpl.stages) {
+    for (StageBuffer& buf : stage.buffers) {
+      auto it = to_local.find(buf.slot);
+      MZ_CHECK_MSG(it != to_local.end(),
+                   "plan references slot " << buf.slot << " outside the fingerprinted range");
+      buf.slot = it->second;
+    }
+    for (PlannedFunc& pf : stage.funcs) {
+      pf.node_index -= first_node;
+    }
+  }
+  return tmpl;
+}
+
+Plan InstantiatePlan(const Plan& tmpl, std::span<const SlotId> canon_slots, int first_node) {
+  Plan plan = tmpl;
+  for (Stage& stage : plan.stages) {
+    for (StageBuffer& buf : stage.buffers) {
+      MZ_CHECK_MSG(buf.slot < canon_slots.size(), "template slot id out of range");
+      buf.slot = canon_slots[buf.slot];
+    }
+    for (PlannedFunc& pf : stage.funcs) {
+      pf.node_index += first_node;
+    }
+  }
+  return plan;
+}
+
+PlanCache::PlanCache(std::size_t max_entries) : max_entries_(std::max<std::size_t>(1, max_entries)) {}
+
+std::optional<Plan> PlanCache::Lookup(const PlanKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = buckets_.find(key.hash);
+  if (it != buckets_.end()) {
+    for (const Entry& entry : it->second) {
+      if (entry.words == key.words) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return entry.tmpl;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void PlanCache::Insert(const PlanKey& key, Plan plan_template,
+                       std::vector<std::shared_ptr<const void>> pins) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<Entry>& chain = buckets_[key.hash];
+  for (Entry& entry : chain) {
+    if (entry.words == key.words) {
+      entry.tmpl = std::move(plan_template);  // refresh in place, keep its age
+      entry.pins = std::move(pins);
+      return;
+    }
+  }
+  while (count_ >= max_entries_ && !fifo_.empty()) {
+    const auto [victim_hash, victim_seq] = fifo_.front();
+    fifo_.pop_front();
+    auto bit = buckets_.find(victim_hash);
+    if (bit == buckets_.end()) {
+      continue;
+    }
+    auto& vchain = bit->second;
+    auto vit = std::find_if(vchain.begin(), vchain.end(),
+                            [&](const Entry& e) { return e.seq == victim_seq; });
+    if (vit != vchain.end()) {
+      vchain.erase(vit);
+      --count_;
+      if (vchain.empty()) {
+        buckets_.erase(bit);
+      }
+    }
+  }
+  // Re-find: eviction above may have erased and rehashed the map.
+  const std::uint64_t seq = next_seq_++;
+  buckets_[key.hash].push_back(Entry{seq, key.words, std::move(plan_template), std::move(pins)});
+  fifo_.emplace_back(key.hash, seq);
+  ++count_;
+}
+
+void PlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  buckets_.clear();
+  fifo_.clear();
+  count_ = 0;
+}
+
+std::size_t PlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return count_;
+}
+
+PlanCache& GlobalPlanCache() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+}  // namespace mz

@@ -1,0 +1,137 @@
+// Plan caching for repeated dataflows.
+//
+// Weld-style lazy runtimes pay a planning cost on every evaluation; for
+// serving workloads the same pipeline is evaluated over and over (often with
+// fresh data in the same shape), so Mozart amortizes `Planner::Plan` across
+// invocations by keying plans on the *structure* of the captured node range:
+//
+//   * the identity of each node's annotation and wrapped function,
+//   * arity and the slot-aliasing pattern among arguments and returns
+//     (canonicalized to first-appearance order, never raw pointers),
+//   * per-slot planning inputs: pending / materialized, external aliasing,
+//     live Future handles, and the held C++ type,
+//   * split-type constructor results (so `vdAdd(n=1000, ...)` and
+//     `vdAdd(n=2000, ...)` key differently — plans bake ctor parameters in),
+//   * the registry version and the pipelining flag.
+//
+// Data pointers and value contents are deliberately NOT part of the key:
+// evaluating the same pipeline over different buffers of the same size is
+// the warm-path hit the cache exists for.
+//
+// A cached plan is stored as a *template*: node indices are relative to the
+// start of the planned range and buffer slots are canonical local ids. On a
+// hit the template is instantiated against the current graph by rewriting
+// those ids through the range's canonical slot map. Entries pin the
+// annotation/function objects they fingerprinted so pointer identity cannot
+// be recycled while the entry lives.
+//
+// PlanCache is thread-safe (shared_mutex, read-mostly) and bounded (FIFO
+// eviction). Lookup compares the full fingerprint, not just the 64-bit hash,
+// so hash collisions degrade to chained compares — never to a wrong plan.
+#ifndef MOZART_CORE_PLAN_CACHE_H_
+#define MOZART_CORE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/registry.h"
+#include "core/task_graph.h"
+
+namespace mz {
+
+// Structural key of one planned node range: a 64-bit bucket hash plus the
+// full fingerprint word stream it was derived from.
+struct PlanKey {
+  std::uint64_t hash = 0;
+  std::vector<std::uint64_t> words;
+
+  bool operator==(const PlanKey& other) const {
+    return hash == other.hash && words == other.words;
+  }
+};
+
+// Output of fingerprinting a node range [first, end):
+//  * key        — structural key (see file comment for what it covers);
+//  * canon_slots — canonical local id -> actual SlotId for this range, in
+//    first-appearance order over (args..., ret) of each node;
+//  * pins       — shared_ptrs to every annotation/function whose pointer
+//    identity the key contains (stored with the cache entry);
+//  * registry_version — the version the key was computed against. Callers
+//    must re-check it before inserting a plan built afterwards: a
+//    registration between fingerprint and plan would otherwise cache a
+//    new-registry plan under an old-version key.
+struct RangeFingerprint {
+  PlanKey key;
+  std::vector<SlotId> canon_slots;
+  std::vector<std::shared_ptr<const void>> pins;
+  std::uint64_t registry_version = 0;
+};
+
+// Fingerprints nodes [first, end). Runs concrete split-type constructors
+// (they must be pure and cheap — see docs/ANNOTATING.md) and reads
+// registry.version(), so a registry change invalidates all prior keys.
+RangeFingerprint FingerprintRange(const TaskGraph& graph, const Registry& registry, int first,
+                                  int end, bool pipeline);
+
+// Rewrites a freshly built plan for [first_node, ...) into a reusable
+// template: node indices relative, buffer slots replaced by canonical ids.
+Plan MakePlanTemplate(const Plan& plan, std::span<const SlotId> canon_slots, int first_node);
+
+// Instantiates a template against the current graph range whose canonical
+// slot map is `canon_slots` (from FingerprintRange of that same range).
+Plan InstantiatePlan(const Plan& tmpl, std::span<const SlotId> canon_slots, int first_node);
+
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t max_entries = 1024);
+
+  // Returns a copy of the cached template, or nullopt. Full-fingerprint
+  // compare; counts a hit/miss.
+  std::optional<Plan> Lookup(const PlanKey& key) const;
+
+  // Inserts (or replaces) the template for `key`. Evicts the oldest entry
+  // when full.
+  void Insert(const PlanKey& key, Plan plan_template,
+              std::vector<std::shared_ptr<const void>> pins);
+
+  void Clear();
+
+  std::size_t size() const;
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;  // insertion id; pairs with fifo_ for eviction
+    std::vector<std::uint64_t> words;
+    Plan tmpl;
+    std::vector<std::shared_ptr<const void>> pins;
+  };
+
+  mutable std::shared_mutex mu_;
+  const std::size_t max_entries_;
+  std::size_t count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  // Insertion order as (bucket hash, entry seq): enough to find the victim
+  // without duplicating each entry's full fingerprint.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> fifo_;
+  mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::int64_t> misses_{0};
+};
+
+// Process-wide cache shared by every ServingContext that does not bring its
+// own (session.h).
+PlanCache& GlobalPlanCache();
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_PLAN_CACHE_H_

@@ -76,6 +76,12 @@ struct Stage {
   bool serial = false;  // no split arguments: run once, unsplit
 };
 
+// A plan references its graph only through PlannedFunc::node_index and
+// StageBuffer::slot. The plan cache (plan_cache.h) exploits this: cached
+// *templates* are Plans whose node indices are range-relative and whose
+// slot fields hold canonical local ids instead of SlotIds, rewritten on
+// instantiation. Keep any new graph reference added here representable
+// under that rewrite.
 struct Plan {
   std::vector<Stage> stages;
 };

@@ -12,31 +12,34 @@ Registry& Registry::Global() {
 InternedId Registry::DefineSplitType(std::string_view name, SplitTypeCtor ctor,
                                      LateCtor late_ctor) {
   InternedId id = InternName(name);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   SplitTypeDef& def = types_[id];
   def.ctor = std::move(ctor);
   def.late_ctor = std::move(late_ctor);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return id;
 }
 
 void Registry::AddSplitter(std::string_view name, std::type_index type,
                            std::shared_ptr<Splitter> splitter) {
   InternedId id = InternName(name);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = types_.find(id);
   MZ_CHECK_MSG(it != types_.end(), "AddSplitter: split type '" << name << "' not defined");
   it->second.splitters[type] = std::move(splitter);
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Registry::SetDefaultSplitType(std::type_index type, std::string_view name) {
   InternedId id = InternName(name);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   MZ_CHECK_MSG(types_.count(id) == 1, "SetDefaultSplitType: '" << name << "' not defined");
   defaults_[type] = id;
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 const Splitter* Registry::FindSplitter(InternedId name, std::type_index type) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = types_.find(name);
   if (it == types_.end()) {
     return nullptr;
@@ -49,7 +52,7 @@ const Splitter* Registry::FindSplitter(InternedId name, std::type_index type) co
 }
 
 bool Registry::HasSplitType(InternedId name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return types_.count(name) == 1;
 }
 
@@ -57,7 +60,7 @@ std::optional<std::vector<std::int64_t>> Registry::RunCtor(InternedId name,
                                                            std::span<const Value> args) const {
   SplitTypeCtor ctor;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = types_.find(name);
     MZ_CHECK_MSG(it != types_.end(), "RunCtor: split type " << InternedName(name) << " undefined");
     ctor = it->second.ctor;
@@ -71,7 +74,7 @@ std::optional<std::vector<std::int64_t>> Registry::RunCtor(InternedId name,
 std::vector<std::int64_t> Registry::RunLateCtor(InternedId name, const Value& value) const {
   LateCtor late;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = types_.find(name);
     MZ_CHECK_MSG(it != types_.end(),
                  "RunLateCtor: split type " << InternedName(name) << " undefined");
@@ -84,7 +87,7 @@ std::vector<std::int64_t> Registry::RunLateCtor(InternedId name, const Value& va
 }
 
 std::optional<InternedId> Registry::DefaultSplitTypeFor(std::type_index type) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = defaults_.find(type);
   if (it == defaults_.end()) {
     return std::nullopt;
@@ -93,7 +96,7 @@ std::optional<InternedId> Registry::DefaultSplitTypeFor(std::type_index type) co
 }
 
 std::vector<std::type_index> Registry::TypesForSplitType(InternedId name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::type_index> out;
   auto it = types_.find(name);
   if (it != types_.end()) {

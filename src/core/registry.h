@@ -7,16 +7,24 @@
 //
 // The registry is process-global, mirroring the paper's design where the
 // `annotate` tool packages the splitting API into a shared library loaded
-// once per process. Registration is thread-safe and append-only; lookups
-// after registration are lock-free reads of immutable entries.
+// once per process. The design is read-mostly: registration happens during
+// library initialization (each annotated library's RegisterSplits is
+// once-guarded), after which many concurrent sessions issue lookups. A
+// shared_mutex gives registration exclusive access while lookups — the
+// planner and executor hot path — take shared locks and proceed in parallel.
+//
+// Every mutation bumps a monotonic version counter. The plan cache keys on
+// it (plan_cache.h): cached plans bake in ctor results and default split
+// types, so any registry change must invalidate them.
 #ifndef MOZART_CORE_REGISTRY_H_
 #define MOZART_CORE_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string_view>
 #include <typeindex>
@@ -77,6 +85,10 @@ class Registry {
   // with the same concrete type (§7.1); exposed for the pedantic runtime.
   std::vector<std::type_index> TypesForSplitType(InternedId name) const;
 
+  // Monotonic counter bumped by every registration call. Plan-cache entries
+  // record the version they were built against; a mismatch is a miss.
+  std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
  private:
   struct SplitTypeDef {
     SplitTypeCtor ctor;
@@ -84,7 +96,8 @@ class Registry {
     std::unordered_map<std::type_index, std::shared_ptr<Splitter>> splitters;
   };
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
+  std::atomic<std::uint64_t> version_{0};
   std::unordered_map<InternedId, SplitTypeDef> types_;
   std::unordered_map<std::type_index, InternedId> defaults_;
 };

@@ -3,6 +3,8 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "core/admission.h"
+#include "core/plan_cache.h"
 
 namespace mz {
 namespace {
@@ -12,12 +14,25 @@ thread_local Runtime* g_current_runtime = nullptr;
 }  // namespace
 
 Runtime::Runtime(RuntimeOptions opts) : opts_(opts), registry_(&Registry::Global()) {
-  int threads = opts_.num_threads > 0 ? opts_.num_threads : NumLogicalCpus();
-  opts_.num_threads = threads;
-  pool_ = std::make_unique<ThreadPool>(threads);
+  if (opts_.shared_pool != nullptr) {
+    pool_ = opts_.shared_pool;
+    opts_.num_threads = pool_->num_threads();
+  } else {
+    int threads = opts_.num_threads > 0 ? opts_.num_threads : NumLogicalCpus();
+    opts_.num_threads = threads;
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
 }
 
 Runtime::~Runtime() = default;
+
+ThreadPool* Runtime::SerialPool() {
+  if (serial_pool_ == nullptr) {
+    serial_pool_ = std::make_unique<ThreadPool>(1);  // worker 0 runs inline
+  }
+  return serial_pool_.get();
+}
 
 Runtime& Runtime::Default() {
   static Runtime* runtime = new Runtime();
@@ -88,11 +103,37 @@ void Runtime::EvaluateLocked() {
     pre_evaluate_hook_();  // lazy heap: unprotect before workers touch memory
   }
 
+  // Plan — through the cache when one is wired up. Fingerprinting, lookup,
+  // and template instantiation all count as planner time, so Fig. 5's
+  // breakdown shows exactly what the cache saves.
   Plan plan;
   {
     ScopedAccumTimer timer(opts_.collect_stats ? &stats_.planner_ns : nullptr);
-    Planner planner(graph_, *registry_, opts_.pipeline);
-    plan = planner.Build(first, end);
+    bool cached = false;
+    RangeFingerprint fp;
+    if (opts_.plan_cache != nullptr) {
+      fp = FingerprintRange(graph_, *registry_, first, end, opts_.pipeline);
+      if (std::optional<Plan> tmpl = opts_.plan_cache->Lookup(fp.key)) {
+        plan = InstantiatePlan(*tmpl, fp.canon_slots, first);
+        stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        cached = true;
+      }
+    }
+    if (!cached) {
+      Planner planner(graph_, *registry_, opts_.pipeline);
+      plan = planner.Build(first, end);
+      stats_.plans_built.fetch_add(1, std::memory_order_relaxed);
+      if (opts_.plan_cache != nullptr) {
+        stats_.plan_cache_misses.fetch_add(1, std::memory_order_relaxed);
+        // A registration between the fingerprint and Build would bake
+        // new-registry ctor results into a plan filed under the old-version
+        // key; skip the insert and let the next evaluation re-key.
+        if (registry_->version() == fp.registry_version) {
+          opts_.plan_cache->Insert(fp.key, MakePlanTemplate(plan, fp.canon_slots, first),
+                                   std::move(fp.pins));
+        }
+      }
+    }
   }
 
   ExecOptions exec_opts;
@@ -102,8 +143,29 @@ void Runtime::EvaluateLocked() {
   exec_opts.pedantic = opts_.pedantic;
   exec_opts.collect_stats = opts_.collect_stats;
   exec_opts.dynamic_scheduling = opts_.dynamic_scheduling;
-  Executor executor(&graph_, registry_, pool_.get(), exec_opts, &stats_);
-  executor.Run(plan);
+
+  // Admission (see admission.h): small plans stay on the calling thread;
+  // large ones hold a token while they occupy the shared pool.
+  {
+    ThreadPool* exec_pool = pool_;
+    AdmissionGate::Ticket ticket;
+    if (opts_.admission != nullptr || opts_.serial_cutoff_elems > 0) {
+      std::int64_t est = EstimatePlanElems(plan, graph_, *registry_);
+      if (est <= opts_.serial_cutoff_elems) {
+        exec_pool = SerialPool();
+        stats_.serial_evals.fetch_add(1, std::memory_order_relaxed);
+      } else if (opts_.admission != nullptr) {
+        std::int64_t t0 = opts_.collect_stats ? NowNanos() : 0;
+        ticket = opts_.admission->Acquire();
+        if (opts_.collect_stats) {
+          stats_.admission_wait_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
+        }
+        stats_.pooled_evals.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    Executor executor(&graph_, registry_, exec_pool, exec_opts, &stats_);
+    executor.Run(plan);
+  }
 
   graph_.MarkExecuted(end);
   stats_.evaluations.fetch_add(1, std::memory_order_relaxed);

@@ -25,6 +25,9 @@
 
 namespace mz {
 
+class AdmissionGate;
+class PlanCache;
+
 struct RuntimeOptions {
   int num_threads = 0;              // 0 = number of logical CPUs
   bool pipeline = true;             // false = Table 4's "-pipe" ablation
@@ -35,6 +38,20 @@ struct RuntimeOptions {
   // Work-stealing batch scheduling instead of the paper's default static
   // partitioning (§5.2 explicitly allows both; see ExecOptions).
   bool dynamic_scheduling = false;
+
+  // --- serving-layer wiring (session.h) — all non-owning, may be null ---
+  // Execute on this pool instead of constructing a private one. The pool is
+  // safe to share: RunOnAllWorkers calls from concurrent runtimes interleave
+  // through one queue (thread_pool.h).
+  ThreadPool* shared_pool = nullptr;
+  // Reuse plans across evaluations (and across sessions sharing the cache).
+  PlanCache* plan_cache = nullptr;
+  // Token gate bounding concurrent use of the shared pool.
+  AdmissionGate* admission = nullptr;
+  // Plans whose estimated parallel work is at or below this many elements
+  // run inline on the calling thread instead of fanning out (only applies
+  // when an admission gate is configured or the cutoff is > 0).
+  std::int64_t serial_cutoff_elems = 0;
 };
 
 // How a captured argument binds to the dataflow graph.
@@ -69,6 +86,7 @@ class Runtime {
   EvalStats& stats() { return stats_; }
   Registry& registry() { return *registry_; }
   ThreadPool& pool() { return *pool_; }
+  PlanCache* plan_cache() { return opts_.plan_cache; }
 
   // Introspection (tests, benches).
   int num_pending_nodes();
@@ -99,10 +117,13 @@ class Runtime {
   friend bool internal::SlotIsPending(Runtime*, SlotId);
 
   void EvaluateLocked();
+  ThreadPool* SerialPool();  // lazily-built 1-thread inline pool (admission)
 
   RuntimeOptions opts_;
   Registry* registry_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;   // null when using a shared pool
+  ThreadPool* pool_ = nullptr;               // owned_pool_ or opts_.shared_pool
+  std::unique_ptr<ThreadPool> serial_pool_;  // created on first inline eval
   std::recursive_mutex mu_;
   TaskGraph graph_;
   EvalStats stats_;

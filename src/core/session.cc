@@ -1,0 +1,74 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "common/cpu.h"
+
+namespace mz {
+
+ServingContext::ServingContext(ServingOptions opts)
+    : opts_(opts),
+      admission_(opts.max_pool_sessions > 0 ? opts.max_pool_sessions : 2) {
+  int threads = opts_.pool_threads > 0 ? opts_.pool_threads : NumLogicalCpus();
+  opts_.pool_threads = threads;
+  pool_ = std::make_unique<ThreadPool>(threads);
+  if (opts_.plan_cache != nullptr) {
+    plan_cache_ = opts_.plan_cache;
+  } else {
+    owned_plan_cache_ = std::make_unique<PlanCache>(opts_.plan_cache_entries);
+    plan_cache_ = owned_plan_cache_.get();
+  }
+}
+
+ServingContext::~ServingContext() = default;
+
+ServingContext& ServingContext::Default() {
+  static ServingContext* context = new ServingContext(ServingOptions{
+      .pool_threads = 0,
+      .max_pool_sessions = 2,
+      .serial_cutoff_elems = 4096,
+      .plan_cache_entries = 1024,
+      .plan_cache = &GlobalPlanCache(),
+  });
+  return *context;
+}
+
+void ServingContext::Register(Session* session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.insert(session);
+}
+
+void ServingContext::Unregister(Session* session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(session);
+  retired_.Accumulate(session->stats().Take());
+}
+
+EvalStats::Snapshot ServingContext::AggregateStats() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  EvalStats::Snapshot total = retired_.Take();
+  for (Session* session : sessions_) {
+    total.Add(session->stats().Take());
+  }
+  return total;
+}
+
+int ServingContext::num_live_sessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+Session::Session(SessionOptions opts)
+    : serving_(opts.serving != nullptr ? opts.serving : &ServingContext::Default()) {
+  RuntimeOptions rt_opts = opts.runtime;
+  rt_opts.shared_pool = &serving_->pool();
+  rt_opts.plan_cache = &serving_->plan_cache();
+  rt_opts.admission = &serving_->admission();
+  rt_opts.serial_cutoff_elems = serving_->options().serial_cutoff_elems;
+  runtime_ = std::make_unique<Runtime>(rt_opts);
+  serving_->Register(this);
+}
+
+Session::~Session() { serving_->Unregister(this); }
+
+}  // namespace mz

@@ -1,0 +1,136 @@
+// Concurrent serving layer: per-client Sessions over shared infrastructure.
+//
+// The paper's runtime (§5) plans and executes one dataflow for one client.
+// To serve many concurrent clients, Mozart splits that state in two:
+//
+//  * per-client: a Session owns its Runtime — task graph, pending slots,
+//    futures, and per-session stats. Two sessions never contend on graph
+//    state; capture and evaluation lock only the session's own mutex.
+//  * shared, read-mostly: the split-type Registry (shared_mutex,
+//    registry.h), the PlanCache (plan_cache.h), one executor ThreadPool,
+//    and the AdmissionGate that rations it (admission.h). A ServingContext
+//    bundles these; the process-default context serves sessions that do not
+//    bring their own.
+//
+// Typical server loop, one thread per client:
+//
+//   mz::Session session;                   // joins ServingContext::Default()
+//   mz::Session::Scope scope(session);     // wrapped calls capture here
+//   mzvec::Mul(n, a, b, tmp);              // ... captured lazily ...
+//   session.Evaluate();                    // or let a Future force it
+//
+// Repeated pipelines hit the shared plan cache (skipping Planner::Plan);
+// small plans run inline on the client's thread; large ones take an
+// admission token so the pool never oversubscribes.
+#ifndef MOZART_CORE_SESSION_H_
+#define MOZART_CORE_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+#include "core/admission.h"
+#include "core/plan_cache.h"
+#include "core/runtime.h"
+#include "core/stats.h"
+
+namespace mz {
+
+struct ServingOptions {
+  int pool_threads = 0;       // executor pool width; 0 = logical CPUs
+  int max_pool_sessions = 2;  // admission tokens: evaluations on the pool at once
+  // Evaluations whose estimated parallel work is at or below this many
+  // elements run inline on the client's thread (admission.h).
+  std::int64_t serial_cutoff_elems = 4096;
+  std::size_t plan_cache_entries = 1024;
+  PlanCache* plan_cache = nullptr;  // non-owning override; null = private cache
+};
+
+class Session;
+
+// Shared executor pool + plan cache + admission gate + aggregate statistics.
+// Thread-safe; outlives the Sessions constructed against it.
+class ServingContext {
+ public:
+  explicit ServingContext(ServingOptions opts = {});
+  ~ServingContext();
+
+  ServingContext(const ServingContext&) = delete;
+  ServingContext& operator=(const ServingContext&) = delete;
+
+  // Process-wide default (machine-sized pool, global plan cache).
+  static ServingContext& Default();
+
+  const ServingOptions& options() const { return opts_; }
+  ThreadPool& pool() { return *pool_; }
+  PlanCache& plan_cache() { return *plan_cache_; }
+  AdmissionGate& admission() { return admission_; }
+
+  // Stats aggregated across every session ever bound to this context:
+  // retired sessions' totals plus a live snapshot of the current ones.
+  EvalStats::Snapshot AggregateStats();
+
+  int num_live_sessions();
+
+ private:
+  friend class Session;
+  void Register(Session* session);
+  void Unregister(Session* session);  // folds the session's stats into retired_
+
+  ServingOptions opts_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<PlanCache> owned_plan_cache_;  // null when opts_.plan_cache set
+  PlanCache* plan_cache_;
+  AdmissionGate admission_;
+
+  std::mutex sessions_mu_;
+  std::unordered_set<Session*> sessions_;
+  EvalStats retired_;  // accumulated stats of destroyed sessions
+};
+
+struct SessionOptions {
+  // Per-session runtime knobs. shared_pool / plan_cache / admission /
+  // serial_cutoff_elems are overwritten with the serving context's wiring;
+  // num_threads is ignored (the pool is shared).
+  RuntimeOptions runtime;
+  ServingContext* serving = nullptr;  // null = ServingContext::Default()
+};
+
+// One client's handle on the runtime. Cheap to construct; owns an isolated
+// task graph. Sessions are externally synchronized per client (one client
+// thread per session at a time), like the Runtime they wrap; *different*
+// sessions are safe to use from different threads concurrently.
+class Session {
+ public:
+  explicit Session(SessionOptions opts = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Runtime& runtime() { return *runtime_; }
+  ServingContext& serving() { return *serving_; }
+  EvalStats& stats() { return runtime_->stats(); }
+
+  void Evaluate() { runtime_->Evaluate(); }
+  void Reset() { runtime_->Reset(); }
+
+  // RAII binding: wrapped calls on the constructing thread capture into this
+  // session until the Scope is destroyed (wraps RuntimeScope).
+  class Scope {
+   public:
+    explicit Scope(Session& session) : scope_(&session.runtime()) {}
+
+   private:
+    RuntimeScope scope_;
+  };
+
+ private:
+  ServingContext* serving_;
+  std::unique_ptr<Runtime> runtime_;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_SESSION_H_

@@ -16,6 +16,11 @@ std::string EvalStats::Snapshot::ToString() const {
      << "ms task=" << Ms(task_ns) << "ms merge=" << Ms(merge_ns)
      << "ms (evals=" << evaluations << " stages=" << stages << " batches=" << batches
      << " nodes=" << nodes_executed << ")";
+  if (plan_cache_hits + plan_cache_misses > 0 || serial_evals + pooled_evals > 0) {
+    os << " [plans=" << plans_built << " cache " << plan_cache_hits << "/"
+       << (plan_cache_hits + plan_cache_misses) << " hit; admission serial=" << serial_evals
+       << " pooled=" << pooled_evals << " wait=" << Ms(admission_wait_ns) << "ms]";
+  }
   return os.str();
 }
 

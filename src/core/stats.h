@@ -1,6 +1,12 @@
 // Runtime phase accounting, reproducing the paper's Fig. 5 breakdown:
 // client (task registration), unprotect (lazy-heap memory permission flips),
-// planner, split, task execution, and merge time.
+// planner, split, task execution, and merge time — plus serving-layer
+// counters (plan-cache hits/misses, admission decisions) for the concurrent
+// multi-session runtime.
+//
+// Every counter is an atomic, so one EvalStats may be written concurrently
+// by the executor's workers and by many client threads; aggregation across
+// sessions uses plain-value Snapshots (Take) folded with Add.
 #ifndef MOZART_CORE_STATS_H_
 #define MOZART_CORE_STATS_H_
 
@@ -24,12 +30,41 @@ class EvalStats {
     std::int64_t stages = 0;
     std::int64_t batches = 0;
     std::int64_t nodes_executed = 0;
+    // Serving layer (see plan_cache.h / session.h).
+    std::int64_t plans_built = 0;        // Planner::Build actually ran
+    std::int64_t plan_cache_hits = 0;    // evaluation reused a cached plan
+    std::int64_t plan_cache_misses = 0;  // evaluation had to plan
+    std::int64_t serial_evals = 0;       // admission ran the plan on the caller
+    std::int64_t pooled_evals = 0;       // admission took a shared-pool token
+    std::int64_t admission_wait_ns = 0;  // time blocked waiting for a token
 
     // Total across the per-phase wall-clock counters. Split/task/merge are
     // summed across workers, so on N threads this exceeds elapsed time.
+    // Admission wait is queueing, not work, and is excluded.
     std::int64_t TotalNs() const {
       return client_ns + unprotect_ns + planner_ns + split_ns + task_ns + merge_ns;
     }
+
+    // Folds another snapshot into this one (aggregation across sessions).
+    void Add(const Snapshot& other) {
+      client_ns += other.client_ns;
+      unprotect_ns += other.unprotect_ns;
+      planner_ns += other.planner_ns;
+      split_ns += other.split_ns;
+      task_ns += other.task_ns;
+      merge_ns += other.merge_ns;
+      evaluations += other.evaluations;
+      stages += other.stages;
+      batches += other.batches;
+      nodes_executed += other.nodes_executed;
+      plans_built += other.plans_built;
+      plan_cache_hits += other.plan_cache_hits;
+      plan_cache_misses += other.plan_cache_misses;
+      serial_evals += other.serial_evals;
+      pooled_evals += other.pooled_evals;
+      admission_wait_ns += other.admission_wait_ns;
+    }
+
     std::string ToString() const;
   };
 
@@ -45,7 +80,34 @@ class EvalStats {
     s.stages = stages.load(std::memory_order_relaxed);
     s.batches = batches.load(std::memory_order_relaxed);
     s.nodes_executed = nodes_executed.load(std::memory_order_relaxed);
+    s.plans_built = plans_built.load(std::memory_order_relaxed);
+    s.plan_cache_hits = plan_cache_hits.load(std::memory_order_relaxed);
+    s.plan_cache_misses = plan_cache_misses.load(std::memory_order_relaxed);
+    s.serial_evals = serial_evals.load(std::memory_order_relaxed);
+    s.pooled_evals = pooled_evals.load(std::memory_order_relaxed);
+    s.admission_wait_ns = admission_wait_ns.load(std::memory_order_relaxed);
     return s;
+  }
+
+  // Folds a snapshot into the live counters (used by ServingContext when a
+  // session retires).
+  void Accumulate(const Snapshot& s) {
+    client_ns.fetch_add(s.client_ns, std::memory_order_relaxed);
+    unprotect_ns.fetch_add(s.unprotect_ns, std::memory_order_relaxed);
+    planner_ns.fetch_add(s.planner_ns, std::memory_order_relaxed);
+    split_ns.fetch_add(s.split_ns, std::memory_order_relaxed);
+    task_ns.fetch_add(s.task_ns, std::memory_order_relaxed);
+    merge_ns.fetch_add(s.merge_ns, std::memory_order_relaxed);
+    evaluations.fetch_add(s.evaluations, std::memory_order_relaxed);
+    stages.fetch_add(s.stages, std::memory_order_relaxed);
+    batches.fetch_add(s.batches, std::memory_order_relaxed);
+    nodes_executed.fetch_add(s.nodes_executed, std::memory_order_relaxed);
+    plans_built.fetch_add(s.plans_built, std::memory_order_relaxed);
+    plan_cache_hits.fetch_add(s.plan_cache_hits, std::memory_order_relaxed);
+    plan_cache_misses.fetch_add(s.plan_cache_misses, std::memory_order_relaxed);
+    serial_evals.fetch_add(s.serial_evals, std::memory_order_relaxed);
+    pooled_evals.fetch_add(s.pooled_evals, std::memory_order_relaxed);
+    admission_wait_ns.fetch_add(s.admission_wait_ns, std::memory_order_relaxed);
   }
 
   void Reset() {
@@ -59,6 +121,12 @@ class EvalStats {
     stages = 0;
     batches = 0;
     nodes_executed = 0;
+    plans_built = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
+    serial_evals = 0;
+    pooled_evals = 0;
+    admission_wait_ns = 0;
   }
 
   std::atomic<std::int64_t> client_ns{0};
@@ -71,6 +139,12 @@ class EvalStats {
   std::atomic<std::int64_t> stages{0};
   std::atomic<std::int64_t> batches{0};
   std::atomic<std::int64_t> nodes_executed{0};
+  std::atomic<std::int64_t> plans_built{0};
+  std::atomic<std::int64_t> plan_cache_hits{0};
+  std::atomic<std::int64_t> plan_cache_misses{0};
+  std::atomic<std::int64_t> serial_evals{0};
+  std::atomic<std::int64_t> pooled_evals{0};
+  std::atomic<std::int64_t> admission_wait_ns{0};
 };
 
 }  // namespace mz

@@ -32,6 +32,10 @@ namespace mz {
 using SlotId = std::uint32_t;
 inline constexpr SlotId kInvalidSlot = static_cast<SlotId>(-1);
 
+// Every field below is a planner input, and therefore part of the plan
+// cache's structural fingerprint (plan_cache.h): pending/external/
+// external_refs and the held value's C++ type are hashed per slot. If a
+// field's planning semantics change, bump kFormatVersion in plan_cache.cc.
 struct Slot {
   SlotId id = kInvalidSlot;
   Value value;              // current full value (empty while pending if produced by a node)

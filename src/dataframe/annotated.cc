@@ -284,4 +284,9 @@ const mz::Annotated<DataFrame(const DataFrame&, const DataFrame&, long, long)> H
                       .Returns(mz::Unknown())
                       .Build());
 
+std::uint64_t EnsureRegistered() {
+  RegisterSplits();
+  return mz::Registry::Global().version();
+}
+
 }  // namespace mzdf

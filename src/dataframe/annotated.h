@@ -13,6 +13,7 @@
 #ifndef MOZART_DATAFRAME_ANNOTATED_H_
 #define MOZART_DATAFRAME_ANNOTATED_H_
 
+#include <cstdint>
 #include <string>
 
 #include "core/client.h"
@@ -21,6 +22,11 @@
 namespace mzdf {
 
 void RegisterSplits();
+// Serving-startup hook: forces registration (immune to the static-archive
+// link-order pitfall) and returns the registry version afterwards. Call
+// before spawning session threads so lazy registration cannot invalidate
+// cached plans mid-traffic (core/plan_cache.h keys on the version).
+std::uint64_t EnsureRegistered();
 
 using df::Column;
 using df::DataFrame;

@@ -130,4 +130,9 @@ const mz::Annotated<double(const Image*)> SumLuma(
                       .Returns(mz::Split("ReduceAdd"))
                       .Build());
 
+std::uint64_t EnsureRegistered() {
+  RegisterSplits();
+  return mz::Registry::Global().version();
+}
+
 }  // namespace mzimg

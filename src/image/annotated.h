@@ -15,6 +15,11 @@
 namespace mzimg {
 
 void RegisterSplits();
+// Serving-startup hook: forces registration (immune to the static-archive
+// link-order pitfall) and returns the registry version afterwards. Call
+// before spawning session threads so lazy registration cannot invalidate
+// cached plans mid-traffic (core/plan_cache.h keys on the version).
+std::uint64_t EnsureRegistered();
 
 using img::Image;
 

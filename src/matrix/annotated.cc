@@ -310,4 +310,9 @@ const mz::Annotated<double(const Matrix*)> MaxAbs(matrix::MaxAbs,
                                                       .Returns(mz::Split("ReduceMax"))
                                                       .Build());
 
+std::uint64_t EnsureRegistered() {
+  RegisterSplits();
+  return mz::Registry::Global().version();
+}
+
 }  // namespace mzmat

@@ -17,6 +17,7 @@
 #ifndef MOZART_MATRIX_ANNOTATED_H_
 #define MOZART_MATRIX_ANNOTATED_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/client.h"
@@ -27,6 +28,11 @@ namespace mzmat {
 // Registers MatrixSplit/ReduceSplit (and upgrades ArraySplit's constructor
 // to also accept a matrix argument, for Gemv-style outputs). Idempotent.
 void RegisterSplits();
+// Serving-startup hook: forces registration (immune to the static-archive
+// link-order pitfall) and returns the registry version afterwards. Call
+// before spawning session threads so lazy registration cannot invalidate
+// cached plans mid-traffic (core/plan_cache.h keys on the version).
+std::uint64_t EnsureRegistered();
 
 using matrix::Matrix;
 

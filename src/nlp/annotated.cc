@@ -146,4 +146,9 @@ const mz::Annotated<PosCounts(const Corpus&)> CountPos(
                        .Returns(mz::Split("ReducePos"))
                        .Build());
 
+std::uint64_t EnsureRegistered() {
+  RegisterSplits();
+  return mz::Registry::Global().version();
+}
+
 }  // namespace mznlp

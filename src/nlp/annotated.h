@@ -6,6 +6,7 @@
 #ifndef MOZART_NLP_ANNOTATED_H_
 #define MOZART_NLP_ANNOTATED_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/client.h"
@@ -14,6 +15,11 @@
 namespace mznlp {
 
 void RegisterSplits();
+// Serving-startup hook: forces registration (immune to the static-archive
+// link-order pitfall) and returns the registry version afterwards. Call
+// before spawning session threads so lazy registration cannot invalidate
+// cached plans mid-traffic (core/plan_cache.h keys on the version).
+std::uint64_t EnsureRegistered();
 
 using nlp::Corpus;
 using nlp::PosCounts;

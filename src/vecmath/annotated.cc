@@ -271,4 +271,9 @@ const ReduceFn MaxReduce(vecmath::MaxReduce, ReduceAnn("MaxReduce", "ReduceMax")
 const ReduceFn MinReduce(vecmath::MinReduce, ReduceAnn("MinReduce", "ReduceMin"));
 const Reduce2Fn Dot(vecmath::Dot, Reduce2Ann("Dot", "ReduceAdd"));
 
+std::uint64_t EnsureRegistered() {
+  RegisterSplits();
+  return mz::Registry::Global().version();
+}
+
 }  // namespace mzvec

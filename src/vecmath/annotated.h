@@ -16,6 +16,8 @@
 #ifndef MOZART_VECMATH_ANNOTATED_H_
 #define MOZART_VECMATH_ANNOTATED_H_
 
+#include <cstdint>
+
 #include "core/client.h"
 #include "vecmath/vecmath.h"
 
@@ -24,6 +26,14 @@ namespace mzvec {
 // Registers the split types and splitters with the global registry.
 // Idempotent; invoked automatically when this translation unit is linked.
 void RegisterSplits();
+
+// Serving-startup hook: forces registration (immune to the static-archive
+// link-order pitfall — calling any function defined in annotated.cc links
+// the TU and runs its initializers) and returns the registry version
+// afterwards. Call before spawning session threads so lazy registration
+// cannot bump the version mid-traffic and invalidate cached plans
+// (core/plan_cache.h keys on it).
+std::uint64_t EnsureRegistered();
 
 using UnaryFn = mz::Annotated<void(long, const double*, double*)>;
 using BinaryFn = mz::Annotated<void(long, const double*, const double*, double*)>;

@@ -1,0 +1,272 @@
+// PlanCache: structural fingerprinting, hit/miss accounting, hash-collision
+// safety, bounded eviction, cross-runtime template reuse, and invalidation
+// when the registry changes.
+#include "core/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "vecmath/annotated.h"
+#include "vecmath/vecmath.h"
+
+namespace mz {
+namespace {
+
+Plan PlanWithStages(int n) {
+  Plan p;
+  p.stages.resize(static_cast<std::size_t>(n));
+  return p;
+}
+
+TEST(PlanCacheTest, LookupMissThenInsertThenHit) {
+  PlanCache cache;
+  PlanKey key{42, {1, 2, 3}};
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.misses(), 1);
+
+  cache.Insert(key, PlanWithStages(2), {});
+  std::optional<Plan> got = cache.Lookup(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->stages.size(), 2u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, HashCollisionComparesFullFingerprint) {
+  PlanCache cache;
+  // Same 64-bit bucket hash, different fingerprints: must chain, not alias.
+  PlanKey a{7, {1, 1, 1}};
+  PlanKey b{7, {2, 2, 2}};
+  cache.Insert(a, PlanWithStages(1), {});
+  EXPECT_FALSE(cache.Lookup(b).has_value());
+
+  cache.Insert(b, PlanWithStages(3), {});
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_TRUE(cache.Lookup(a).has_value());
+  ASSERT_TRUE(cache.Lookup(b).has_value());
+  EXPECT_EQ(cache.Lookup(a)->stages.size(), 1u);
+  EXPECT_EQ(cache.Lookup(b)->stages.size(), 3u);
+}
+
+TEST(PlanCacheTest, ReinsertReplacesInPlace) {
+  PlanCache cache;
+  PlanKey key{9, {4, 5}};
+  cache.Insert(key, PlanWithStages(1), {});
+  cache.Insert(key, PlanWithStages(4), {});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(key)->stages.size(), 4u);
+}
+
+TEST(PlanCacheTest, EvictsOldestWhenFull) {
+  PlanCache cache(/*max_entries=*/2);
+  cache.Insert(PlanKey{1, {1}}, PlanWithStages(1), {});
+  cache.Insert(PlanKey{2, {2}}, PlanWithStages(1), {});
+  cache.Insert(PlanKey{3, {3}}, PlanWithStages(1), {});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(PlanKey{1, {1}}).has_value());  // oldest evicted
+  EXPECT_TRUE(cache.Lookup(PlanKey{2, {2}}).has_value());
+  EXPECT_TRUE(cache.Lookup(PlanKey{3, {3}}).has_value());
+}
+
+TEST(PlanCacheTest, ClearEmptiesTheCache) {
+  PlanCache cache;
+  cache.Insert(PlanKey{1, {1}}, PlanWithStages(1), {});
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(PlanKey{1, {1}}).has_value());
+}
+
+// ---- end-to-end through the runtime ----
+
+class PlanCacheRuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeOptions MakeOptions(PlanCache* cache) {
+    RuntimeOptions opts;
+    opts.num_threads = 2;
+    opts.pedantic = true;
+    opts.plan_cache = cache;
+    return opts;
+  }
+
+  // log1p(a) + b, / b — a three-node single-stage pipeline.
+  void Capture(long n, const double* a, const double* b, double* out) {
+    mzvec::Log1p(n, a, out);
+    mzvec::Add(n, out, b, out);
+    mzvec::Div(n, out, b, out);
+  }
+
+  std::vector<double> Expected(long n, const std::vector<double>& a,
+                               const std::vector<double>& b) {
+    std::vector<double> want(static_cast<std::size_t>(n));
+    vecmath::Log1p(n, a.data(), want.data());
+    vecmath::Add(n, want.data(), b.data(), want.data());
+    vecmath::Div(n, want.data(), b.data(), want.data());
+    return want;
+  }
+
+  std::vector<double> Iota(long n, double start) {
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (long i = 0; i < n; ++i) {
+      v[static_cast<std::size_t>(i)] = start + static_cast<double>(i);
+    }
+    return v;
+  }
+};
+
+TEST_F(PlanCacheRuntimeTest, WarmEvaluationSkipsPlannerCounterVerified) {
+  const long n = 20000;
+  std::vector<double> a = Iota(n, 1.0);
+  std::vector<double> b = Iota(n, 2.0);
+  std::vector<double> got(static_cast<std::size_t>(n));
+  std::vector<double> want = Expected(n, a, b);
+
+  PlanCache cache;
+  Runtime rt(MakeOptions(&cache));
+  RuntimeScope scope(&rt);
+
+  Capture(n, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  EXPECT_EQ(got, want);
+  EvalStats::Snapshot cold = rt.stats().Take();
+  EXPECT_EQ(cold.plans_built, 1);
+  EXPECT_EQ(cold.plan_cache_misses, 1);
+  EXPECT_EQ(cold.plan_cache_hits, 0);
+
+  // Same pipeline, same buffers, captured again: structurally identical, so
+  // the cached template must be reused and Planner::Build must NOT run.
+  std::fill(got.begin(), got.end(), 0.0);
+  Capture(n, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  EXPECT_EQ(got, want);
+  EvalStats::Snapshot warm = rt.stats().Take();
+  EXPECT_EQ(warm.plans_built, 1) << "warm evaluation re-planned";
+  EXPECT_EQ(warm.plan_cache_hits, 1);
+  EXPECT_EQ(warm.plan_cache_misses, 1);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST_F(PlanCacheRuntimeTest, DifferentSizeIsADifferentKey) {
+  const long n1 = 10000;
+  const long n2 = 20000;
+  std::vector<double> a = Iota(n2, 1.0);
+  std::vector<double> b = Iota(n2, 2.0);
+  std::vector<double> got(static_cast<std::size_t>(n2));
+
+  PlanCache cache;
+  Runtime rt(MakeOptions(&cache));
+  RuntimeScope scope(&rt);
+
+  Capture(n1, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  Capture(n2, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  // Split-type constructor results (the size) are part of the key: the
+  // second evaluation must not reuse the n1 plan.
+  EXPECT_EQ(rt.stats().Take().plans_built, 2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(got, Expected(n2, a, b));
+}
+
+TEST_F(PlanCacheRuntimeTest, TemplateIsSharedAcrossRuntimes) {
+  const long n = 15000;
+  std::vector<double> a1 = Iota(n, 1.0);
+  std::vector<double> b1 = Iota(n, 2.0);
+  std::vector<double> a2 = Iota(n, 5.0);  // different data, same shape
+  std::vector<double> b2 = Iota(n, 9.0);
+  std::vector<double> got1(static_cast<std::size_t>(n));
+  std::vector<double> got2(static_cast<std::size_t>(n));
+
+  PlanCache cache;
+  {
+    Runtime rt1(MakeOptions(&cache));
+    RuntimeScope scope(&rt1);
+    Capture(n, a1.data(), b1.data(), got1.data());
+    rt1.Evaluate();
+    EXPECT_EQ(rt1.stats().Take().plans_built, 1);
+  }
+  {
+    // A fresh runtime (fresh graph, different buffer addresses): the
+    // template must instantiate against the new slots and compute correctly.
+    Runtime rt2(MakeOptions(&cache));
+    RuntimeScope scope(&rt2);
+    Capture(n, a2.data(), b2.data(), got2.data());
+    rt2.Evaluate();
+    EXPECT_EQ(rt2.stats().Take().plans_built, 0) << "second runtime re-planned";
+    EXPECT_EQ(rt2.stats().Take().plan_cache_hits, 1);
+  }
+  EXPECT_EQ(got1, Expected(n, a1, b1));
+  EXPECT_EQ(got2, Expected(n, a2, b2));
+}
+
+TEST_F(PlanCacheRuntimeTest, RegistryChangeInvalidatesCachedPlans) {
+  const long n = 12000;
+  std::vector<double> a = Iota(n, 1.0);
+  std::vector<double> b = Iota(n, 2.0);
+  std::vector<double> got(static_cast<std::size_t>(n));
+
+  PlanCache cache;
+  Runtime rt(MakeOptions(&cache));
+  RuntimeScope scope(&rt);
+
+  Capture(n, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  Capture(n, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().plan_cache_hits, 1);
+
+  // Any registration bumps the registry version; cached plans bake in ctor
+  // results and defaults, so they must stop matching.
+  Registry::Global().DefineSplitType("PlanCacheTestInvalidationProbe", nullptr, nullptr);
+
+  Capture(n, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.plan_cache_hits, 1) << "stale plan served after registry change";
+  EXPECT_EQ(s.plans_built, 2);
+  EXPECT_EQ(got, Expected(n, a, b));
+}
+
+TEST_F(PlanCacheRuntimeTest, LiveFutureChangesTheKey) {
+  const long n = 30000;
+  std::vector<double> a(static_cast<std::size_t>(n), 0.25);
+
+  PlanCache cache;
+  Runtime rt(MakeOptions(&cache));
+  RuntimeScope scope(&rt);
+
+  // Evaluation with the reduction's Future alive (external_refs > 0) plans
+  // the output slot as observed; with the Future dropped it does not. The
+  // two must not share a key.
+  {
+    Future<double> total = mzvec::Sum(n, a.data());
+    EXPECT_DOUBLE_EQ(total.get(), 0.25 * static_cast<double>(n));
+  }
+  { mzvec::Sum(n, a.data()); }
+  rt.Evaluate();
+  EXPECT_EQ(rt.stats().Take().plans_built, 2);
+}
+
+TEST_F(PlanCacheRuntimeTest, NoCacheConfiguredAlwaysPlans) {
+  const long n = 8000;
+  std::vector<double> a = Iota(n, 1.0);
+  std::vector<double> b = Iota(n, 2.0);
+  std::vector<double> got(static_cast<std::size_t>(n));
+
+  Runtime rt(MakeOptions(nullptr));
+  RuntimeScope scope(&rt);
+  Capture(n, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  Capture(n, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.plans_built, 2);
+  EXPECT_EQ(s.plan_cache_hits, 0);
+  EXPECT_EQ(s.plan_cache_misses, 0);
+}
+
+}  // namespace
+}  // namespace mz
