@@ -1,19 +1,33 @@
 // Serving-layer throughput: N simulated clients over one ServingContext.
 //
-// Each client owns a Session and repeatedly evaluates the same three-node
-// vecmath pipeline (log1p / add / div — one pipelined stage) on its own
-// buffers. The sweep reports evaluations/second at 1, 4, and 16 clients,
-// cold (first round: every client misses the plan cache) vs. warm (plans
-// served from cache), plus the plan-cache hit rate and the admission split.
+// Three experiments, all reported as *relative* numbers (single-core CI —
+// see ROADMAP):
 //
-// What to look for:
-//  * warm throughput should scale with clients until the executor pool
-//    saturates, instead of collapsing into oversubscription (admission
-//    bounds pool entry; small plans run inline on the client's thread);
-//  * warm vs. cold shows the planning cost the cache amortizes away —
-//    the Weld-style "build once, run many" win for repeated pipelines.
+//  1. Throughput sweep — 1/4/16 clients each repeatedly evaluating the same
+//     three-node vecmath pipeline, cold (first round: every client misses
+//     the plan cache) vs. warm, plus hit rate and the admission split.
+//     Warm throughput should scale until the pool saturates; warm vs. cold
+//     shows the planning cost the cache amortizes away.
+//
+//  2. Capped plan cache, LRU vs. FIFO — a skewed working set (per client
+//     per round: many evaluations cycling a small shared hot set + one
+//     one-off size) with the cache capped below the working-set size. LRU
+//     keeps the hot templates resident (hit rate stays near the hot
+//     fraction); FIFO lets the one-off stream push them out and thrashes.
+//
+//  3. Loaded pool: fixed vs. adaptive vs. adaptive+batching — half the
+//     clients run large pooled plans to congest the queue while the other
+//     half run small ones. Watch the policies move: under the adaptive
+//     gate, mid-size plans migrate inline ("large inline" column) and
+//     token-wait time collapses as the smoothed queue depth climbs; with
+//     batching on, the collector coalesces the small-plan stream into far
+//     fewer dispatches (paper §6: amortize per-invocation overhead across
+//     requests). On a single-core CI box the wall-clock columns are noisy —
+//     read the routing and wait columns, not absolute throughput.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,6 +41,14 @@ namespace {
 
 constexpr long kBaseElems = 1 << 18;  // per client, ~6 MB of doubles
 constexpr int kWarmRounds = 8;
+
+void Pipeline(long n, const double* a, const double* b, double* out) {
+  mzvec::Log1p(n, a, out);
+  mzvec::Add(n, out, b, out);
+  mzvec::Div(n, out, b, out);
+}
+
+// ---------------------------------------------------------------- sweep ----
 
 struct SweepResult {
   double cold_evals_per_sec = 0;
@@ -60,12 +82,8 @@ SweepResult RunClients(int num_clients, long n) {
         opts.serving = &ctx;
         mz::Session session(opts);
         mz::Session::Scope scope(session);
-        auto* pa = a[static_cast<std::size_t>(c)].data();
-        auto* pb = b[static_cast<std::size_t>(c)].data();
-        auto* po = out[static_cast<std::size_t>(c)].data();
-        mzvec::Log1p(n, pa, po);
-        mzvec::Add(n, po, pb, po);
-        mzvec::Div(n, po, pb, po);
+        Pipeline(n, a[static_cast<std::size_t>(c)].data(), b[static_cast<std::size_t>(c)].data(),
+                 out[static_cast<std::size_t>(c)].data());
         session.Evaluate();
       });
     }
@@ -92,6 +110,189 @@ SweepResult RunClients(int num_clients, long n) {
   return r;
 }
 
+// ------------------------------------------------- capped cache, LRU/FIFO ----
+
+struct PolicyResult {
+  double warm_hit_rate = 0;  // measured after one warmup round
+  std::int64_t evictions = 0;
+};
+
+// Skewed access: per client per round, kHotEvals evaluations cycling over
+// kHotKeys shared hot sizes plus ONE one-off size never seen again. The
+// cache cap leaves room for the hot set plus a couple of one-offs — under
+// LRU the constantly touched hot templates are never the victim; under FIFO
+// each one-off eviction lands on the oldest *insertion*, i.e. a hot
+// template, and the reinsert cascades into the next one.
+PolicyResult RunCappedCache(mz::EvictionPolicy policy, int num_clients, long n_hot) {
+  constexpr int kHotKeys = 4;
+  constexpr int kHotEvals = 16;  // four passes over the hot set per round
+  constexpr int kRounds = 6;
+  constexpr std::size_t kCacheCap = 6;
+
+  mz::ServingContext ctx(mz::ServingOptions{
+      .pool_threads = 0,
+      .max_pool_sessions = 2,
+      .serial_cutoff_elems = 4096,
+      .plan_cache_entries = kCacheCap,
+      .plan_cache_policy = policy,
+  });
+
+  auto client_body = [&](int c, int rounds, bool measured) {
+    const std::size_t size = static_cast<std::size_t>(n_hot) + 4096;
+    std::vector<double> a(size, 1.5 + c);
+    std::vector<double> b(size, 2.5 + c);
+    std::vector<double> out(size);
+    mz::SessionOptions opts;
+    opts.serving = &ctx;
+    mz::Session session(opts);
+    mz::Session::Scope scope(session);
+    for (int r = 0; r < rounds; ++r) {
+      for (int e = 0; e < kHotEvals; ++e) {
+        // Hot sizes are shared across every client: kHotKeys plan keys.
+        const long n_e = n_hot + 7 * (e % kHotKeys);
+        Pipeline(n_e, a.data(), b.data(), out.data());
+        session.Evaluate();
+        session.Reset();
+      }
+      if (measured) {
+        // One-off: a size unique to (client, round) — a new plan key that
+        // is inserted once and never looked up again.
+        const long n_unique = n_hot + 7 * kHotKeys + 1 + c * kRounds + r;
+        Pipeline(n_unique, a.data(), b.data(), out.data());
+        session.Evaluate();
+        session.Reset();
+      }
+    }
+  };
+
+  client_body(0, 1, /*measured=*/false);  // warmup: hot templates resident
+  const std::int64_t hits0 = ctx.plan_cache().hits();
+  const std::int64_t misses0 = ctx.plan_cache().misses();
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < num_clients; ++c) {
+    threads.emplace_back(client_body, c, kRounds, true);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  PolicyResult r;
+  const double hits = static_cast<double>(ctx.plan_cache().hits() - hits0);
+  const double misses = static_cast<double>(ctx.plan_cache().misses() - misses0);
+  r.warm_hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0.0;
+  r.evictions = ctx.plan_cache().evictions();
+  return r;
+}
+
+// ------------------------------------- loaded pool, fixed vs. adaptive ----
+
+struct LoadedResult {
+  double small_cold_evals_per_sec = 0;
+  double small_warm_evals_per_sec = 0;
+  mz::EvalStats::Snapshot stats;
+  std::int64_t batch_dispatches = 0;
+  std::int64_t batch_jobs = 0;
+};
+
+// `small_clients` evaluate a tiny pipeline while `large_clients` congest
+// the shared pool with full-width plans for a fixed amount of work.
+// Small-client throughput and where the large plans ran (pooled vs. pushed
+// inline by the adaptive cutoff) are what the policies move.
+LoadedResult RunLoaded(bool adaptive, bool batching, int small_clients, int large_clients,
+                       long n_small, long n_large) {
+  constexpr int kSmallRounds = 30;
+  constexpr int kLargeRounds = 6;
+
+  mz::ServingOptions serving;
+  // At least 4 workers even on a small machine: queue depth only builds
+  // when stage dispatches actually queue, and the adaptive gate needs depth
+  // to observe.
+  serving.pool_threads = std::max(4, mz::NumLogicalCpus());
+  serving.max_pool_sessions = 2;
+  serving.serial_cutoff_elems = 2048;
+  serving.adaptive_admission = adaptive;
+  // React to shallow queues too: a handful of queued stage dispatches is
+  // already contention at this plan size.
+  serving.admission_tuning.congested_depth = 4.0;
+  serving.admission_tuning.ewma_alpha = 0.4;
+  // The experiment is about mid-size plans migrating inline, so the cutoff
+  // range must actually reach them: at full congestion even the large
+  // plans qualify, whatever the bench scale made them.
+  serving.admission_tuning.base_cutoff_elems = serving.serial_cutoff_elems;
+  serving.admission_tuning.max_cutoff_elems = 2 * n_large;
+  // The window must stay well under a small plan's execution cost or the
+  // wait dominates what batching amortizes.
+  serving.batch_window_us = batching ? 25 : 0;
+  serving.batch_max_plans = 8;
+  mz::ServingContext ctx(serving);
+
+  std::vector<std::thread> large;
+  for (int c = 0; c < large_clients; ++c) {
+    large.emplace_back([&, c] {
+      const std::size_t size = static_cast<std::size_t>(n_large);
+      std::vector<double> a(size, 1.5 + c);
+      std::vector<double> b(size, 2.5 + c);
+      std::vector<double> out(size);
+      mz::SessionOptions opts;
+      opts.serving = &ctx;
+      mz::Session session(opts);
+      mz::Session::Scope scope(session);
+      for (int r = 0; r < kLargeRounds; ++r) {
+        Pipeline(n_large, a.data(), b.data(), out.data());
+        session.Evaluate();
+        session.Reset();
+      }
+    });
+  }
+
+  auto run_small_round = [&](int rounds) {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < small_clients; ++c) {
+      threads.emplace_back([&, c] {
+        const std::size_t size = static_cast<std::size_t>(n_small);
+        std::vector<double> a(size, 1.5 + c);
+        std::vector<double> b(size, 2.5 + c);
+        std::vector<double> out(size);
+        mz::SessionOptions opts;
+        opts.serving = &ctx;
+        mz::Session session(opts);
+        mz::Session::Scope scope(session);
+        for (int r = 0; r < rounds; ++r) {
+          Pipeline(n_small, a.data(), b.data(), out.data());
+          session.Evaluate();
+          session.Reset();
+        }
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  };
+
+  LoadedResult r;
+  {
+    mz::WallTimer timer;
+    run_small_round(1);  // cold
+    r.small_cold_evals_per_sec = static_cast<double>(small_clients) / timer.ElapsedSeconds();
+  }
+  {
+    mz::WallTimer timer;
+    run_small_round(kSmallRounds);  // warm, under load
+    r.small_warm_evals_per_sec =
+        static_cast<double>(small_clients) * kSmallRounds / timer.ElapsedSeconds();
+  }
+  for (std::thread& t : large) {
+    t.join();
+  }
+  r.stats = ctx.AggregateStats();
+  if (ctx.batcher() != nullptr) {
+    r.batch_dispatches = ctx.batcher()->dispatches();
+    r.batch_jobs = ctx.batcher()->jobs();
+  }
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -113,6 +314,49 @@ int main() {
                 r.warm_evals_per_sec, 100.0 * hit_rate,
                 static_cast<long long>(r.stats.serial_evals),
                 static_cast<long long>(r.stats.pooled_evals));
+  }
+
+  bench::Title("Capped plan cache (6 entries), skewed working set: LRU vs. FIFO");
+  bench::Note("16 clients x 6 rounds x (16 hot evals over 4 shared sizes + 1 one-off size); "
+              "warm hit rate should approach the 16/17 ~ 94% hot fraction under LRU and "
+              "collapse under FIFO");
+  const long n_hot = bench::Scaled(1 << 14);
+  std::printf("%8s %14s %12s\n", "policy", "warm hit rate", "evictions");
+  for (mz::EvictionPolicy policy : {mz::EvictionPolicy::kLru, mz::EvictionPolicy::kFifo}) {
+    PolicyResult r = RunCappedCache(policy, /*num_clients=*/16, n_hot);
+    std::printf("%8s %13.1f%% %12lld\n",
+                policy == mz::EvictionPolicy::kLru ? "LRU" : "FIFO", 100.0 * r.warm_hit_rate,
+                static_cast<long long>(r.evictions));
+  }
+
+  bench::Title("Loaded pool: small-plan throughput, fixed vs. adaptive admission");
+  const long n_large = bench::Scaled(kBaseElems * 4);
+  bench::Note("8 small clients (1024 elems) vs. 8 large clients (" + std::to_string(n_large) +
+              " elems) congesting the pool; the adaptive gate pushes mid-size plans inline as "
+              "queue depth climbs, and the collector coalesces small dispatches");
+  std::printf("%22s %16s %16s %10s %14s %10s\n", "config", "cold evals/s", "warm evals/s",
+              "batched", "large inline", "wait ms");
+  struct Config {
+    const char* name;
+    bool adaptive;
+    bool batching;
+  };
+  const std::int64_t small_total = 8 * (1 + 30);  // smalls are always inline-class
+  for (const Config& cfg : {Config{"fixed", false, false}, Config{"adaptive", true, false},
+                            Config{"adaptive+batching", true, true}}) {
+    // n_small is deliberately NOT scaled: it must stay under the 2048-elem
+    // base cutoff (inline-class) at every MOZART_BENCH_SCALE.
+    LoadedResult r = RunLoaded(cfg.adaptive, cfg.batching, /*small_clients=*/8,
+                               /*large_clients=*/8, /*n_small=*/1024, n_large);
+    std::printf("%22s %16.1f %16.1f %10lld %14lld %10.2f\n", cfg.name,
+                r.small_cold_evals_per_sec, r.small_warm_evals_per_sec,
+                static_cast<long long>(r.stats.batched_evals),
+                static_cast<long long>(r.stats.serial_evals - small_total),
+                static_cast<double>(r.stats.admission_wait_ns) * 1e-6);
+    if (cfg.batching && r.batch_dispatches > 0) {
+      bench::Note("batcher: " + std::to_string(r.batch_jobs) + " jobs in " +
+                  std::to_string(r.batch_dispatches) + " dispatches");
+    }
   }
   return 0;
 }

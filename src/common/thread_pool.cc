@@ -89,8 +89,12 @@ std::size_t ThreadPool::queue_depth() const {
 }
 
 void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
+  RunOnWorkers(num_threads(), fn);
+}
+
+void ThreadPool::RunOnWorkers(int width, const std::function<void(int)>& fn) {
   dispatches_.fetch_add(1, std::memory_order_relaxed);
-  int n = num_threads();
+  int n = std::clamp(width, 1, num_threads());
   if (n == 1) {
     WorkerMark mark;
     fn(0);
@@ -104,7 +108,13 @@ void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
       queue_.push(Task{fn, i, barrier});
     }
   }
-  cv_.notify_all();
+  if (n == num_threads()) {
+    cv_.notify_all();
+  } else {
+    for (int i = 1; i < n; ++i) {
+      cv_.notify_one();  // wake only as many sleepers as there are tasks
+    }
+  }
   {
     WorkerMark mark;
     fn(0);

@@ -43,6 +43,12 @@ class ThreadPool {
   // cost and thread-count sweeps degrade gracefully.
   void RunOnAllWorkers(const std::function<void(int)>& fn);
 
+  // Same, but on only `width` workers (clamped to [1, num_threads()]):
+  // fn(0) on the calling thread plus width-1 queued tasks. Lets narrow work
+  // (e.g. a small batch of serial jobs, core/batch.h) avoid waking the
+  // whole pool.
+  void RunOnWorkers(int width, const std::function<void(int)>& fn);
+
   // Statically partitions [begin, end) into one contiguous range per worker
   // and runs fn(range_begin, range_end) in parallel. Ranges may be empty.
   //

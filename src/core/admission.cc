@@ -1,6 +1,7 @@
 #include "core/admission.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.h"
@@ -8,13 +9,91 @@
 
 namespace mz {
 
-AdmissionGate::AdmissionGate(int tokens) : tokens_(std::max(1, tokens)) {}
+namespace {
+
+AdmissionOptions FixedOptions(int tokens) {
+  AdmissionOptions opts;
+  opts.min_tokens = std::max(1, tokens);
+  opts.max_tokens = opts.min_tokens;
+  return opts;
+}
+
+AdmissionOptions Sanitize(AdmissionOptions opts) {
+  opts.min_tokens = std::max(1, opts.min_tokens);
+  opts.max_tokens = std::max(opts.min_tokens, opts.max_tokens);
+  opts.base_cutoff_elems = std::max<std::int64_t>(0, opts.base_cutoff_elems);
+  opts.max_cutoff_elems = std::max(opts.base_cutoff_elems, opts.max_cutoff_elems);
+  opts.ewma_alpha = std::clamp(opts.ewma_alpha, 1e-3, 1.0);
+  opts.congested_depth = std::max(1e-3, opts.congested_depth);
+  return opts;
+}
+
+}  // namespace
+
+AdmissionGate::AdmissionGate(int tokens) : adaptive_(false), opts_(FixedOptions(tokens)) {
+  effective_tokens_ = opts_.max_tokens;
+  effective_cutoff_ = 0;  // unused: cutoff_elems returns the fallback
+}
+
+AdmissionGate::AdmissionGate(const AdmissionOptions& opts)
+    : adaptive_(true), opts_(Sanitize(opts)) {
+  effective_tokens_ = opts_.max_tokens;        // idle until observed otherwise
+  effective_cutoff_ = opts_.base_cutoff_elems;
+}
 
 AdmissionGate::Ticket AdmissionGate::Acquire() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return in_use_ < tokens_; });
+  cv_.wait(lock, [this] { return in_use_ < effective_tokens_; });
   ++in_use_;
   return Ticket(this);
+}
+
+void AdmissionGate::Observe(std::size_t queue_depth) {
+  if (!adaptive_) {
+    return;
+  }
+  bool grew = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ewma_depth_ = opts_.ewma_alpha * static_cast<double>(queue_depth) +
+                  (1.0 - opts_.ewma_alpha) * ewma_depth_;
+    const int before = effective_tokens_;
+    RecomputeLocked();
+    grew = effective_tokens_ > before;
+  }
+  if (grew) {
+    cv_.notify_all();  // a larger budget may admit blocked acquirers
+  }
+}
+
+void AdmissionGate::RecomputeLocked() {
+  // load in [0, 1]: 0 = idle pool, 1 = smoothed depth at/past congestion.
+  const double load = std::min(1.0, ewma_depth_ / opts_.congested_depth);
+  effective_tokens_ =
+      opts_.max_tokens -
+      static_cast<int>(std::llround(load * static_cast<double>(opts_.max_tokens - opts_.min_tokens)));
+  effective_cutoff_ =
+      opts_.base_cutoff_elems +
+      static_cast<std::int64_t>(
+          load * static_cast<double>(opts_.max_cutoff_elems - opts_.base_cutoff_elems));
+}
+
+int AdmissionGate::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return effective_tokens_;
+}
+
+std::int64_t AdmissionGate::cutoff_elems(std::int64_t fallback) const {
+  if (!adaptive_) {
+    return fallback;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return effective_cutoff_;
+}
+
+double AdmissionGate::ewma_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_depth_;
 }
 
 int AdmissionGate::in_use() const {

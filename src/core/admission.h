@@ -9,10 +9,24 @@
 //  * small plans (estimated parallel work under a cutoff, or all-serial
 //    plans) run entirely on the calling thread via a 1-thread inline pool —
 //    no shared-pool traffic at all;
-//  * large plans must hold one of a fixed number of tokens while they use
+//  * large plans must hold one of a bounded number of tokens while they use
 //    the shared pool, bounding the number of evaluations in flight on it.
 //
-// The gate is a plain counting semaphore; tickets are RAII.
+// The gate comes in two modes. The *fixed* mode (the int constructor) is a
+// plain counting semaphore. The *adaptive* mode feeds observed
+// ThreadPool::queue_depth() samples through an EWMA and interpolates both
+// policies against the smoothed load:
+//
+//  * the token budget shrinks from max_tokens toward min_tokens as the pool
+//    congests — fewer full-width evaluations pile onto a backed-up queue;
+//  * the inline-vs-pooled cutoff grows from base_cutoff_elems toward
+//    max_cutoff_elems — under load, progressively larger plans run on their
+//    caller instead of queuing behind someone else's full-width stages.
+//
+// Both responses are monotone in the smoothed depth and clamped to their
+// configured ranges; min_tokens >= 1 guarantees large plans always admit
+// eventually (no starvation). Tickets are RAII. Budget shrink never revokes
+// held tickets — it only delays new admissions until the pool drains.
 #ifndef MOZART_CORE_ADMISSION_H_
 #define MOZART_CORE_ADMISSION_H_
 
@@ -26,9 +40,26 @@
 
 namespace mz {
 
+// Tuning for the adaptive mode. Zeros mean "derive": the serving layer
+// (session.h) fills base/max cutoffs from its serial_cutoff_elems and
+// max_tokens from max_pool_sessions.
+struct AdmissionOptions {
+  int min_tokens = 1;  // floor under congestion; >= 1 or large plans starve
+  int max_tokens = 2;  // budget when the pool is idle
+  // Inline cutoff range (elements of estimated parallel work).
+  std::int64_t base_cutoff_elems = 4096;    // idle pool
+  std::int64_t max_cutoff_elems = 1 << 16;  // fully congested pool
+  // EWMA weight of one new queue-depth observation, in (0, 1].
+  double ewma_alpha = 0.25;
+  // Smoothed queue depth treated as full congestion: at or beyond it the
+  // token budget sits at min_tokens and the cutoff at max_cutoff_elems.
+  double congested_depth = 16.0;
+};
+
 class AdmissionGate {
  public:
-  explicit AdmissionGate(int tokens);
+  explicit AdmissionGate(int tokens);  // fixed budget, no adaptation
+  explicit AdmissionGate(const AdmissionOptions& opts);
 
   AdmissionGate(const AdmissionGate&) = delete;
   AdmissionGate& operator=(const AdmissionGate&) = delete;
@@ -59,19 +90,39 @@ class AdmissionGate {
     AdmissionGate* gate_ = nullptr;
   };
 
-  // Blocks until a token is free.
+  // Blocks until a token is free under the current effective budget.
   Ticket Acquire();
 
-  int tokens() const { return tokens_; }
+  // Feeds one queue-depth sample into the EWMA and recomputes the effective
+  // budget and cutoff. No-op in fixed mode. Wakes waiters if the budget grew.
+  void Observe(std::size_t queue_depth);
+
+  bool adaptive() const { return adaptive_; }
+
+  // Current effective token budget (fixed mode: the constructor argument).
+  int tokens() const;
   int in_use() const;
+
+  // Current inline-vs-pooled cutoff; fixed mode returns `fallback` (the
+  // runtime's static serial_cutoff_elems).
+  std::int64_t cutoff_elems(std::int64_t fallback) const;
+
+  double ewma_depth() const;
+
+  const AdmissionOptions& options() const { return opts_; }
 
  private:
   void ReleaseToken();
+  void RecomputeLocked();  // effective budget/cutoff from ewma_depth_
 
-  const int tokens_;
+  const bool adaptive_;
+  const AdmissionOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   int in_use_ = 0;
+  double ewma_depth_ = 0.0;
+  int effective_tokens_;
+  std::int64_t effective_cutoff_;
 };
 
 // Cheap upper-bound estimate of a plan's parallel work, in elements: the

@@ -1,0 +1,133 @@
+#include "core/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace mz {
+
+BatchCollector::BatchCollector(ThreadPool* pool, BatchOptions opts)
+    : pool_(pool), opts_([&] {
+        BatchOptions o = opts;
+        o.window_us = std::max<std::int64_t>(0, o.window_us);
+        o.max_batch = std::max(1, o.max_batch);
+        return o;
+      }()) {
+  MZ_CHECK_MSG(pool_ != nullptr, "BatchCollector needs a pool");
+}
+
+BatchCollector::~BatchCollector() {
+  // Callers must have drained (Run blocks, so a live Run keeps its
+  // ServingContext — and therefore this collector — alive). A stray open
+  // batch here would mean a Run is still in flight.
+  Flush();
+}
+
+void BatchCollector::Run(std::function<void()> fn) {
+  Job job;
+  job.fn = &fn;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++jobs_;
+  bool leader = false;
+  if (open_ == nullptr || open_->closed) {
+    open_ = std::make_shared<Batch>();
+    leader = true;
+  }
+  std::shared_ptr<Batch> batch = open_;
+  batch->jobs.push_back(&job);
+  if (static_cast<int>(batch->jobs.size()) >= opts_.max_batch) {
+    batch->closed = true;
+    if (!leader) {
+      cv_open_.notify_all();  // wake the leader: the batch is full
+    }
+  }
+
+  if (leader) {
+    cv_open_.wait_for(lock, std::chrono::microseconds(opts_.window_us),
+                      [&] { return batch->closed; });
+    batch->closed = true;  // timeout path: close against late riders
+    if (open_ == batch) {
+      open_.reset();
+    }
+    const int size = static_cast<int>(batch->jobs.size());
+    max_batch_seen_ = std::max(max_batch_seen_, size);
+    if (size > 1) {
+      coalesced_jobs_ += size;
+    }
+    ++dispatches_;
+    lock.unlock();
+    Dispatch(*batch);
+    lock.lock();
+    batch->done = true;
+    cv_done_.notify_all();
+  } else {
+    cv_done_.wait(lock, [&] { return batch->done; });
+  }
+  lock.unlock();
+
+  if (job.error) {
+    std::rethrow_exception(job.error);
+  }
+}
+
+void BatchCollector::Dispatch(Batch& batch) {
+  auto run_one = [](Job* job) {
+    try {
+      (*job->fn)();
+    } catch (...) {
+      job->error = std::current_exception();
+    }
+  };
+  if (batch.jobs.size() == 1 || pool_->queue_depth() > 0) {
+    // A batch of one has nothing to amortize, and a backed-up pool would
+    // make every rider wait behind someone else's full-width stages — the
+    // exact coupling inline execution exists to avoid. Run the batch on the
+    // leader's thread: coalescing still amortizes the riders' wake-ups.
+    for (Job* job : batch.jobs) {
+      run_one(job);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  // Width-bounded: a batch of K wakes K workers (the leader included), not
+  // the whole pool.
+  pool_->RunOnWorkers(static_cast<int>(batch.jobs.size()), [&](int) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < batch.jobs.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      run_one(batch.jobs[i]);
+    }
+  });
+}
+
+void BatchCollector::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_ != nullptr && !open_->closed) {
+    open_->closed = true;
+    cv_open_.notify_all();
+  }
+}
+
+std::int64_t BatchCollector::jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_;
+}
+
+std::int64_t BatchCollector::dispatches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatches_;
+}
+
+std::int64_t BatchCollector::coalesced_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_jobs_;
+}
+
+int BatchCollector::max_batch_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_batch_seen_;
+}
+
+}  // namespace mz

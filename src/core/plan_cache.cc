@@ -1,6 +1,7 @@
 #include "core/plan_cache.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/check.h"
 
@@ -156,69 +157,170 @@ Plan InstantiatePlan(const Plan& tmpl, std::span<const SlotId> canon_slots, int 
   return plan;
 }
 
-PlanCache::PlanCache(std::size_t max_entries) : max_entries_(std::max<std::size_t>(1, max_entries)) {}
+PlanCache::PlanCache(std::size_t max_entries)
+    : PlanCache(PlanCacheOptions{.max_entries = max_entries}) {}
 
-std::optional<Plan> PlanCache::Lookup(const PlanKey& key) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+PlanCache::PlanCache(const PlanCacheOptions& opts) : opts_([&] {
+      PlanCacheOptions o = opts;
+      o.max_entries = std::max<std::size_t>(1, o.max_entries);
+      return o;
+    }()) {}
+
+std::shared_ptr<const Plan> PlanCache::Lookup(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = buckets_.find(key.hash);
   if (it != buckets_.end()) {
-    for (const Entry& entry : it->second) {
+    for (Entry& entry : it->second) {
       if (entry.words == key.words) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        return entry.tmpl;
+        if (opts_.policy == EvictionPolicy::kLru) {
+          order_.splice(order_.end(), order_, entry.order_it);  // promote to MRU
+        }
+        ++hits_;  // under mu_: the count can never lag the lookup it records
+        return entry.tmpl;  // refcount bump — the template copy, if any,
+                            // happens outside the lock (InstantiatePlan)
       }
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  return std::nullopt;
+  ++misses_;
+  return nullptr;
 }
 
-void PlanCache::Insert(const PlanKey& key, Plan plan_template,
-                       std::vector<std::shared_ptr<const void>> pins) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  std::vector<Entry>& chain = buckets_[key.hash];
-  for (Entry& entry : chain) {
+bool PlanCache::Contains(const PlanKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(key.hash);
+  if (it == buckets_.end()) {
+    return false;
+  }
+  for (const Entry& entry : it->second) {
     if (entry.words == key.words) {
-      entry.tmpl = std::move(plan_template);  // refresh in place, keep its age
-      entry.pins = std::move(pins);
-      return;
+      return true;
     }
   }
-  while (count_ >= max_entries_ && !fifo_.empty()) {
-    const auto [victim_hash, victim_seq] = fifo_.front();
-    fifo_.pop_front();
-    auto bit = buckets_.find(victim_hash);
-    if (bit == buckets_.end()) {
+  return false;
+}
+
+void PlanCache::EvictWhileOverBudget(std::uint64_t keep_seq, PlanCacheInsertOutcome* outcome) {
+  auto it = order_.begin();
+  while (it != order_.end() &&
+         (count_ > opts_.max_entries || (opts_.max_bytes > 0 && bytes_ > opts_.max_bytes))) {
+    const auto [victim_hash, victim_seq] = *it;
+    if (victim_seq == keep_seq) {
+      ++it;  // the entry just inserted is never its own victim; keep walking
       continue;
     }
-    auto& vchain = bit->second;
-    auto vit = std::find_if(vchain.begin(), vchain.end(),
+    auto bit = buckets_.find(victim_hash);
+    MZ_CHECK_MSG(bit != buckets_.end(), "recency list names a missing bucket");
+    auto& chain = bit->second;
+    auto vit = std::find_if(chain.begin(), chain.end(),
                             [&](const Entry& e) { return e.seq == victim_seq; });
-    if (vit != vchain.end()) {
-      vchain.erase(vit);
-      --count_;
-      if (vchain.empty()) {
-        buckets_.erase(bit);
-      }
+    MZ_CHECK_MSG(vit != chain.end(), "recency list names a missing entry");
+    bytes_ -= vit->bytes;
+    outcome->evicted_bytes += vit->bytes;
+    evicted_bytes_ += static_cast<std::int64_t>(vit->bytes);
+    outcome->evicted_entries++;
+    ++evictions_;
+    it = order_.erase(it);
+    chain.erase(vit);
+    --count_;
+    if (chain.empty()) {
+      buckets_.erase(bit);
     }
   }
-  // Re-find: eviction above may have erased and rehashed the map.
-  const std::uint64_t seq = next_seq_++;
-  buckets_[key.hash].push_back(Entry{seq, key.words, std::move(plan_template), std::move(pins)});
-  fifo_.emplace_back(key.hash, seq);
-  ++count_;
+}
+
+PlanCacheInsertOutcome PlanCache::Insert(const PlanKey& key, Plan plan_template,
+                                         std::vector<std::shared_ptr<const void>> pins) {
+  const std::size_t entry_bytes = EstimatePlanBytes(key, plan_template);
+  auto tmpl = std::make_shared<const Plan>(std::move(plan_template));
+  PlanCacheInsertOutcome outcome;
+  outcome.inserted_bytes = entry_bytes;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry>& chain = buckets_[key.hash];
+  std::uint64_t seq = 0;
+  bool refreshed = false;
+  for (Entry& entry : chain) {
+    if (entry.words == key.words) {
+      bytes_ += entry_bytes;
+      bytes_ -= entry.bytes;
+      entry.bytes = entry_bytes;
+      entry.tmpl = std::move(tmpl);
+      entry.pins = std::move(pins);
+      if (opts_.policy == EvictionPolicy::kLru) {
+        order_.splice(order_.end(), order_, entry.order_it);  // a refresh is a touch
+      }
+      seq = entry.seq;
+      refreshed = true;
+      break;
+    }
+  }
+  if (!refreshed) {
+    seq = next_seq_++;
+    order_.emplace_back(key.hash, seq);
+    chain.push_back(Entry{seq, key.words, std::move(tmpl), std::move(pins), entry_bytes,
+                          std::prev(order_.end())});
+    ++count_;
+    bytes_ += entry_bytes;
+  }
+  EvictWhileOverBudget(seq, &outcome);
+  return outcome;
 }
 
 void PlanCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   buckets_.clear();
-  fifo_.clear();
+  order_.clear();
   count_ = 0;
+  bytes_ = 0;
 }
 
 std::size_t PlanCache::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   return count_;
+}
+
+std::size_t PlanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::int64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::int64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::int64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::int64_t PlanCache::evicted_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_bytes_;
+}
+
+std::size_t EstimatePlanBytes(const PlanKey& key, const Plan& plan_template) {
+  // Fixed bookkeeping: Entry, recency node, bucket slot, pin vector header.
+  std::size_t b = 160;
+  b += key.words.size() * sizeof(std::uint64_t);
+  for (const Stage& stage : plan_template.stages) {
+    b += sizeof(Stage);
+    for (const StageBuffer& buf : stage.buffers) {
+      b += sizeof(StageBuffer);
+      b += buf.params.size() * sizeof(std::int64_t);
+      b += buf.debug_type.size();
+    }
+    for (const PlannedFunc& fn : stage.funcs) {
+      b += sizeof(PlannedFunc);
+      b += fn.args.size() * sizeof(PlannedArg);
+    }
+  }
+  return b;
 }
 
 PlanCache& GlobalPlanCache() {

@@ -25,18 +25,28 @@
 // annotation/function objects they fingerprinted so pointer identity cannot
 // be recycled while the entry lives.
 //
-// PlanCache is thread-safe (shared_mutex, read-mostly) and bounded (FIFO
-// eviction). Lookup compares the full fingerprint, not just the 64-bit hash,
-// so hash collisions degrade to chained compares — never to a wrong plan.
+// The cache is bounded two ways: an entry count and a byte budget over each
+// template's estimated footprint (EstimatePlanBytes — deterministic, so
+// tests can model the accounting exactly). Eviction is by recency: lookups
+// promote the entry to most-recently-used, and the victim is always the
+// least-recently-used entry. Serving working sets are skewed — a few hot
+// pipelines plus a stream of one-offs — and LRU keeps the hot templates
+// resident where insertion-order (FIFO) eviction lets the one-off stream
+// push them out; kFifo is retained as a policy for exactly that comparison.
+//
+// PlanCache is thread-safe. Lookup mutates recency, so every operation takes
+// one exclusive mutex, and the hit/miss counters are updated under that same
+// lock — the counters can never disagree with the lookups that produced
+// them, even under concurrent sessions. Lookup compares the full
+// fingerprint, not just the 64-bit hash, so hash collisions degrade to
+// chained compares — never to a wrong plan.
 #ifndef MOZART_CORE_PLAN_CACHE_H_
 #define MOZART_CORE_PLAN_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <memory>
-#include <optional>
-#include <shared_mutex>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -89,43 +99,93 @@ Plan MakePlanTemplate(const Plan& plan, std::span<const SlotId> canon_slots, int
 // slot map is `canon_slots` (from FingerprintRange of that same range).
 Plan InstantiatePlan(const Plan& tmpl, std::span<const SlotId> canon_slots, int first_node);
 
+// Deterministic footprint estimate of one cache entry (key words + template
+// payload + fixed bookkeeping). Not exact heap usage — an accounting unit
+// the byte budget and its tests agree on.
+std::size_t EstimatePlanBytes(const PlanKey& key, const Plan& plan_template);
+
+enum class EvictionPolicy {
+  kLru,   // lookups promote; victim = least recently used
+  kFifo,  // pure insertion order; lookups do not promote
+};
+
+struct PlanCacheOptions {
+  std::size_t max_entries = 1024;
+  // Byte budget over EstimatePlanBytes of resident entries; 0 = no byte
+  // bound (entry count only). The entry just inserted is never its own
+  // victim, so one template larger than the whole budget stays resident
+  // alone rather than thrashing.
+  std::size_t max_bytes = 0;
+  EvictionPolicy policy = EvictionPolicy::kLru;
+};
+
+// What one Insert displaced; the runtime folds this into EvalStats so
+// eviction pressure is visible per session (plan_cache_evictions /
+// plan_cache_bytes_*).
+struct PlanCacheInsertOutcome {
+  std::size_t inserted_bytes = 0;
+  std::size_t evicted_entries = 0;
+  std::size_t evicted_bytes = 0;
+};
+
 class PlanCache {
  public:
   explicit PlanCache(std::size_t max_entries = 1024);
+  explicit PlanCache(const PlanCacheOptions& opts);
 
-  // Returns a copy of the cached template, or nullopt. Full-fingerprint
-  // compare; counts a hit/miss.
-  std::optional<Plan> Lookup(const PlanKey& key) const;
+  // Returns the cached template (shared, immutable) or null. Full-
+  // fingerprint compare; promotes the entry (kLru) and counts a hit/miss
+  // under the same lock as the lookup itself. Handing out a shared_ptr
+  // keeps the critical section O(1): instantiation copies outside the
+  // lock, and a template stays valid even if it is evicted mid-use.
+  std::shared_ptr<const Plan> Lookup(const PlanKey& key);
 
-  // Inserts (or replaces) the template for `key`. Evicts the oldest entry
-  // when full.
-  void Insert(const PlanKey& key, Plan plan_template,
-              std::vector<std::shared_ptr<const void>> pins);
+  // Inserts (or refreshes) the template for `key`, then evicts by recency
+  // until both the entry and byte budgets hold again.
+  PlanCacheInsertOutcome Insert(const PlanKey& key, Plan plan_template,
+                                std::vector<std::shared_ptr<const void>> pins);
 
-  void Clear();
+  // Membership probe for tests/introspection: no counters, no promotion.
+  bool Contains(const PlanKey& key) const;
 
+  void Clear();  // drops entries and byte accounting; cumulative counters stay
+
+  const PlanCacheOptions& options() const { return opts_; }
   std::size_t size() const;
-  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::size_t bytes() const;  // EstimatePlanBytes sum over resident entries
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  std::int64_t evictions() const;
+  std::int64_t evicted_bytes() const;
 
  private:
   struct Entry {
-    std::uint64_t seq = 0;  // insertion id; pairs with fifo_ for eviction
+    std::uint64_t seq = 0;  // insertion id; pairs with order_ for eviction
     std::vector<std::uint64_t> words;
-    Plan tmpl;
+    std::shared_ptr<const Plan> tmpl;
     std::vector<std::shared_ptr<const void>> pins;
+    std::size_t bytes = 0;
+    // Position in order_ (stable across entry moves within a bucket chain).
+    std::list<std::pair<std::uint64_t, std::uint64_t>>::iterator order_it;
   };
 
-  mutable std::shared_mutex mu_;
-  const std::size_t max_entries_;
+  // Requires mu_. Evicts from the recency front until budgets hold; never
+  // evicts the entry with seq == keep_seq (the one just inserted).
+  void EvictWhileOverBudget(std::uint64_t keep_seq, PlanCacheInsertOutcome* outcome);
+
+  mutable std::mutex mu_;
+  const PlanCacheOptions opts_;
   std::size_t count_ = 0;
+  std::size_t bytes_ = 0;
   std::uint64_t next_seq_ = 0;
   std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
-  // Insertion order as (bucket hash, entry seq): enough to find the victim
-  // without duplicating each entry's full fingerprint.
-  std::deque<std::pair<std::uint64_t, std::uint64_t>> fifo_;
-  mutable std::atomic<std::int64_t> hits_{0};
-  mutable std::atomic<std::int64_t> misses_{0};
+  // Recency order as (bucket hash, entry seq): front = next victim, back =
+  // most recently used (kLru) / most recently inserted (kFifo).
+  std::list<std::pair<std::uint64_t, std::uint64_t>> order_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t evicted_bytes_ = 0;
 };
 
 // Process-wide cache shared by every ServingContext that does not bring its

@@ -4,12 +4,21 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/admission.h"
+#include "core/batch.h"
 #include "core/plan_cache.h"
 
 namespace mz {
 namespace {
 
 thread_local Runtime* g_current_runtime = nullptr;
+
+// Options for the lazily built process-default runtime (SetDefaultOptions).
+std::mutex g_default_options_mu;
+bool g_default_built = false;
+RuntimeOptions& DefaultOptionsStorage() {
+  static RuntimeOptions* opts = new RuntimeOptions();
+  return *opts;
+}
 
 }  // namespace
 
@@ -35,8 +44,21 @@ ThreadPool* Runtime::SerialPool() {
 }
 
 Runtime& Runtime::Default() {
-  static Runtime* runtime = new Runtime();
+  static Runtime* runtime = [] {
+    std::lock_guard<std::mutex> lock(g_default_options_mu);
+    g_default_built = true;
+    return new Runtime(DefaultOptionsStorage());
+  }();
   return *runtime;
+}
+
+bool Runtime::SetDefaultOptions(const RuntimeOptions& opts) {
+  std::lock_guard<std::mutex> lock(g_default_options_mu);
+  if (g_default_built) {
+    return false;
+  }
+  DefaultOptionsStorage() = opts;
+  return true;
 }
 
 Runtime* Runtime::Current() {
@@ -113,7 +135,7 @@ void Runtime::EvaluateLocked() {
     RangeFingerprint fp;
     if (opts_.plan_cache != nullptr) {
       fp = FingerprintRange(graph_, *registry_, first, end, opts_.pipeline);
-      if (std::optional<Plan> tmpl = opts_.plan_cache->Lookup(fp.key)) {
+      if (std::shared_ptr<const Plan> tmpl = opts_.plan_cache->Lookup(fp.key)) {
         plan = InstantiatePlan(*tmpl, fp.canon_slots, first);
         stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
         cached = true;
@@ -129,8 +151,14 @@ void Runtime::EvaluateLocked() {
         // new-registry ctor results into a plan filed under the old-version
         // key; skip the insert and let the next evaluation re-key.
         if (registry_->version() == fp.registry_version) {
-          opts_.plan_cache->Insert(fp.key, MakePlanTemplate(plan, fp.canon_slots, first),
-                                   std::move(fp.pins));
+          PlanCacheInsertOutcome outcome = opts_.plan_cache->Insert(
+              fp.key, MakePlanTemplate(plan, fp.canon_slots, first), std::move(fp.pins));
+          stats_.plan_cache_bytes_inserted.fetch_add(
+              static_cast<std::int64_t>(outcome.inserted_bytes), std::memory_order_relaxed);
+          stats_.plan_cache_evictions.fetch_add(
+              static_cast<std::int64_t>(outcome.evicted_entries), std::memory_order_relaxed);
+          stats_.plan_cache_bytes_evicted.fetch_add(
+              static_cast<std::int64_t>(outcome.evicted_bytes), std::memory_order_relaxed);
         }
       }
     }
@@ -144,27 +172,49 @@ void Runtime::EvaluateLocked() {
   exec_opts.collect_stats = opts_.collect_stats;
   exec_opts.dynamic_scheduling = opts_.dynamic_scheduling;
 
-  // Admission (see admission.h): small plans stay on the calling thread;
-  // large ones hold a token while they occupy the shared pool.
+  // Admission (see admission.h): small plans stay on the calling thread —
+  // or coalesce with other sessions' small plans through the BatchCollector
+  // — while large ones hold a token for the shared pool. An adaptive gate
+  // is fed the pool's queue depth and supplies a congestion-scaled cutoff.
   {
+    AdmissionGate* gate = opts_.admission;
+    if (gate != nullptr && gate->adaptive()) {
+      gate->Observe(pool_->queue_depth());
+    }
     ThreadPool* exec_pool = pool_;
     AdmissionGate::Ticket ticket;
-    if (opts_.admission != nullptr || opts_.serial_cutoff_elems > 0) {
+    bool batched = false;
+    if (gate != nullptr || opts_.serial_cutoff_elems > 0) {
+      const std::int64_t cutoff =
+          gate != nullptr ? gate->cutoff_elems(opts_.serial_cutoff_elems)
+                          : opts_.serial_cutoff_elems;
       std::int64_t est = EstimatePlanElems(plan, graph_, *registry_);
-      if (est <= opts_.serial_cutoff_elems) {
+      if (est <= cutoff) {
         exec_pool = SerialPool();
+        batched = opts_.batcher != nullptr;
         stats_.serial_evals.fetch_add(1, std::memory_order_relaxed);
-      } else if (opts_.admission != nullptr) {
+      } else if (gate != nullptr) {
         std::int64_t t0 = opts_.collect_stats ? NowNanos() : 0;
-        ticket = opts_.admission->Acquire();
+        ticket = gate->Acquire();
         if (opts_.collect_stats) {
           stats_.admission_wait_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
         }
         stats_.pooled_evals.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    Executor executor(&graph_, registry_, exec_pool, exec_opts, &stats_);
-    executor.Run(plan);
+    if (batched) {
+      // exec_pool is this runtime's 1-thread inline pool, so the job runs
+      // the whole plan serially on whichever worker claims it; the caller
+      // blocks in Run until its results are visible (batch.h).
+      stats_.batched_evals.fetch_add(1, std::memory_order_relaxed);
+      opts_.batcher->Run([&] {
+        Executor executor(&graph_, registry_, exec_pool, exec_opts, &stats_);
+        executor.Run(plan);
+      });
+    } else {
+      Executor executor(&graph_, registry_, exec_pool, exec_opts, &stats_);
+      executor.Run(plan);
+    }
   }
 
   graph_.MarkExecuted(end);

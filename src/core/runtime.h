@@ -26,6 +26,7 @@
 namespace mz {
 
 class AdmissionGate;
+class BatchCollector;
 class PlanCache;
 
 struct RuntimeOptions {
@@ -50,8 +51,12 @@ struct RuntimeOptions {
   AdmissionGate* admission = nullptr;
   // Plans whose estimated parallel work is at or below this many elements
   // run inline on the calling thread instead of fanning out (only applies
-  // when an admission gate is configured or the cutoff is > 0).
+  // when an admission gate is configured or the cutoff is > 0). An adaptive
+  // admission gate overrides this with its congestion-scaled cutoff.
   std::int64_t serial_cutoff_elems = 0;
+  // When set, inline-class plans are routed through the collector so several
+  // sessions' small evaluations coalesce into one pool dispatch (batch.h).
+  BatchCollector* batcher = nullptr;
 };
 
 // How a captured argument binds to the dataflow graph.
@@ -73,6 +78,14 @@ class Runtime {
   // RuntimeScope, else the process default).
   static Runtime* Current();
   static Runtime& Default();
+
+  // Opt-in: the options the lazily constructed process-default runtime will
+  // be built with. Returns false (and changes nothing) once Default() has
+  // already been constructed. Anything the options point at (shared pool,
+  // plan cache, gate, batcher) must outlive the process — see
+  // ServingContext::AdoptProcessDefault() for the serving-layer wrapper
+  // that gives single-client apps plan caching for free.
+  static bool SetDefaultOptions(const RuntimeOptions& opts);
 
   // Evaluates all captured-but-unexecuted nodes. Idempotent when nothing is
   // pending. Thread-compatible: capture and evaluation are serialized.

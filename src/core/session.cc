@@ -6,17 +6,45 @@
 
 namespace mz {
 
-ServingContext::ServingContext(ServingOptions opts)
-    : opts_(opts),
-      admission_(opts.max_pool_sessions > 0 ? opts.max_pool_sessions : 2) {
+ServingContext::ServingContext(ServingOptions opts) : opts_(opts) {
   int threads = opts_.pool_threads > 0 ? opts_.pool_threads : NumLogicalCpus();
   opts_.pool_threads = threads;
   pool_ = std::make_unique<ThreadPool>(threads);
+
+  const int tokens = opts_.max_pool_sessions > 0 ? opts_.max_pool_sessions : 2;
+  opts_.max_pool_sessions = tokens;
+  if (opts_.adaptive_admission) {
+    AdmissionOptions tuning = opts_.admission_tuning;
+    if (tuning.max_tokens <= 0) {
+      tuning.max_tokens = tokens;
+    }
+    if (tuning.base_cutoff_elems <= 0) {
+      tuning.base_cutoff_elems = opts_.serial_cutoff_elems;
+    }
+    if (tuning.max_cutoff_elems <= 0) {
+      tuning.max_cutoff_elems = 16 * tuning.base_cutoff_elems;
+    }
+    opts_.admission_tuning = tuning;
+    admission_ = std::make_unique<AdmissionGate>(tuning);
+  } else {
+    admission_ = std::make_unique<AdmissionGate>(tokens);
+  }
+
   if (opts_.plan_cache != nullptr) {
     plan_cache_ = opts_.plan_cache;
   } else {
-    owned_plan_cache_ = std::make_unique<PlanCache>(opts_.plan_cache_entries);
+    owned_plan_cache_ = std::make_unique<PlanCache>(PlanCacheOptions{
+        .max_entries = opts_.plan_cache_entries,
+        .max_bytes = opts_.plan_cache_bytes,
+        .policy = opts_.plan_cache_policy,
+    });
     plan_cache_ = owned_plan_cache_.get();
+  }
+
+  if (opts_.batch_window_us > 0) {
+    batcher_ = std::make_unique<BatchCollector>(
+        pool_.get(), BatchOptions{.window_us = opts_.batch_window_us,
+                                  .max_batch = opts_.batch_max_plans});
   }
 }
 
@@ -39,9 +67,27 @@ void ServingContext::Register(Session* session) {
 }
 
 void ServingContext::Unregister(Session* session) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  sessions_.erase(session);
-  retired_.Accumulate(session->stats().Take());
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(session);
+    retired_.Accumulate(session->stats().Take());
+  }
+  // A departing session can no longer ride in an open batch window; nudge
+  // any waiting leader so it does not sleep out the window for riders that
+  // will never arrive.
+  if (batcher_ != nullptr) {
+    batcher_->Flush();
+  }
+}
+
+bool ServingContext::AdoptProcessDefault() {
+  RuntimeOptions rt;
+  rt.shared_pool = pool_.get();
+  rt.plan_cache = plan_cache_;
+  rt.admission = admission_.get();
+  rt.serial_cutoff_elems = opts_.serial_cutoff_elems;
+  rt.batcher = batcher_.get();
+  return Runtime::SetDefaultOptions(rt);
 }
 
 EvalStats::Snapshot ServingContext::AggregateStats() {
@@ -65,6 +111,7 @@ Session::Session(SessionOptions opts)
   rt_opts.plan_cache = &serving_->plan_cache();
   rt_opts.admission = &serving_->admission();
   rt_opts.serial_cutoff_elems = serving_->options().serial_cutoff_elems;
+  rt_opts.batcher = serving_->batcher();
   runtime_ = std::make_unique<Runtime>(rt_opts);
   serving_->Register(this);
 }

@@ -31,6 +31,7 @@
 
 #include "common/thread_pool.h"
 #include "core/admission.h"
+#include "core/batch.h"
 #include "core/plan_cache.h"
 #include "core/runtime.h"
 #include "core/stats.h"
@@ -44,7 +45,22 @@ struct ServingOptions {
   // elements run inline on the client's thread (admission.h).
   std::int64_t serial_cutoff_elems = 4096;
   std::size_t plan_cache_entries = 1024;
+  // Byte budget for an owned plan cache (0 = entry count only) and its
+  // eviction policy; both ignored when `plan_cache` overrides the cache.
+  std::size_t plan_cache_bytes = 0;
+  EvictionPolicy plan_cache_policy = EvictionPolicy::kLru;
   PlanCache* plan_cache = nullptr;  // non-owning override; null = private cache
+  // Queue-depth-adaptive admission (admission.h): the gate shrinks its token
+  // budget and grows the inline cutoff as the shared pool congests. Zeros in
+  // the tuning are derived: max_tokens from max_pool_sessions, the cutoff
+  // range from serial_cutoff_elems (base) and 16x that (max).
+  bool adaptive_admission = false;
+  AdmissionOptions admission_tuning{.max_tokens = 0, .base_cutoff_elems = 0,
+                                    .max_cutoff_elems = 0};
+  // Cross-session micro-batching (batch.h): > 0 coalesces inline-class plans
+  // arriving within this window into one pool dispatch.
+  std::int64_t batch_window_us = 0;
+  int batch_max_plans = 8;
 };
 
 class Session;
@@ -65,7 +81,17 @@ class ServingContext {
   const ServingOptions& options() const { return opts_; }
   ThreadPool& pool() { return *pool_; }
   PlanCache& plan_cache() { return *plan_cache_; }
-  AdmissionGate& admission() { return admission_; }
+  AdmissionGate& admission() { return *admission_; }
+  BatchCollector* batcher() { return batcher_.get(); }  // null unless windowed
+
+  // Opt-in for single-client apps: wires THIS context's pool, plan cache,
+  // admission gate, and batcher into the options the process-default
+  // Runtime (Runtime::Default()) will be built with, so plain wrapped calls
+  // outside any Session get plan caching for free. Returns false once the
+  // default runtime already exists. The context must outlive the process —
+  // typically this is called on ServingContext::Default() or on a context
+  // that is deliberately leaked.
+  bool AdoptProcessDefault();
 
   // Stats aggregated across every session ever bound to this context:
   // retired sessions' totals plus a live snapshot of the current ones.
@@ -82,7 +108,8 @@ class ServingContext {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<PlanCache> owned_plan_cache_;  // null when opts_.plan_cache set
   PlanCache* plan_cache_;
-  AdmissionGate admission_;
+  std::unique_ptr<AdmissionGate> admission_;
+  std::unique_ptr<BatchCollector> batcher_;  // null when batch_window_us == 0
 
   std::mutex sessions_mu_;
   std::unordered_set<Session*> sessions_;

@@ -20,6 +20,13 @@ std::string EvalStats::Snapshot::ToString() const {
     os << " [plans=" << plans_built << " cache " << plan_cache_hits << "/"
        << (plan_cache_hits + plan_cache_misses) << " hit; admission serial=" << serial_evals
        << " pooled=" << pooled_evals << " wait=" << Ms(admission_wait_ns) << "ms]";
+    if (plan_cache_evictions > 0) {
+      os << " [evicted " << plan_cache_evictions << " plans, "
+         << plan_cache_bytes_evicted << "/" << plan_cache_bytes_inserted << " bytes]";
+    }
+    if (batched_evals > 0) {
+      os << " [batched=" << batched_evals << "]";
+    }
   }
   return os.str();
 }

@@ -37,6 +37,15 @@ class EvalStats {
     std::int64_t serial_evals = 0;       // admission ran the plan on the caller
     std::int64_t pooled_evals = 0;       // admission took a shared-pool token
     std::int64_t admission_wait_ns = 0;  // time blocked waiting for a token
+    // Plan-cache residency pressure: what this session's inserts displaced
+    // (plan_cache.h PlanCacheInsertOutcome).
+    std::int64_t plan_cache_evictions = 0;
+    std::int64_t plan_cache_bytes_inserted = 0;
+    std::int64_t plan_cache_bytes_evicted = 0;
+    // Small evaluations coalesced through the BatchCollector (batch.h).
+    // Batched evals also count as serial_evals: they are the inline class,
+    // just dispatched together, so serial + pooled still equals evaluations.
+    std::int64_t batched_evals = 0;
 
     // Total across the per-phase wall-clock counters. Split/task/merge are
     // summed across workers, so on N threads this exceeds elapsed time.
@@ -63,6 +72,10 @@ class EvalStats {
       serial_evals += other.serial_evals;
       pooled_evals += other.pooled_evals;
       admission_wait_ns += other.admission_wait_ns;
+      plan_cache_evictions += other.plan_cache_evictions;
+      plan_cache_bytes_inserted += other.plan_cache_bytes_inserted;
+      plan_cache_bytes_evicted += other.plan_cache_bytes_evicted;
+      batched_evals += other.batched_evals;
     }
 
     std::string ToString() const;
@@ -86,6 +99,10 @@ class EvalStats {
     s.serial_evals = serial_evals.load(std::memory_order_relaxed);
     s.pooled_evals = pooled_evals.load(std::memory_order_relaxed);
     s.admission_wait_ns = admission_wait_ns.load(std::memory_order_relaxed);
+    s.plan_cache_evictions = plan_cache_evictions.load(std::memory_order_relaxed);
+    s.plan_cache_bytes_inserted = plan_cache_bytes_inserted.load(std::memory_order_relaxed);
+    s.plan_cache_bytes_evicted = plan_cache_bytes_evicted.load(std::memory_order_relaxed);
+    s.batched_evals = batched_evals.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -108,6 +125,10 @@ class EvalStats {
     serial_evals.fetch_add(s.serial_evals, std::memory_order_relaxed);
     pooled_evals.fetch_add(s.pooled_evals, std::memory_order_relaxed);
     admission_wait_ns.fetch_add(s.admission_wait_ns, std::memory_order_relaxed);
+    plan_cache_evictions.fetch_add(s.plan_cache_evictions, std::memory_order_relaxed);
+    plan_cache_bytes_inserted.fetch_add(s.plan_cache_bytes_inserted, std::memory_order_relaxed);
+    plan_cache_bytes_evicted.fetch_add(s.plan_cache_bytes_evicted, std::memory_order_relaxed);
+    batched_evals.fetch_add(s.batched_evals, std::memory_order_relaxed);
   }
 
   void Reset() {
@@ -127,6 +148,10 @@ class EvalStats {
     serial_evals = 0;
     pooled_evals = 0;
     admission_wait_ns = 0;
+    plan_cache_evictions = 0;
+    plan_cache_bytes_inserted = 0;
+    plan_cache_bytes_evicted = 0;
+    batched_evals = 0;
   }
 
   std::atomic<std::int64_t> client_ns{0};
@@ -145,6 +170,10 @@ class EvalStats {
   std::atomic<std::int64_t> serial_evals{0};
   std::atomic<std::int64_t> pooled_evals{0};
   std::atomic<std::int64_t> admission_wait_ns{0};
+  std::atomic<std::int64_t> plan_cache_evictions{0};
+  std::atomic<std::int64_t> plan_cache_bytes_inserted{0};
+  std::atomic<std::int64_t> plan_cache_bytes_evicted{0};
+  std::atomic<std::int64_t> batched_evals{0};
 };
 
 }  // namespace mz

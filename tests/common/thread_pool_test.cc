@@ -111,6 +111,28 @@ TEST(ThreadPoolTest, NestedParallelForRunsInlineAndStaysCorrect) {
   }
 }
 
+TEST(ThreadPoolTest, RunOnWorkersBoundsTheDispatchWidth) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::atomic<int> max_index{-1};
+  pool.RunOnWorkers(2, [&](int worker) {
+    ran.fetch_add(1);
+    int seen = max_index.load();
+    while (worker > seen && !max_index.compare_exchange_weak(seen, worker)) {
+    }
+  });
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_LE(max_index.load(), 1) << "a worker outside the requested width ran";
+
+  // Width is clamped to the pool: oversized and degenerate requests behave.
+  ran.store(0);
+  pool.RunOnWorkers(99, [&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+  ran.store(0);
+  pool.RunOnWorkers(0, [&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);  // at least the caller runs
+}
+
 TEST(ThreadPoolTest, GlobalPoolIsAliveAndSizedToMachine) {
   ThreadPool& pool = GlobalPool();
   EXPECT_GE(pool.num_threads(), 1);

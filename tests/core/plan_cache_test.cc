@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "core/client.h"
@@ -25,12 +27,12 @@ Plan PlanWithStages(int n) {
 TEST(PlanCacheTest, LookupMissThenInsertThenHit) {
   PlanCache cache;
   PlanKey key{42, {1, 2, 3}};
-  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.Lookup(key), nullptr);
   EXPECT_EQ(cache.misses(), 1);
 
   cache.Insert(key, PlanWithStages(2), {});
-  std::optional<Plan> got = cache.Lookup(key);
-  ASSERT_TRUE(got.has_value());
+  std::shared_ptr<const Plan> got = cache.Lookup(key);
+  ASSERT_TRUE(got != nullptr);
   EXPECT_EQ(got->stages.size(), 2u);
   EXPECT_EQ(cache.hits(), 1);
   EXPECT_EQ(cache.size(), 1u);
@@ -42,12 +44,12 @@ TEST(PlanCacheTest, HashCollisionComparesFullFingerprint) {
   PlanKey a{7, {1, 1, 1}};
   PlanKey b{7, {2, 2, 2}};
   cache.Insert(a, PlanWithStages(1), {});
-  EXPECT_FALSE(cache.Lookup(b).has_value());
+  EXPECT_EQ(cache.Lookup(b), nullptr);
 
   cache.Insert(b, PlanWithStages(3), {});
   EXPECT_EQ(cache.size(), 2u);
-  ASSERT_TRUE(cache.Lookup(a).has_value());
-  ASSERT_TRUE(cache.Lookup(b).has_value());
+  ASSERT_NE(cache.Lookup(a), nullptr);
+  ASSERT_NE(cache.Lookup(b), nullptr);
   EXPECT_EQ(cache.Lookup(a)->stages.size(), 1u);
   EXPECT_EQ(cache.Lookup(b)->stages.size(), 3u);
 }
@@ -67,9 +69,46 @@ TEST(PlanCacheTest, EvictsOldestWhenFull) {
   cache.Insert(PlanKey{2, {2}}, PlanWithStages(1), {});
   cache.Insert(PlanKey{3, {3}}, PlanWithStages(1), {});
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_FALSE(cache.Lookup(PlanKey{1, {1}}).has_value());  // oldest evicted
-  EXPECT_TRUE(cache.Lookup(PlanKey{2, {2}}).has_value());
-  EXPECT_TRUE(cache.Lookup(PlanKey{3, {3}}).has_value());
+  EXPECT_EQ(cache.Lookup(PlanKey{1, {1}}), nullptr);  // oldest evicted
+  EXPECT_NE(cache.Lookup(PlanKey{2, {2}}), nullptr);
+  EXPECT_NE(cache.Lookup(PlanKey{3, {3}}), nullptr);
+}
+
+TEST(PlanCacheTest, CountersStayExactUnderConcurrentLookups) {
+  // Regression (PR 2 follow-up): hit/miss counters are updated under the
+  // same lock as the lookup itself, so concurrent sessions can never
+  // undercount — every lookup is tallied exactly once, as exactly what it
+  // was.
+  PlanCache cache(PlanCacheOptions{.max_entries = 64});
+  const PlanKey present{1, {1}};
+  const PlanKey absent{2, {2}};
+  cache.Insert(present, PlanWithStages(1), {});
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        if (cache.Lookup(present) == nullptr) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (cache.Lookup(absent) != nullptr) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 64 == 0) {
+          cache.Insert(present, PlanWithStages(1), {});  // refresh churn
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(cache.hits(), static_cast<std::int64_t>(kThreads) * kIters);
+  EXPECT_EQ(cache.misses(), static_cast<std::int64_t>(kThreads) * kIters);
 }
 
 TEST(PlanCacheTest, ClearEmptiesTheCache) {
@@ -77,7 +116,7 @@ TEST(PlanCacheTest, ClearEmptiesTheCache) {
   cache.Insert(PlanKey{1, {1}}, PlanWithStages(1), {});
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_FALSE(cache.Lookup(PlanKey{1, {1}}).has_value());
+  EXPECT_EQ(cache.Lookup(PlanKey{1, {1}}), nullptr);
 }
 
 // ---- end-to-end through the runtime ----
@@ -248,6 +287,36 @@ TEST_F(PlanCacheRuntimeTest, LiveFutureChangesTheKey) {
   { mzvec::Sum(n, a.data()); }
   rt.Evaluate();
   EXPECT_EQ(rt.stats().Take().plans_built, 2);
+}
+
+TEST_F(PlanCacheRuntimeTest, EvictionCountersSurfaceInEvalStats) {
+  const long n1 = 10000;
+  const long n2 = 20000;
+  std::vector<double> a = Iota(n2, 1.0);
+  std::vector<double> b = Iota(n2, 2.0);
+  std::vector<double> got(static_cast<std::size_t>(n2));
+
+  // Capacity one: alternating sizes evict each other on every insert.
+  PlanCache cache(PlanCacheOptions{.max_entries = 1});
+  Runtime rt(MakeOptions(&cache));
+  RuntimeScope scope(&rt);
+
+  Capture(n1, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  Capture(n2, a.data(), b.data(), got.data());
+  rt.Evaluate();
+  Capture(n1, a.data(), b.data(), got.data());
+  rt.Evaluate();
+
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.plans_built, 3);
+  EXPECT_EQ(s.plan_cache_evictions, 2) << "capacity-one cache must evict on each new key";
+  EXPECT_GT(s.plan_cache_bytes_inserted, 0);
+  EXPECT_GT(s.plan_cache_bytes_evicted, 0);
+  EXPECT_LE(s.plan_cache_bytes_evicted, s.plan_cache_bytes_inserted);
+  EXPECT_EQ(cache.size(), 1u);
+  // Elementwise pipeline: the n2-sized expectation covers both prefixes.
+  EXPECT_EQ(got, Expected(n2, a, b));
 }
 
 TEST_F(PlanCacheRuntimeTest, NoCacheConfiguredAlwaysPlans) {

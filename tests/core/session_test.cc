@@ -193,6 +193,42 @@ TEST(SessionTest, AdmissionGateBoundsConcurrency) {
   EXPECT_EQ(gate.in_use(), 1);  // t2 still held; t3 released at thread exit
 }
 
+TEST(SessionTest, AdoptProcessDefaultWiresTheDefaultRuntime) {
+  mzvec::EnsureRegistered();
+  // Deliberately leaked: whatever the process-default Runtime borrows (pool,
+  // cache, gate) must live for the rest of the process.
+  static ServingContext* ctx = new ServingContext(
+      ServingOptions{.pool_threads = 2, .max_pool_sessions = 2, .serial_cutoff_elems = 256});
+  ASSERT_TRUE(ctx->AdoptProcessDefault())
+      << "default runtime was built before this test could wire it";
+
+  // Wrapped calls on a thread with no Session/RuntimeScope capture into
+  // Runtime::Default() — which now plans through ctx's cache for free.
+  const long n = 9000;
+  std::vector<double> a = Iota(n, 1.0);
+  std::vector<double> b = Iota(n, 2.0);
+  std::vector<double> got(static_cast<std::size_t>(n));
+  Capture(n, a.data(), b.data(), got.data());
+  Runtime::Default().Evaluate();
+  EXPECT_EQ(got, Expected(n, a, b));
+
+  std::fill(got.begin(), got.end(), 0.0);
+  Capture(n, a.data(), b.data(), got.data());
+  Runtime::Default().Evaluate();
+  EXPECT_EQ(got, Expected(n, a, b));
+
+  EvalStats::Snapshot s = Runtime::Default().stats().Take();
+  EXPECT_EQ(s.plans_built, 1) << "warm default-runtime evaluation re-planned";
+  EXPECT_EQ(s.plan_cache_hits, 1);
+  EXPECT_EQ(s.plan_cache_misses, 1);
+  EXPECT_EQ(s.pooled_evals, 2);  // above the cutoff: admission applied too
+  EXPECT_GE(ctx->plan_cache().hits(), 1);
+
+  // Once the default runtime exists its wiring is frozen.
+  EXPECT_FALSE(ctx->AdoptProcessDefault());
+  EXPECT_FALSE(Runtime::SetDefaultOptions(RuntimeOptions{}));
+}
+
 TEST(SessionTest, FuturesResolveThroughSessions) {
   ServingContext ctx(ServingOptions{.pool_threads = 2});
   SessionOptions opts;
