@@ -1,10 +1,18 @@
-// Shared harness for the paper-reproduction benches: timing helpers and
-// table printing. Each bench binary regenerates one figure or table from the
-// paper's evaluation (§8); rows/series are printed in the same shape the
-// paper reports so EXPERIMENTS.md can compare them side by side.
+// Shared harness for the paper-reproduction benches: timing helpers, table
+// printing, and machine-readable metric output. Each bench binary
+// regenerates one figure or table from the paper's evaluation (§8);
+// rows/series are printed in the same shape the paper reports so
+// EXPERIMENTS.md can compare them side by side.
 //
 // Scale: sizes default to a 2-core container (hundreds of MB, seconds per
 // measurement) and can be scaled with MOZART_BENCH_SCALE (float multiplier).
+//
+// Machine-readable output: with MOZART_BENCH_JSON=<path> set, every
+// Metric(...) call writes one JSON object per line (JSONL) to <path>; the
+// file is truncated once per process, so each bench run replaces its own
+// output. scripts/bench.sh runs the fig/table benches with per-bench paths
+// and assembles the lines into BENCH_<tag>.json at the repo root, seeding
+// the perf trajectory that future PRs regress-check against.
 #ifndef MOZART_BENCH_BENCH_COMMON_H_
 #define MOZART_BENCH_BENCH_COMMON_H_
 
@@ -59,6 +67,54 @@ inline void Title(const std::string& title) {
 }
 
 inline void Note(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+// ---- machine-readable metrics (MOZART_BENCH_JSON) ----
+
+namespace internal {
+
+inline std::FILE* JsonFile() {
+  // "w": each bench process owns its output file outright (scripts/bench.sh
+  // gives every binary its own path), so repeated runs — e.g. the ctest
+  // smoke entry with its pinned path — replace rather than accumulate.
+  static std::FILE* file = [] () -> std::FILE* {
+    const char* path = std::getenv("MOZART_BENCH_JSON");
+    if (path == nullptr || path[0] == '\0') {
+      return nullptr;
+    }
+    return std::fopen(path, "w");
+  }();
+  return file;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace internal
+
+// Writes {"bench","workload","config","metric","value"} as one JSONL line
+// to $MOZART_BENCH_JSON; a no-op when the variable is unset. `value` is
+// whatever unit the metric name says (seconds, nanoseconds, counts, ...).
+inline void Metric(const std::string& bench_name, const std::string& workload,
+                   const std::string& config, const std::string& metric, double value) {
+  std::FILE* file = internal::JsonFile();
+  if (file == nullptr) {
+    return;
+  }
+  std::fprintf(file, "{\"bench\":\"%s\",\"workload\":\"%s\",\"config\":\"%s\",\"metric\":\"%s\",\"value\":%.17g,\"scale\":%g}\n",
+               internal::JsonEscape(bench_name).c_str(), internal::JsonEscape(workload).c_str(),
+               internal::JsonEscape(config).c_str(), internal::JsonEscape(metric).c_str(), value,
+               Scale());
+  std::fflush(file);
+}
 
 }  // namespace bench
 

@@ -24,6 +24,12 @@ void PrintBreakdown(const char* name, const mz::EvalStats::Snapshot& s) {
               "task %6.2f%%  merge %5.2f%%\n",
               name, pct(s.client_ns), pct(s.unprotect_ns), pct(s.planner_ns), pct(s.split_ns),
               pct(s.task_ns), pct(s.merge_ns));
+  bench::Metric("fig5", name, "mozart", "client_ns", static_cast<double>(s.client_ns));
+  bench::Metric("fig5", name, "mozart", "unprotect_ns", static_cast<double>(s.unprotect_ns));
+  bench::Metric("fig5", name, "mozart", "planner_ns", static_cast<double>(s.planner_ns));
+  bench::Metric("fig5", name, "mozart", "split_ns", static_cast<double>(s.split_ns));
+  bench::Metric("fig5", name, "mozart", "task_ns", static_cast<double>(s.task_ns));
+  bench::Metric("fig5", name, "mozart", "merge_ns", static_cast<double>(s.merge_ns));
 }
 
 }  // namespace

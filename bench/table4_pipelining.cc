@@ -7,11 +7,26 @@
 // already-parallel library), while pipelining halves the LLC miss rate and
 // delivers the speedup. Counters may be unavailable in containers; runtime
 // ratios stand alone.
+//
+// Extension (ISSUE 4): a three-way ablation over *multi-stage* workloads —
+// `-pipe` / `+pipe,-elide` / `+pipe,+elide` — reporting merge_ns, split_ns,
+// and boundaries_elided, so the stage-boundary piece-passing win is visible
+// in one table. Two workloads exercise the two carry classes:
+//  * interleaved: two in-place vecmath chains over different lengths, whose
+//    conflicting ArraySplit params force a stage break at every node — the
+//    mut arrays carry as identity pieces (split elision);
+//  * column-chain: an owned Column stream crossing serial checkpoint stages
+//    with intermediate futures dropped — boundary merges (concat) and
+//    re-splits (slice) elide outright (merge byte elision).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "core/client.h"
 #include "core/perf_counters.h"
 #include "core/runtime.h"
+#include "dataframe/annotated.h"
+#include "vecmath/annotated.h"
 #include "vecmath/vecmath.h"
 #include "workloads/numerical.h"
 
@@ -68,6 +83,124 @@ void RunWorkload(const char* name, W* w, int threads) {
   PrintRow("Mozart(-pipe)", nopipe, base.seconds);
   PrintRow("Mozart", full, base.seconds);
   vecmath::SetNumThreads(0);
+
+  bench::Metric("table4", name, "base", "seconds", base.seconds);
+  bench::Metric("table4", name, "-pipe", "seconds", nopipe.seconds);
+  bench::Metric("table4", name, "+pipe", "seconds", full.seconds);
+}
+
+// ---- three-way elision ablation over multi-stage workloads ----
+
+struct AblationConfig {
+  const char* name;
+  bool pipeline;
+  bool elide;
+};
+
+constexpr AblationConfig kAblation[] = {
+    {"-pipe", false, false},
+    {"+pipe,-elide", true, false},
+    {"+pipe,+elide", true, true},
+};
+
+struct AblationResult {
+  double seconds = 0;
+  mz::EvalStats::Snapshot stats;
+};
+
+// Two in-place vecmath chains over different lengths, interleaved so every
+// node conflicts with the open stage (ArraySplit<n> vs ArraySplit<m>).
+struct InterleavedChains {
+  long n;
+  long m;
+  int rounds;
+  std::vector<double> x, y;
+
+  InterleavedChains(long n_in, int rounds_in)
+      : n(n_in), m(n_in / 2), rounds(rounds_in),
+        x(static_cast<std::size_t>(n), 1.000001), y(static_cast<std::size_t>(m), 1.000002) {}
+
+  void Run(mz::Runtime* rt) {
+    mz::RuntimeScope scope(rt);
+    for (int k = 0; k < rounds; ++k) {
+      mzvec::MulC(n, x.data(), 1.0000001, x.data());
+      mzvec::MulC(m, y.data(), 1.0000002, y.data());
+    }
+    rt->Evaluate();
+  }
+};
+
+// An owned Column stream crossing serial checkpoint stages; intermediate
+// futures are dropped so the boundary merges can elide.
+struct ColumnChain {
+  long n;
+  int rounds;
+  df::Column base;
+
+  static const mz::Annotated<void(long)>& Tick() {
+    static long sink = 0;
+    static const mz::Annotated<void(long)> tick(
+        [](long k) { sink += k; },
+        mz::AnnotationBuilder("table4.tick").Arg("k", mz::NoSplit()).Build());
+    return tick;
+  }
+
+  ColumnChain(long n_in, int rounds_in) : n(n_in), rounds(rounds_in) {
+    std::vector<double> vals(static_cast<std::size_t>(n));
+    for (long i = 0; i < n; ++i) {
+      vals[static_cast<std::size_t>(i)] = static_cast<double>(i % 1000) * 0.001;
+    }
+    base = df::Column::Doubles(std::move(vals));
+  }
+
+  void Run(mz::Runtime* rt) {
+    mz::RuntimeScope scope(rt);
+    mz::Future<df::Column> cur = mzdf::ColMulC(base, 1.0001);
+    for (int k = 0; k < rounds; ++k) {
+      auto next = mzdf::ColAddC(cur, 0.0001);
+      Tick()(k);
+      cur = next;
+    }
+    volatile double sink = mzdf::ColSum(cur).get();
+    (void)sink;
+  }
+};
+
+template <typename W>
+void RunAblation(const char* name, W* w, int threads) {
+  std::printf("\n  %s (threads=%d)\n", name, threads);
+  std::printf("    %-14s %9s %12s %12s %10s %10s\n", "config", "seconds", "merge_ms",
+              "split_ms", "elided", "carried");
+  for (const AblationConfig& cfg : kAblation) {
+    mz::RuntimeOptions opts;
+    opts.num_threads = threads;
+    opts.pipeline = cfg.pipeline;
+    opts.elide_boundaries = cfg.elide;
+    mz::Runtime rt(opts);
+    w->Run(&rt);  // warm up
+    rt.stats().Reset();
+    mz::WallTimer timer;
+    w->Run(&rt);
+    AblationResult r;
+    r.seconds = timer.ElapsedSeconds();
+    r.stats = rt.stats().Take();
+    std::printf("    %-14s %9.4f %12.3f %12.3f %10lld %10lld\n", cfg.name, r.seconds,
+                static_cast<double>(r.stats.merge_ns) * 1e-6,
+                static_cast<double>(r.stats.split_ns) * 1e-6,
+                static_cast<long long>(r.stats.boundaries_elided),
+                static_cast<long long>(r.stats.carry_pieces));
+    bench::Metric("table4_ablation", name, cfg.name, "seconds", r.seconds);
+    bench::Metric("table4_ablation", name, cfg.name, "merge_ns",
+                  static_cast<double>(r.stats.merge_ns));
+    bench::Metric("table4_ablation", name, cfg.name, "split_ns",
+                  static_cast<double>(r.stats.split_ns));
+    bench::Metric("table4_ablation", name, cfg.name, "boundaries_elided",
+                  static_cast<double>(r.stats.boundaries_elided));
+    bench::Metric("table4_ablation", name, cfg.name, "carry_pieces",
+                  static_cast<double>(r.stats.carry_pieces));
+    bench::Metric("table4_ablation", name, cfg.name, "bytes_merge_avoided",
+                  static_cast<double>(r.stats.bytes_merge_avoided));
+  }
 }
 
 }  // namespace
@@ -79,5 +212,12 @@ int main() {
   RunWorkload("Black Scholes", &bs, threads);
   workloads::Haversine hv(bench::Scaled(8 << 20), 2);
   RunWorkload("Haversine", &hv, threads);
+
+  bench::Title(
+      "Table 4b: stage-boundary elision ablation (multi-stage workloads; relative numbers)");
+  InterleavedChains inter(bench::Scaled(4 << 20), 8);
+  RunAblation("interleaved-sizes", &inter, threads);
+  ColumnChain chain(bench::Scaled(2 << 20), 8);
+  RunAblation("column-chain", &chain, threads);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -12,11 +13,68 @@
 
 namespace mz {
 
+namespace {
+
+// Per-buffer execution state resolved at stage start.
+struct BufExec {
+  const StageBuffer* def = nullptr;
+  Value full;  // inputs and broadcasts (and carried identity streams)
+  const Splitter* splitter = nullptr;
+  std::vector<std::int64_t> params;
+  RuntimeInfo info{};
+  bool carried = false;  // fed by carried pieces; no Info/Split calls
+};
+
+}  // namespace
+
+// Reusable scratch: the per-stage pieces/partials tables and per-worker
+// cursors live here so a multi-stage plan reuses their capacity instead of
+// reallocating every stage.
+struct Executor::Scratch {
+  std::vector<BufExec> bufs;
+  // pieces[buffer][worker] — output pieces tagged with their batch range.
+  std::vector<std::vector<std::vector<OrderedPiece>>> pieces;
+  std::vector<std::vector<Value>> partials;  // [buffer][worker]
+  std::vector<CarriedSet> carried_in;        // [buffer]; valid when carry_in
+  struct PerWorker {
+    std::vector<Value> cur;
+    std::vector<Value*> call_args;
+  };
+  std::vector<PerWorker> workers;
+  // Flattened (worker, index) piece order for dynamic piece-driven stages.
+  std::vector<std::pair<int, std::size_t>> flat;
+
+  void Reset(std::size_t nb, int num_threads) {
+    bufs.assign(nb, BufExec{});
+    pieces.resize(nb);
+    for (auto& per_buffer : pieces) {
+      per_buffer.resize(static_cast<std::size_t>(num_threads));
+      for (auto& per_worker : per_buffer) {
+        per_worker.clear();
+      }
+    }
+    partials.resize(nb);
+    for (auto& per_buffer : partials) {
+      per_buffer.assign(static_cast<std::size_t>(num_threads), Value());
+    }
+    carried_in.assign(nb, CarriedSet{});
+    workers.resize(static_cast<std::size_t>(num_threads));
+    flat.clear();
+  }
+};
+
 Executor::Executor(TaskGraph* graph, const Registry* registry, ThreadPool* pool, ExecOptions opts,
                    EvalStats* stats)
-    : graph_(graph), registry_(registry), pool_(pool), opts_(opts), stats_(stats) {
+    : graph_(graph),
+      registry_(registry),
+      pool_(pool),
+      opts_(opts),
+      stats_(stats),
+      scratch_(std::make_unique<Scratch>()) {
   MZ_CHECK(graph != nullptr && registry != nullptr && pool != nullptr && stats != nullptr);
 }
+
+Executor::~Executor() = default;
 
 std::int64_t Executor::HeuristicBatchElems(std::int64_t sum_bytes_per_element) const {
   if (sum_bytes_per_element <= 0) {
@@ -37,6 +95,8 @@ void Executor::Run(const Plan& plan) {
     }
     stats_->stages.fetch_add(1, std::memory_order_relaxed);
   }
+  MZ_CHECK_MSG(carried_.empty(), "carried pieces left unconsumed at plan end ("
+                                     << carried_.size() << " slot(s))");
 }
 
 void Executor::RunSerialStage(const Stage& stage) {
@@ -69,104 +129,147 @@ void Executor::RunSerialStage(const Stage& stage) {
   }
 }
 
-namespace {
-
-// Per-buffer execution state resolved at stage start.
-struct BufExec {
-  const StageBuffer* def = nullptr;
-  Value full;  // inputs and broadcasts
-  const Splitter* splitter = nullptr;
-  std::vector<std::int64_t> params;
-  RuntimeInfo info{};
-};
-
-}  // namespace
-
 void Executor::RunStage(const Stage& stage) {
   const std::size_t nb = stage.buffers.size();
-  std::vector<BufExec> bufs(nb);
+  const int num_threads = pool_->num_threads();
+  const bool elide = opts_.elide_boundaries;
+  const bool dynamic = opts_.dynamic_scheduling;
+  const bool pedantic = opts_.pedantic;
+  const bool collect = opts_.collect_stats;
+  Scratch& sc = *scratch_;
+  sc.Reset(nb, num_threads);
+
+  // Claim the piece sets carried into this stage. The planner guarantees
+  // they all come from one producer stage, so their per-worker range lists
+  // are identical by construction.
+  bool takes_carries = false;
+  int template_buf = -1;  // first carried buffer: defines the batch ranges
+  std::int64_t carried_total = -1;
+  if (elide) {
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (!stage.buffers[i].carry_in) {
+        continue;
+      }
+      auto it = carried_.find(stage.buffers[i].slot);
+      MZ_CHECK_MSG(it != carried_.end(), "stage expects carried pieces for slot "
+                                             << stage.buffers[i].slot
+                                             << " but none are in flight");
+      sc.carried_in[i] = std::move(it->second);
+      carried_.erase(it);
+      sc.bufs[i].carried = true;
+      if (template_buf < 0) {
+        template_buf = static_cast<int>(i);
+      }
+      carried_total = sc.carried_in[i].total;
+      takes_carries = true;
+    }
+  }
+
   std::int64_t total = -1;
   std::int64_t sum_bpe = 0;
-
   for (std::size_t i = 0; i < nb; ++i) {
     const StageBuffer& def = stage.buffers[i];
-    bufs[i].def = &def;
+    sc.bufs[i].def = &def;
+    if (sc.bufs[i].carried) {
+      // Carried inputs skip Info and Split. Keep the slot's full value when
+      // it still holds one (identity streams: pieces alias it) so merges
+      // and broadcasts that name the original stay correct, and the
+      // plan-time params for a possible merge of mutated carried pieces.
+      Slot& slot = graph_->slot(def.slot);
+      if (slot.value.has_value()) {
+        sc.bufs[i].full = slot.value;
+      }
+      if (!def.use_default_split && !def.params_deferred) {
+        sc.bufs[i].params = def.params;
+      }
+      continue;
+    }
     if (!def.is_input && !def.is_broadcast) {
       continue;  // produced in-stage
     }
     Slot& slot = graph_->slot(def.slot);
     MZ_THROW_IF(!slot.value.has_value(), "stage input has no materialized value (slot "
                                              << def.slot << ")");
-    bufs[i].full = slot.value;
+    sc.bufs[i].full = slot.value;
     if (!def.is_input) {
       continue;
     }
     InternedId name = def.split_name;
     if (def.use_default_split) {
-      auto dflt = registry_->DefaultSplitTypeFor(bufs[i].full.type());
+      auto dflt = registry_->DefaultSplitTypeFor(sc.bufs[i].full.type());
       MZ_THROW_IF(!dflt.has_value(), "no default split type registered for C++ type "
-                                         << bufs[i].full.type_name());
+                                         << sc.bufs[i].full.type_name());
       name = *dflt;
-      bufs[i].params = registry_->RunLateCtor(name, bufs[i].full);
+      sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
     } else if (def.params_deferred) {
-      bufs[i].params = registry_->RunLateCtor(name, bufs[i].full);
+      sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
     } else {
-      bufs[i].params = def.params;
+      sc.bufs[i].params = def.params;
     }
-    bufs[i].splitter = registry_->FindSplitter(name, bufs[i].full.type());
-    MZ_THROW_IF(bufs[i].splitter == nullptr, "no splitter registered for ("
-                                                 << InternedName(name) << ", "
-                                                 << bufs[i].full.type_name() << ")");
-    bufs[i].info = bufs[i].splitter->Info(bufs[i].full, bufs[i].params);
+    sc.bufs[i].splitter = registry_->FindSplitter(name, sc.bufs[i].full.type());
+    MZ_THROW_IF(sc.bufs[i].splitter == nullptr, "no splitter registered for ("
+                                                    << InternedName(name) << ", "
+                                                    << sc.bufs[i].full.type_name() << ")");
+    sc.bufs[i].info = sc.bufs[i].splitter->Info(sc.bufs[i].full, sc.bufs[i].params);
     if (total < 0) {
-      total = bufs[i].info.total_elements;
+      total = sc.bufs[i].info.total_elements;
     } else {
-      MZ_THROW_IF(total != bufs[i].info.total_elements,
+      MZ_THROW_IF(total != sc.bufs[i].info.total_elements,
                   "stage inputs disagree on total elements: " << total << " vs "
-                                                              << bufs[i].info.total_elements
+                                                              << sc.bufs[i].info.total_elements
                                                               << " (split " << InternedName(name)
                                                               << ")");
     }
-    sum_bpe += bufs[i].info.bytes_per_element;
+    sum_bpe += sc.bufs[i].info.bytes_per_element;
+  }
+  if (takes_carries) {
+    MZ_THROW_IF(total >= 0 && total != carried_total,
+                "stage inputs disagree with carried pieces on total elements: "
+                    << total << " vs " << carried_total);
+    total = carried_total;
   }
   MZ_CHECK_MSG(total >= 0, "non-serial stage with no split inputs");
 
-  std::int64_t batch = opts_.batch_override;
-  if (batch <= 0) {
-    batch = HeuristicBatchElems(sum_bpe);
-    if (batch == 0) {
-      // No input reports a memory footprint; fall back to one batch per
-      // worker.
-      batch = std::max<std::int64_t>(1, (total + pool_->num_threads() - 1) /
-                                            pool_->num_threads());
+  std::int64_t batch = 0;
+  std::int64_t chunk = 0;
+  if (!takes_carries) {
+    batch = opts_.batch_override;
+    if (batch <= 0) {
+      batch = HeuristicBatchElems(sum_bpe);
+      if (batch == 0) {
+        // No input reports a memory footprint; fall back to one batch per
+        // worker.
+        batch = std::max<std::int64_t>(1, (total + pool_->num_threads() - 1) /
+                                              pool_->num_threads());
+      }
     }
+    batch = std::clamp<std::int64_t>(batch, 1, std::max<std::int64_t>(total, 1));
+    chunk = (std::max<std::int64_t>(total, 1) + num_threads - 1) / num_threads;
+    MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
+                  << " elems, batch=" << batch << " (sum_bpe=" << sum_bpe << ")";
+  } else {
+    // Piece-driven: the carried ranges define the batch structure.
+    if (dynamic && template_buf >= 0) {
+      const auto& lists = sc.carried_in[static_cast<std::size_t>(template_buf)].per_worker;
+      for (std::size_t w = 0; w < lists.size(); ++w) {
+        for (std::size_t idx = 0; idx < lists[w].size(); ++idx) {
+          sc.flat.emplace_back(static_cast<int>(w), idx);
+        }
+      }
+    }
+    MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
+                  << " elems, piece-driven (carried)";
   }
-  batch = std::clamp<std::int64_t>(batch, 1, std::max<std::int64_t>(total, 1));
-  MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
-                << " elems, batch=" << batch << " (sum_bpe=" << sum_bpe << ")";
 
-  const int num_threads = pool_->num_threads();
-  // pieces[buffer][thread] — output pieces tagged with their batch start so
-  // dynamic scheduling can restore global order before merging.
-  struct OrderedPiece {
-    std::int64_t start;
-    Value piece;
-  };
-  std::vector<std::vector<std::vector<OrderedPiece>>> pieces(nb);
-  std::vector<std::vector<Value>> partials(nb);
-  for (std::size_t i = 0; i < nb; ++i) {
-    pieces[i].resize(static_cast<std::size_t>(num_threads));
-    partials[i].resize(static_cast<std::size_t>(num_threads));
-  }
-  const bool dynamic = opts_.dynamic_scheduling;
-  std::atomic<std::int64_t> cursor{0};  // dynamic mode: next unclaimed batch
+  std::atomic<std::int64_t> cursor{0};       // dynamic mode: next unclaimed batch
+  std::atomic<std::size_t> piece_cursor{0};  // dynamic carried mode
 
   // Merge parameters: inputs use their (possibly late-constructed) split
   // params; produced buffers use plan-time params unless deferred.
   auto merge_params_for = [&](std::size_t i) -> std::span<const std::int64_t> {
     const StageBuffer& def = stage.buffers[i];
     if (def.is_input) {
-      return bufs[i].params;
+      return sc.bufs[i].params;
     }
     if (def.params_deferred) {
       return {};
@@ -177,8 +280,8 @@ void Executor::RunStage(const Stage& stage) {
   // Resolves the splitter used to merge pieces of buffer i (the input's own
   // splitter when it has one, otherwise derived from the piece type).
   auto merge_splitter_for = [&](std::size_t i, const Value& sample_piece) -> const Splitter* {
-    if (bufs[i].splitter != nullptr) {
-      return bufs[i].splitter;
+    if (sc.bufs[i].splitter != nullptr) {
+      return sc.bufs[i].splitter;
     }
     const StageBuffer& def = stage.buffers[i];
     InternedId name = def.split_name;
@@ -205,58 +308,71 @@ void Executor::RunStage(const Stage& stage) {
 
   std::mutex error_mu;
   std::exception_ptr first_error;
-  const std::int64_t chunk = (std::max<std::int64_t>(total, 1) + num_threads - 1) / num_threads;
-  const bool pedantic = opts_.pedantic;
-  const bool collect = opts_.collect_stats;
 
   pool_->RunOnAllWorkers([&](int t) {
     try {
       SplitContext ctx{t, num_threads};
-      std::vector<Value> cur(nb);
+      Scratch::PerWorker& ws = sc.workers[static_cast<std::size_t>(t)];
+      ws.cur.assign(nb, Value());
+      ws.call_args.clear();
       for (std::size_t i = 0; i < nb; ++i) {
         if (stage.buffers[i].is_broadcast) {
-          cur[i] = bufs[i].full;
+          ws.cur[i] = sc.bufs[i].full;
         }
       }
-      std::vector<Value*> call_args;
       std::int64_t split_ns = 0;
       std::int64_t task_ns = 0;
       std::int64_t merge_ns = 0;
       std::int64_t batches = 0;
 
-      auto run_batch = [&](std::int64_t b, std::int64_t e) {
+      // cw/cidx locate the carried pieces feeding the batch [b, e); cw < 0
+      // for range-driven stages.
+      auto run_batch = [&](std::int64_t b, std::int64_t e, int cw, std::size_t cidx) {
         std::int64_t t0 = collect ? NowNanos() : 0;
         for (std::size_t i = 0; i < nb; ++i) {
+          if (sc.bufs[i].carried) {
+            OrderedPiece& carried =
+                sc.carried_in[i].per_worker[static_cast<std::size_t>(cw)][cidx];
+            if (pedantic) {
+              MZ_THROW_IF(!carried.piece.has_value(),
+                          "pedantic: carried piece for slot " << stage.buffers[i].slot
+                                                              << " range [" << b << ", " << e
+                                                              << ") is empty");
+            }
+            ws.cur[i] = std::move(carried.piece);
+            continue;
+          }
           if (!stage.buffers[i].is_input) {
             continue;
           }
-          cur[i] = bufs[i].splitter->Split(bufs[i].full, b, e, bufs[i].params, ctx);
+          ws.cur[i] = sc.bufs[i].splitter->Split(sc.bufs[i].full, b, e, sc.bufs[i].params, ctx);
           if (pedantic) {
-            MZ_THROW_IF(!cur[i].has_value(), "pedantic: Split returned an empty value for slot "
-                                                 << stage.buffers[i].slot << " range [" << b
-                                                 << ", " << e << ")");
+            MZ_THROW_IF(!ws.cur[i].has_value(), "pedantic: Split returned an empty value for slot "
+                                                    << stage.buffers[i].slot << " range [" << b
+                                                    << ", " << e << ")");
           }
         }
         std::int64_t t1 = collect ? NowNanos() : 0;
         for (const PlannedFunc& pf : stage.funcs) {
           const Node& node = graph_->nodes()[static_cast<std::size_t>(pf.node_index)];
-          call_args.clear();
+          ws.call_args.clear();
           for (const PlannedArg& arg : pf.args) {
-            call_args.push_back(&cur[static_cast<std::size_t>(arg.buffer)]);
+            ws.call_args.push_back(&ws.cur[static_cast<std::size_t>(arg.buffer)]);
           }
           if (pedantic) {
             MZ_LOG(Trace) << "batch [" << b << "," << e << ") thread " << t << ": "
                           << node.ann->func_name();
           }
-          Value ret = node.fn->Call(call_args);
+          Value ret = node.fn->Call(ws.call_args);
           if (pf.ret_buffer >= 0) {
-            cur[static_cast<std::size_t>(pf.ret_buffer)] = std::move(ret);
+            ws.cur[static_cast<std::size_t>(pf.ret_buffer)] = std::move(ret);
           }
         }
         std::int64_t t2 = collect ? NowNanos() : 0;
         for (std::size_t i = 0; i < nb; ++i) {
-          if (stage.buffers[i].is_output) {
-            pieces[i][static_cast<std::size_t>(t)].push_back({b, cur[i]});
+          const StageBuffer& def = stage.buffers[i];
+          if (def.is_output || (elide && def.carry_out)) {
+            sc.pieces[i][static_cast<std::size_t>(t)].push_back({b, e, ws.cur[i]});
           }
         }
         if (collect) {
@@ -266,11 +382,33 @@ void Executor::RunStage(const Stage& stage) {
         ++batches;
       };
 
-      if (total == 0) {
+      if (takes_carries) {
+        const auto& lists =
+            sc.carried_in[static_cast<std::size_t>(template_buf)].per_worker;
+        if (dynamic) {
+          // Work stealing over the flattened carried piece list.
+          for (;;) {
+            std::size_t j = piece_cursor.fetch_add(1, std::memory_order_relaxed);
+            if (j >= sc.flat.size()) {
+              break;
+            }
+            auto [w, idx] = sc.flat[j];
+            const OrderedPiece& tp = lists[static_cast<std::size_t>(w)][idx];
+            run_batch(tp.start, tp.end, w, idx);
+          }
+        } else {
+          // Static: each worker consumes the pieces it produced last stage —
+          // same contiguous in-order range, same cache affinity.
+          const auto& mine = lists[static_cast<std::size_t>(t)];
+          for (std::size_t idx = 0; idx < mine.size(); ++idx) {
+            run_batch(mine[idx].start, mine[idx].end, t, idx);
+          }
+        }
+      } else if (total == 0) {
         // Run one empty batch on worker 0 so produced values keep their
         // schema (e.g. an empty DataFrame with the right columns).
         if (t == 0) {
-          run_batch(0, 0);
+          run_batch(0, 0, -1, 0);
         }
       } else if (dynamic) {
         // Work stealing: claim the next unprocessed batch until drained.
@@ -279,42 +417,44 @@ void Executor::RunStage(const Stage& stage) {
           if (b >= total) {
             break;
           }
-          run_batch(b, std::min(total, b + batch));
+          run_batch(b, std::min(total, b + batch), -1, 0);
         }
       } else {
         // Static partitioning (§5.2): one contiguous range per worker.
         std::int64_t lo = std::min<std::int64_t>(total, static_cast<std::int64_t>(t) * chunk);
         std::int64_t hi = std::min<std::int64_t>(total, lo + chunk);
         for (std::int64_t b = lo; b < hi; b += batch) {
-          run_batch(b, std::min(hi, b + batch));
+          run_batch(b, std::min(hi, b + batch), -1, 0);
         }
       }
 
       // Per-worker partial merges (§5.2 step 3, first level). Only valid
       // under static scheduling, where a worker's pieces are a contiguous
       // in-order range; dynamic mode defers to a single ordered merge.
+      // Carried-out buffers skip merging entirely — their pieces pass on.
       if (!dynamic) {
-        std::int64_t t3 = collect ? NowNanos() : 0;
         for (std::size_t i = 0; i < nb; ++i) {
-          if (!stage.buffers[i].is_output) {
+          const StageBuffer& def = stage.buffers[i];
+          if (!def.is_output || (elide && def.carry_out)) {
             continue;
           }
-          std::vector<OrderedPiece>& mine = pieces[i][static_cast<std::size_t>(t)];
+          std::vector<OrderedPiece>& mine = sc.pieces[i][static_cast<std::size_t>(t)];
           if (mine.empty()) {
             continue;
           }
+          std::int64_t t3 = collect ? NowNanos() : 0;
           std::vector<Value> values;
           values.reserve(mine.size());
           for (OrderedPiece& p : mine) {
             values.push_back(std::move(p.piece));
           }
           const Splitter* ms = merge_splitter_for(i, values.front());
-          partials[i][static_cast<std::size_t>(t)] =
-              ms->Merge(bufs[i].full, std::move(values), merge_params_for(i));
+          sc.partials[i][static_cast<std::size_t>(t)] =
+              ms->Merge(sc.bufs[i].full, std::move(values), merge_params_for(i));
           mine.clear();
-        }
-        if (collect) {
-          merge_ns += NowNanos() - t3;
+          if (collect) {
+            merge_ns += NowNanos() - t3;
+          }
         }
       }
       if (collect) {
@@ -335,56 +475,236 @@ void Executor::RunStage(const Stage& stage) {
     std::rethrow_exception(first_error);
   }
 
-  // Final merge on the main thread (§5.2 step 3, second level). Static mode
-  // merges the per-worker partials (in worker order = global order); dynamic
-  // mode gathers every piece, restores batch order, and merges once.
-  {
-    ScopedAccumTimer merge_timer(collect ? &stats_->merge_ns : nullptr);
+  // Hand carried-out buffers to their consuming stage. This is bookkeeping,
+  // not merging, so it is deliberately outside the merge timers (merge_ns
+  // must measure only actual merges — Fig. 5 stays honest as merges shrink).
+  if (elide) {
     for (std::size_t i = 0; i < nb; ++i) {
       const StageBuffer& def = stage.buffers[i];
-      if (!def.is_output) {
-        // Produced-but-unobserved values: nothing merges them, but the slot
-        // must not stay pending.
-        if (!def.is_input && !def.is_broadcast) {
-          graph_->slot(def.slot).pending = false;
-        }
+      if (!def.carry_out) {
         continue;
       }
-      std::vector<Value> parts;
-      if (dynamic) {
-        std::vector<OrderedPiece> all;
-        for (int t = 0; t < num_threads; ++t) {
-          auto& mine = pieces[i][static_cast<std::size_t>(t)];
-          all.insert(all.end(), std::make_move_iterator(mine.begin()),
-                     std::make_move_iterator(mine.end()));
-          mine.clear();
-        }
-        std::sort(all.begin(), all.end(),
-                  [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
-        parts.reserve(all.size());
-        for (OrderedPiece& p : all) {
-          parts.push_back(std::move(p.piece));
-        }
-      } else {
-        parts.reserve(static_cast<std::size_t>(num_threads));
-        for (int t = 0; t < num_threads; ++t) {
-          if (partials[i][static_cast<std::size_t>(t)].has_value()) {
-            parts.push_back(std::move(partials[i][static_cast<std::size_t>(t)]));
+      std::int64_t piece_count = 0;
+      for (const auto& per_worker : sc.pieces[i]) {
+        piece_count += static_cast<std::int64_t>(per_worker.size());
+      }
+      stats_->boundaries_elided.fetch_add(1, std::memory_order_relaxed);
+      stats_->carry_pieces.fetch_add(piece_count, std::memory_order_relaxed);
+      if (collect) {
+        // Best-effort accounting of the merge traffic this elision avoided.
+        // Identity merges move no bytes and contribute nothing.
+        try {
+          const Value* sample = nullptr;
+          for (const auto& per_worker : sc.pieces[i]) {
+            if (!per_worker.empty() && per_worker.front().piece.has_value()) {
+              sample = &per_worker.front().piece;
+              break;
+            }
           }
+          if (sample != nullptr) {
+            const Splitter* ms = merge_splitter_for(i, *sample);
+            if (!ms->traits().merge_is_identity) {
+              std::int64_t bytes = 0;
+              for (const auto& per_worker : sc.pieces[i]) {
+                for (const OrderedPiece& p : per_worker) {
+                  if (!p.piece.has_value()) {
+                    continue;
+                  }
+                  RuntimeInfo info = ms->Info(p.piece, {});
+                  bytes += info.total_elements * info.bytes_per_element;
+                }
+              }
+              stats_->bytes_merge_avoided.fetch_add(bytes, std::memory_order_relaxed);
+            }
+          }
+        } catch (const std::exception&) {
+          // Accounting only; a split type that cannot Info() its own pieces
+          // simply reports no avoided bytes.
         }
       }
-      Value final_value;
-      if (!parts.empty()) {
-        const Splitter* ms = merge_splitter_for(i, parts.front());
-        final_value = ms->Merge(bufs[i].full, std::move(parts), merge_params_for(i));
-      } else {
-        final_value = bufs[i].full;  // zero-element in-place input
+      MZ_CHECK_MSG(carried_.count(def.slot) == 0,
+                   "slot " << def.slot << " already has carried pieces in flight");
+      CarriedSet set;
+      set.per_worker = std::move(sc.pieces[i]);
+      set.total = total;
+      carried_.emplace(def.slot, std::move(set));
+      // The slot is satisfied by the pieces in flight: identity streams keep
+      // their full value, owned streams are consumed wholesale by the next
+      // stage and can never be observed merged.
+      graph_->slot(def.slot).pending = false;
+    }
+  }
+
+  // Final merges (§5.2 step 3, second level) through a parallel merge tree:
+  // grouped partial merges fan out on the pool, each buffer's root merge
+  // runs on the calling thread. Static mode merges the per-worker partials
+  // (worker order = global order); dynamic mode gathers every piece,
+  // restores batch order, and merges once. Slot bookkeeping stays outside
+  // the merge timers.
+  struct MergeJob {
+    std::size_t buf = 0;
+    const Splitter* ms = nullptr;
+    std::vector<Value> parts;
+    std::span<const std::int64_t> params;
+    std::vector<Value> group_results;
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    Value final_value;
+  };
+  std::vector<MergeJob> jobs;
+  for (std::size_t i = 0; i < nb; ++i) {
+    const StageBuffer& def = stage.buffers[i];
+    if (elide && def.carry_out) {
+      continue;  // handed off above
+    }
+    if (!def.is_output) {
+      // Produced-but-unobserved values: nothing merges them, but the slot
+      // must not stay pending.
+      if (!def.is_input && !def.is_broadcast) {
+        graph_->slot(def.slot).pending = false;
       }
+      continue;
+    }
+    std::vector<Value> parts;
+    if (dynamic) {
+      std::vector<OrderedPiece> all;
+      for (int t = 0; t < num_threads; ++t) {
+        auto& mine = sc.pieces[i][static_cast<std::size_t>(t)];
+        all.insert(all.end(), std::make_move_iterator(mine.begin()),
+                   std::make_move_iterator(mine.end()));
+        mine.clear();
+      }
+      std::sort(all.begin(), all.end(),
+                [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
+      parts.reserve(all.size());
+      for (OrderedPiece& p : all) {
+        parts.push_back(std::move(p.piece));
+      }
+    } else {
+      parts.reserve(static_cast<std::size_t>(num_threads));
+      for (int t = 0; t < num_threads; ++t) {
+        if (sc.partials[i][static_cast<std::size_t>(t)].has_value()) {
+          parts.push_back(std::move(sc.partials[i][static_cast<std::size_t>(t)]));
+        }
+      }
+    }
+    if (parts.empty()) {
+      // Zero-element in-place input: the original value is the result.
       Slot& slot = graph_->slot(def.slot);
-      slot.value = std::move(final_value);
+      slot.value = sc.bufs[i].full;
+      slot.pending = false;
+      continue;
+    }
+    MergeJob job;
+    job.buf = i;
+    job.ms = merge_splitter_for(i, parts.front());
+    job.params = merge_params_for(i);
+    job.parts = std::move(parts);
+    jobs.push_back(std::move(job));
+  }
+
+  if (!jobs.empty()) {
+    // Plan the merge tree: each job's parts are cut into contiguous adjacent
+    // groups (order-preserving for concatenation merges); groups across all
+    // jobs form one task list the pool drains, then the roots fold the group
+    // results. Single-part jobs and 1-thread pools collapse to the direct
+    // k-ary merge.
+    std::size_t num_tasks = 0;
+    for (MergeJob& job : jobs) {
+      std::size_t groups =
+          std::min<std::size_t>(static_cast<std::size_t>(std::max(num_threads, 1)),
+                                (job.parts.size() + 1) / 2);
+      groups = std::max<std::size_t>(groups, 1);
+      std::size_t per = (job.parts.size() + groups - 1) / groups;
+      for (std::size_t g = 0; g * per < job.parts.size(); ++g) {
+        job.groups.emplace_back(g * per, std::min(job.parts.size(), (g + 1) * per));
+      }
+      job.group_results.resize(job.groups.size());
+      num_tasks += job.groups.size();
+    }
+
+    auto merge_group = [&](MergeJob& job, std::size_t g) {
+      auto [gb, ge] = job.groups[g];
+      std::vector<Value> group;
+      group.reserve(ge - gb);
+      for (std::size_t p = gb; p < ge; ++p) {
+        group.push_back(std::move(job.parts[p]));
+      }
+      job.group_results[g] =
+          job.ms->Merge(sc.bufs[job.buf].full, std::move(group), job.params);
+    };
+
+    if (num_threads > 1 && num_tasks > 1) {
+      // Fan the group merges out: (job, group) pairs claimed via a shared
+      // cursor. Worker 0 is the calling thread (RunOnWorkers).
+      std::vector<std::pair<std::size_t, std::size_t>> tasks;
+      tasks.reserve(num_tasks);
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        for (std::size_t g = 0; g < jobs[j].groups.size(); ++g) {
+          tasks.emplace_back(j, g);
+        }
+      }
+      std::atomic<std::size_t> task_cursor{0};
+      std::mutex merge_error_mu;
+      std::exception_ptr merge_error;
+      pool_->RunOnWorkers(static_cast<int>(std::min<std::size_t>(
+                              static_cast<std::size_t>(num_threads), tasks.size())),
+                          [&](int) {
+                            std::int64_t ns = 0;
+                            try {
+                              for (;;) {
+                                std::size_t j =
+                                    task_cursor.fetch_add(1, std::memory_order_relaxed);
+                                if (j >= tasks.size()) {
+                                  break;
+                                }
+                                std::int64_t t0 = collect ? NowNanos() : 0;
+                                merge_group(jobs[tasks[j].first], tasks[j].second);
+                                if (collect) {
+                                  ns += NowNanos() - t0;
+                                }
+                              }
+                            } catch (...) {
+                              std::lock_guard<std::mutex> lock(merge_error_mu);
+                              if (!merge_error) {
+                                merge_error = std::current_exception();
+                              }
+                            }
+                            if (collect) {
+                              stats_->merge_ns.fetch_add(ns, std::memory_order_relaxed);
+                            }
+                          });
+      if (merge_error) {
+        std::rethrow_exception(merge_error);
+      }
+    } else {
+      ScopedAccumTimer merge_timer(collect ? &stats_->merge_ns : nullptr);
+      for (MergeJob& job : jobs) {
+        for (std::size_t g = 0; g < job.groups.size(); ++g) {
+          merge_group(job, g);
+        }
+      }
+    }
+
+    // Root merges: fold each job's group results (associative merges — the
+    // same property the per-worker pre-merge already relies on).
+    {
+      ScopedAccumTimer merge_timer(collect ? &stats_->merge_ns : nullptr);
+      for (MergeJob& job : jobs) {
+        if (job.group_results.size() == 1) {
+          job.final_value = std::move(job.group_results.front());
+        } else {
+          job.final_value = job.ms->Merge(sc.bufs[job.buf].full,
+                                          std::move(job.group_results), job.params);
+        }
+      }
+    }
+    for (MergeJob& job : jobs) {
+      Slot& slot = graph_->slot(stage.buffers[job.buf].slot);
+      slot.value = std::move(job.final_value);
       slot.pending = false;
     }
   }
+
   stats_->nodes_executed.fetch_add(static_cast<std::int64_t>(stage.funcs.size()),
                                    std::memory_order_relaxed);
 }

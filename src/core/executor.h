@@ -9,13 +9,24 @@
 //     input for the current batch, runs the stage's functions in program
 //     order on the cache-resident pieces, and stashes output pieces.
 //  3. Merge: each worker merges its own pieces (associative merge), then the
-//     main thread merges the per-worker partials into the final values and
-//     writes them back into the dataflow graph's slots.
+//     remaining per-worker partials are combined by a parallel merge tree on
+//     the pool (grouped partial merges on workers, root merge on the calling
+//     thread) and written back into the dataflow graph's slots.
+//
+// Piece passing (stage-boundary elision): when the planner marked a buffer
+// carry_out/carry_in (planner.h), the producing stage skips its merge and
+// hands the per-worker piece sets to the consuming stage, which skips its
+// Split calls and batches by the carried ranges. ExecOptions::
+// elide_boundaries ablates this at execution time: with it off, the carry
+// marks are ignored and every boundary merges and re-splits as the paper
+// describes.
 #ifndef MOZART_CORE_EXECUTOR_H_
 #define MOZART_CORE_EXECUTOR_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 
 #include "common/thread_pool.h"
 #include "core/planner.h"
@@ -39,12 +50,16 @@ struct ExecOptions {
   // sorted before merging so order-sensitive merges (concatenation) stay
   // correct. Helps skewed per-element costs (filters, joins, tagging).
   bool dynamic_scheduling = false;
+  // Honor the planner's stage-boundary carry marks (piece passing). Off =
+  // the ablation: merge at every stage exit, re-split at every entry.
+  bool elide_boundaries = true;
 };
 
 class Executor {
  public:
   Executor(TaskGraph* graph, const Registry* registry, ThreadPool* pool, ExecOptions opts,
            EvalStats* stats);
+  ~Executor();
 
   // Runs every stage; on return all output slots hold merged values and are
   // no longer pending. Throws mz::Error on unexecutable stages (missing
@@ -57,6 +72,27 @@ class Executor {
   std::int64_t HeuristicBatchElems(std::int64_t sum_bytes_per_element) const;
 
  private:
+  // One output piece tagged with the batch range that produced it, so
+  // dynamic scheduling can restore global order before merging and carried
+  // pieces can drive the consuming stage's batch structure.
+  struct OrderedPiece {
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    Value piece;
+  };
+
+  // Pieces handed across a stage boundary instead of being merged:
+  // per-worker piece lists (aligned by index across all buffers carried from
+  // the same producer stage) plus the producer's element total.
+  struct CarriedSet {
+    std::vector<std::vector<OrderedPiece>> per_worker;
+    std::int64_t total = -1;
+  };
+
+  // Reusable per-run scratch (pieces/partials/per-worker cursors), so
+  // back-to-back stages stop hammering the allocator; defined in the .cc.
+  struct Scratch;
+
   void RunStage(const Stage& stage);
   void RunSerialStage(const Stage& stage);
 
@@ -65,6 +101,9 @@ class Executor {
   ThreadPool* pool_;
   ExecOptions opts_;
   EvalStats* stats_;
+  std::unique_ptr<Scratch> scratch_;
+  // Piece sets in flight between stages, keyed by the carried slot.
+  std::unordered_map<SlotId, CarriedSet> carried_;
 };
 
 }  // namespace mz

@@ -408,10 +408,225 @@ Plan Planner::Build(int first_node, int end_node) {
     stage_last_node = n;
   }
   close_stage();
+  AnnotateCarries(&plan);
 
   MZ_LOG(Debug) << "planned " << plan.stages.size() << " stage(s) for nodes [" << first_node
                 << ", " << end_node << ")";
   return plan;
+}
+
+// Stage-boundary carry-over analysis (piece passing).
+//
+// A buffer that exits a stage as pieces (a produced value or a mut split
+// input) is normally merged on the boundary and re-split by the next stage
+// that consumes it — even when both sides agree on the split stream and the
+// break was forced by something unrelated (a "_" broadcast, a conflicting
+// split elsewhere in the stage, or the -pipe ablation). This pass finds such
+// buffers and marks them carry_out (producer: skip the merge, hand the
+// per-worker piece sets over) / carry_in (consumer: skip the Split calls,
+// batch by the carried ranges).
+//
+// Eligibility, per candidate buffer `b` of stage `s`:
+//  1. Its slot has a *single* consuming stage `s2 > s`, non-serial, that
+//     reads it through a split-input buffer whose inference stream matches
+//     (same union-find root, or equal bound concrete types) and whose
+//     parameters are not deferred.
+//  2. Skipping the merge is sound. Either
+//       (a) identity: the slot holds a full value whose merge splitter is an
+//           identity (pieces alias the original storage) — then the full
+//           value stays valid throughout, so broadcast ("_") references and
+//           additional consuming stages are all fine and only the *first*
+//           consuming stage takes pieces; or
+//       (b) owned: nothing outside `s2` can observe the merged value — the
+//           slot is not external, holds no live Future handles, and every
+//           in-plan reference sits in `s2` as that one split input.
+//  3. The stream can be re-consumed piecewise at all: concrete streams whose
+//     split type is merge-only (reductions, partial aggregations) never
+//     carry — their pieces are not positional slices of the source range.
+//
+// Per consuming stage, two structural rules keep execution well-defined:
+//  * all carried-in buffers must come from ONE producer stage (their piece
+//    range sets are identical by construction);
+//  * a consuming stage may mix carried buffers with freshly split inputs
+//    only if every carried stream is "aligned" — a bound concrete type whose
+//    pieces cover the source ranges [start, end) — so the fresh inputs can
+//    be split by the carried ranges. Unknown/default streams (e.g. filter
+//    output) carry only when every split input of the stage is carried.
+void Planner::AnnotateCarries(Plan* plan) {
+  const int num_stages = static_cast<int>(plan->stages.size());
+
+  struct Candidate {
+    int producer_stage = -1;
+    int producer_buf = -1;
+    int consumer_stage = -1;
+    int consumer_buf = -1;
+    bool aligned = false;
+  };
+  std::vector<Candidate> candidates;
+
+  auto class_root = [&](int cls) { return cls >= 0 ? Find(cls) : -1; };
+  auto same_stream = [&](const StageBuffer& a, const StageBuffer& b) {
+    int ra = class_root(a.class_id);
+    int rb = class_root(b.class_id);
+    if (ra < 0 || rb < 0) {
+      return false;
+    }
+    if (ra == rb) {
+      return true;
+    }
+    const Class& ca = classes_[static_cast<std::size_t>(ra)];
+    const Class& cb = classes_[static_cast<std::size_t>(rb)];
+    return ca.bound && cb.bound && ca.type == cb.type;
+  };
+
+  for (int s = 0; s < num_stages; ++s) {
+    Stage& st = plan->stages[s];
+    if (st.serial) {
+      continue;
+    }
+    for (int bi = 0; bi < static_cast<int>(st.buffers.size()); ++bi) {
+      StageBuffer& b = st.buffers[static_cast<std::size_t>(bi)];
+      const bool produced = !b.is_input && !b.is_broadcast;
+      const bool mut_input = b.is_input && b.is_output;
+      if (!produced && !mut_input) {
+        continue;  // read-only inputs and broadcasts leave no pieces behind
+      }
+
+      // Locate the first consuming stage and how the slot is referenced.
+      int first_cs = -1;
+      int first_cb = -1;
+      bool first_has_broadcast = false;
+      bool later_consumers = false;
+      for (int s2 = s + 1; s2 < num_stages && !later_consumers; ++s2) {
+        const Stage& st2 = plan->stages[static_cast<std::size_t>(s2)];
+        bool referenced = false;
+        for (int j = 0; j < static_cast<int>(st2.buffers.size()); ++j) {
+          const StageBuffer& b2 = st2.buffers[static_cast<std::size_t>(j)];
+          if (b2.slot != b.slot) {
+            continue;
+          }
+          if (b2.is_input) {
+            referenced = true;
+            if (first_cs < 0 || first_cs == s2) {
+              first_cb = j;
+            }
+          } else if (b2.is_broadcast) {
+            referenced = true;
+            if (first_cs < 0 || first_cs == s2) {
+              first_has_broadcast = true;
+            }
+          }
+        }
+        if (!referenced) {
+          continue;
+        }
+        if (first_cs < 0) {
+          first_cs = s2;
+        } else if (s2 != first_cs) {
+          later_consumers = true;
+        }
+      }
+      if (first_cs < 0 || first_cb < 0) {
+        continue;  // unconsumed, or the first consumer needs the full value
+      }
+      const Stage& cstage = plan->stages[static_cast<std::size_t>(first_cs)];
+      if (cstage.serial) {
+        continue;
+      }
+      const StageBuffer& cb = cstage.buffers[static_cast<std::size_t>(first_cb)];
+      if (!same_stream(b, cb) || cb.params_deferred) {
+        continue;
+      }
+
+      const Slot& slot = graph_.slot(b.slot);
+      const int root = class_root(b.class_id);
+      const Class& cls = classes_[static_cast<std::size_t>(root)];
+      const bool concrete = cls.bound && !cls.type.is_unknown() && !b.use_default_split &&
+                            !b.params_deferred && !b.merge_by_piece_type && b.split_name != 0;
+      if (concrete && registry_.SplitTypeIsMergeOnly(b.split_name)) {
+        continue;  // reductions / partial aggregations: pieces aren't slices
+      }
+
+      bool identity = false;
+      if (slot.value.has_value()) {
+        std::optional<InternedId> name;
+        if (concrete) {
+          name = b.split_name;
+        } else {
+          name = registry_.DefaultSplitTypeFor(slot.value.type());
+        }
+        if (name.has_value()) {
+          const Splitter* sp = registry_.FindSplitter(*name, slot.value.type());
+          identity = sp != nullptr && sp->traits().merge_is_identity;
+        }
+      }
+      if (!identity) {
+        const bool observable = slot.external || slot.external_refs > 0;
+        if (observable || later_consumers || first_has_broadcast) {
+          continue;
+        }
+      }
+      candidates.push_back({s, bi, first_cs, first_cb, concrete});
+    }
+  }
+
+  // Per consuming stage: keep carries from a single producer stage (the one
+  // contributing the most buffers; ties go to the earliest), then drop
+  // non-aligned carries when the stage still has freshly split inputs.
+  std::unordered_map<int, std::vector<Candidate>> by_consumer;
+  for (const Candidate& c : candidates) {
+    by_consumer[c.consumer_stage].push_back(c);
+  }
+  for (auto& [cs, cands] : by_consumer) {
+    std::unordered_map<int, int> producer_count;
+    for (const Candidate& c : cands) {
+      producer_count[c.producer_stage]++;
+    }
+    int best_producer = -1;
+    int best_count = 0;
+    for (const auto& [p, count] : producer_count) {
+      if (count > best_count || (count == best_count && (best_producer < 0 || p < best_producer))) {
+        best_producer = p;
+        best_count = count;
+      }
+    }
+    std::vector<Candidate> kept;
+    for (const Candidate& c : cands) {
+      if (c.producer_stage == best_producer) {
+        kept.push_back(c);
+      }
+    }
+
+    Stage& cstage = plan->stages[static_cast<std::size_t>(cs)];
+    auto is_kept = [&](int buf) {
+      for (const Candidate& c : kept) {
+        if (c.consumer_buf == buf) {
+          return true;
+        }
+      }
+      return false;
+    };
+    bool has_fresh_split_input = false;
+    for (int j = 0; j < static_cast<int>(cstage.buffers.size()); ++j) {
+      if (cstage.buffers[static_cast<std::size_t>(j)].is_input && !is_kept(j)) {
+        has_fresh_split_input = true;
+        break;
+      }
+    }
+    if (has_fresh_split_input) {
+      std::erase_if(kept, [](const Candidate& c) { return !c.aligned; });
+      // Dropping a carry re-creates a fresh split input; since only aligned
+      // carries remain and those tolerate fresh inputs, one pass suffices.
+    }
+    for (const Candidate& c : kept) {
+      plan->stages[static_cast<std::size_t>(c.producer_stage)]
+          .buffers[static_cast<std::size_t>(c.producer_buf)]
+          .carry_out = true;
+      plan->stages[static_cast<std::size_t>(c.producer_stage)].feeds_carries = true;
+      cstage.buffers[static_cast<std::size_t>(c.consumer_buf)].carry_in = true;
+      cstage.takes_carries = true;
+    }
+  }
 }
 
 }  // namespace mz

@@ -65,6 +65,21 @@ struct StageBuffer {
   InternedId split_name = 0;
   std::vector<std::int64_t> params;
 
+  // Stage-boundary carry-over (piece passing). Set by the planner's
+  // post-pass when the producing and consuming stages agree on the split
+  // stream, so the executor can hand the per-worker piece sets across the
+  // boundary instead of merging here and re-splitting there:
+  //  * carry_out — this buffer's pieces are passed to a later stage; its
+  //    merge is elided (sound because either nothing outside that stage can
+  //    observe the merged value, or the merge is an identity — see
+  //    SplitterTraits in splitter.h);
+  //  * carry_in — this split input receives carried pieces; no Split calls,
+  //    and the stage's batch structure is the carried pieces' ranges.
+  // Both are pure functions of fingerprinted planner inputs, so cached plan
+  // templates reproduce them exactly on warm instantiation.
+  bool carry_out = false;
+  bool carry_in = false;
+
   // Planning-internal: inference class root for same-stream checks.
   int class_id = -1;
   std::string debug_type;
@@ -74,6 +89,10 @@ struct Stage {
   std::vector<PlannedFunc> funcs;
   std::vector<StageBuffer> buffers;
   bool serial = false;  // no split arguments: run once, unsplit
+  // Carry-over summary (see StageBuffer::carry_{in,out}): whether any buffer
+  // of this stage hands pieces to a later stage / receives carried pieces.
+  bool feeds_carries = false;
+  bool takes_carries = false;
 };
 
 // A plan references its graph only through PlannedFunc::node_index and
@@ -81,7 +100,9 @@ struct Stage {
 // *templates* are Plans whose node indices are range-relative and whose
 // slot fields hold canonical local ids instead of SlotIds, rewritten on
 // instantiation. Keep any new graph reference added here representable
-// under that rewrite.
+// under that rewrite. The carry fields (carry_{in,out}, {feeds,takes}_
+// carries) are plain value state derived from fingerprinted inputs, so they
+// ride the template verbatim.
 struct Plan {
   std::vector<Stage> stages;
 };
@@ -112,6 +133,12 @@ class Planner {
 
   // Inference pass: fills arg_classes_ / ret_classes_.
   void InferTypes(int first_node, int end_node);
+
+  // Post-pass over the built stages: marks StageBuffer::carry_{in,out} for
+  // boundary buffers whose pieces can pass to the consuming stage (same
+  // split stream, sound to skip the merge, consuming stage batchable from
+  // the carried ranges). See the rules in planner.cc.
+  void AnnotateCarries(Plan* plan);
 
   int ClassForConcreteExpr(const SplitExpr& expr, const Node& node);
 

@@ -56,6 +56,20 @@ bool Registry::HasSplitType(InternedId name) const {
   return types_.count(name) == 1;
 }
 
+bool Registry::SplitTypeIsMergeOnly(InternedId name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = types_.find(name);
+  if (it == types_.end() || it->second.splitters.empty()) {
+    return true;  // unsplittable either way — treat as not piecewise-consumable
+  }
+  for (const auto& [type, splitter] : it->second.splitters) {
+    if (!splitter->traits().merge_only) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::optional<std::vector<std::int64_t>> Registry::RunCtor(InternedId name,
                                                            std::span<const Value> args) const {
   SplitTypeCtor ctor;

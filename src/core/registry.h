@@ -71,6 +71,11 @@ class Registry {
   const Splitter* FindSplitter(InternedId name, std::type_index type) const;
   bool HasSplitType(InternedId name) const;
 
+  // True when every splitter registered under `name` is merge-only (or none
+  // is registered at all): such a stream cannot be consumed piecewise, so
+  // the planner's carry-over analysis must materialize it at the boundary.
+  bool SplitTypeIsMergeOnly(InternedId name) const;
+
   // Runs the split type's constructor; nullopt = deferred.
   std::optional<std::vector<std::int64_t>> RunCtor(InternedId name,
                                                    std::span<const Value> args) const;
@@ -107,9 +112,10 @@ template <typename T>
 void RegisterTypedSplitter(Registry& registry, std::string_view name,
                            typename TypedSplitter<T>::InfoFn info,
                            typename TypedSplitter<T>::SplitFn split,
-                           typename TypedSplitter<T>::MergeFn merge) {
+                           typename TypedSplitter<T>::MergeFn merge,
+                           SplitterTraits traits = {}) {
   registry.AddSplitter(name, std::type_index(typeid(T)),
-                       std::make_shared<TypedSplitter<T>>(info, split, merge));
+                       std::make_shared<TypedSplitter<T>>(info, split, merge, traits));
 }
 
 }  // namespace mz

@@ -171,6 +171,7 @@ void Runtime::EvaluateLocked() {
   exec_opts.pedantic = opts_.pedantic;
   exec_opts.collect_stats = opts_.collect_stats;
   exec_opts.dynamic_scheduling = opts_.dynamic_scheduling;
+  exec_opts.elide_boundaries = opts_.elide_boundaries;
 
   // Admission (see admission.h): small plans stay on the calling thread —
   // or coalesce with other sessions' small plans through the BatchCollector

@@ -39,6 +39,12 @@ struct RuntimeOptions {
   // Work-stealing batch scheduling instead of the paper's default static
   // partitioning (§5.2 explicitly allows both; see ExecOptions).
   bool dynamic_scheduling = false;
+  // Stage-boundary piece passing: when the planner proves the producing and
+  // consuming stages agree on a buffer's split stream, the executor hands
+  // the per-worker pieces across the boundary instead of merging and
+  // re-splitting (ExecOptions::elide_boundaries). Off = the ablation that
+  // merges at every stage exit, as the paper describes.
+  bool elide_boundaries = true;
 
   // --- serving-layer wiring (session.h) — all non-owning, may be null ---
   // Execute on this pool instead of constructing a private one. The pool is

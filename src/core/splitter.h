@@ -40,6 +40,21 @@ struct SplitContext {
   int num_threads = 1;
 };
 
+// Static properties of a splitter, consulted by the planner's stage-boundary
+// carry-over analysis (piece passing, §5.2 extension). They describe the
+// *semantics* of Split/Merge, not runtime state:
+//  * merge_is_identity — Merge returns `original` unchanged because pieces
+//    alias the original storage (pointer offsets, matrix views). Skipping
+//    such a merge is always sound: the full value never stops being valid.
+//  * merge_only — Info/Split throw; the type only merges produced pieces
+//    (reductions, partial aggregations). Pieces of such a stream are *not*
+//    positional slices of the source range, so they can never be re-consumed
+//    piecewise — the runtime must materialize (merge) them at the boundary.
+struct SplitterTraits {
+  bool merge_is_identity = false;
+  bool merge_only = false;
+};
+
 class Splitter {
  public:
   virtual ~Splitter() = default;
@@ -51,6 +66,8 @@ class Splitter {
 
   virtual Value Merge(const Value& original, std::vector<Value> pieces,
                       std::span<const std::int64_t> params) const = 0;
+
+  virtual SplitterTraits traits() const { return {}; }
 };
 
 // Adapter for the common case: a splitter over values holding (or pointing
@@ -67,8 +84,8 @@ class TypedSplitter final : public Splitter {
                             const SplitContext&);
   using MergeFn = Value (*)(const Value&, std::vector<Value>, std::span<const std::int64_t>);
 
-  TypedSplitter(InfoFn info, SplitFn split, MergeFn merge)
-      : info_(info), split_(split), merge_(merge) {}
+  TypedSplitter(InfoFn info, SplitFn split, MergeFn merge, SplitterTraits traits = {})
+      : info_(info), split_(split), merge_(merge), traits_(traits) {}
 
   RuntimeInfo Info(const Value& value, std::span<const std::int64_t> params) const override {
     return info_(value.As<T>(), params);
@@ -84,10 +101,13 @@ class TypedSplitter final : public Splitter {
     return merge_(original, std::move(pieces), params);
   }
 
+  SplitterTraits traits() const override { return traits_; }
+
  private:
   InfoFn info_;
   SplitFn split_;
   MergeFn merge_;
+  SplitterTraits traits_;
 };
 
 }  // namespace mz

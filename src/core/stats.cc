@@ -28,6 +28,10 @@ std::string EvalStats::Snapshot::ToString() const {
       os << " [batched=" << batched_evals << "]";
     }
   }
+  if (boundaries_elided > 0) {
+    os << " [elided " << boundaries_elided << " boundaries, " << carry_pieces
+       << " pieces carried, " << bytes_merge_avoided << " merge bytes avoided]";
+  }
   return os.str();
 }
 

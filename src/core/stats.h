@@ -46,6 +46,12 @@ class EvalStats {
     // Batched evals also count as serial_evals: they are the inline class,
     // just dispatched together, so serial + pooled still equals evaluations.
     std::int64_t batched_evals = 0;
+    // Stage-boundary piece passing (executor.h): buffers whose merge and
+    // re-split were elided, the pieces handed across those boundaries, and
+    // the merge traffic (best-effort bytes) the elisions avoided.
+    std::int64_t boundaries_elided = 0;
+    std::int64_t carry_pieces = 0;
+    std::int64_t bytes_merge_avoided = 0;
 
     // Total across the per-phase wall-clock counters. Split/task/merge are
     // summed across workers, so on N threads this exceeds elapsed time.
@@ -76,6 +82,9 @@ class EvalStats {
       plan_cache_bytes_inserted += other.plan_cache_bytes_inserted;
       plan_cache_bytes_evicted += other.plan_cache_bytes_evicted;
       batched_evals += other.batched_evals;
+      boundaries_elided += other.boundaries_elided;
+      carry_pieces += other.carry_pieces;
+      bytes_merge_avoided += other.bytes_merge_avoided;
     }
 
     std::string ToString() const;
@@ -103,6 +112,9 @@ class EvalStats {
     s.plan_cache_bytes_inserted = plan_cache_bytes_inserted.load(std::memory_order_relaxed);
     s.plan_cache_bytes_evicted = plan_cache_bytes_evicted.load(std::memory_order_relaxed);
     s.batched_evals = batched_evals.load(std::memory_order_relaxed);
+    s.boundaries_elided = boundaries_elided.load(std::memory_order_relaxed);
+    s.carry_pieces = carry_pieces.load(std::memory_order_relaxed);
+    s.bytes_merge_avoided = bytes_merge_avoided.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -129,6 +141,9 @@ class EvalStats {
     plan_cache_bytes_inserted.fetch_add(s.plan_cache_bytes_inserted, std::memory_order_relaxed);
     plan_cache_bytes_evicted.fetch_add(s.plan_cache_bytes_evicted, std::memory_order_relaxed);
     batched_evals.fetch_add(s.batched_evals, std::memory_order_relaxed);
+    boundaries_elided.fetch_add(s.boundaries_elided, std::memory_order_relaxed);
+    carry_pieces.fetch_add(s.carry_pieces, std::memory_order_relaxed);
+    bytes_merge_avoided.fetch_add(s.bytes_merge_avoided, std::memory_order_relaxed);
   }
 
   void Reset() {
@@ -152,6 +167,9 @@ class EvalStats {
     plan_cache_bytes_inserted = 0;
     plan_cache_bytes_evicted = 0;
     batched_evals = 0;
+    boundaries_elided = 0;
+    carry_pieces = 0;
+    bytes_merge_avoided = 0;
   }
 
   std::atomic<std::int64_t> client_ns{0};
@@ -174,6 +192,9 @@ class EvalStats {
   std::atomic<std::int64_t> plan_cache_bytes_inserted{0};
   std::atomic<std::int64_t> plan_cache_bytes_evicted{0};
   std::atomic<std::int64_t> batched_evals{0};
+  std::atomic<std::int64_t> boundaries_elided{0};
+  std::atomic<std::int64_t> carry_pieces{0};
+  std::atomic<std::int64_t> bytes_merge_avoided{0};
 };
 
 }  // namespace mz

@@ -172,7 +172,8 @@ void RegisterSplits() {
 
     mz::RegisterTypedSplitter<Column>(reg, "SeriesSplit", SeriesInfo, SeriesSplitFn, SeriesMerge);
     mz::RegisterTypedSplitter<DataFrame>(reg, "FrameSplit", FrameInfo, FrameSplitFn, FrameMerge);
-    mz::RegisterTypedSplitter<DataFrame>(reg, "GroupSplit", GroupInfo, GroupSplitFn, GroupMerge);
+    mz::RegisterTypedSplitter<DataFrame>(reg, "GroupSplit", GroupInfo, GroupSplitFn, GroupMerge,
+                                         mz::SplitterTraits{.merge_only = true});
     reg.SetDefaultSplitType(std::type_index(typeid(Column)), "SeriesSplit");
     reg.SetDefaultSplitType(std::type_index(typeid(DataFrame)), "FrameSplit");
     return true;

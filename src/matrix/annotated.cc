@@ -202,10 +202,14 @@ void RegisterSplits() {
     // arrays sized by a matrix's rows (Gemv output).
     reg.DefineSplitType("ArraySplit", FlexibleLengthCtor, nullptr);
 
+    // Matrix pieces are row/column views into the original storage: merges
+    // are identities, so boundary pieces may pass to the next stage intact.
     mz::RegisterTypedSplitter<Matrix*>(reg, "MatrixSplit", MatrixInfo, MatrixSplitFn,
-                                       MatrixMerge);
+                                       MatrixMerge,
+                                       mz::SplitterTraits{.merge_is_identity = true});
     mz::RegisterTypedSplitter<std::vector<double>>(reg, "ReduceSplit", ReduceVecInfo,
-                                                   ReduceVecSplitFn, ReduceVecMerge);
+                                                   ReduceVecSplitFn, ReduceVecMerge,
+                                                   mz::SplitterTraits{.merge_only = true});
     reg.SetDefaultSplitType(std::type_index(typeid(Matrix*)), "MatrixSplit");
     return true;
   }();

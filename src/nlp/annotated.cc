@@ -126,7 +126,8 @@ void RegisterSplits() {
                                       CorpusMerge);
     mz::RegisterTypedSplitter<std::vector<TaggedDoc>>(reg, "TaggedSplit", TaggedInfo,
                                                       TaggedSplitFn, TaggedMerge);
-    mz::RegisterTypedSplitter<PosCounts>(reg, "ReducePos", PosInfo, PosSplitFn, PosMerge);
+    mz::RegisterTypedSplitter<PosCounts>(reg, "ReducePos", PosInfo, PosSplitFn, PosMerge,
+                                         mz::SplitterTraits{.merge_only = true});
     reg.SetDefaultSplitType(std::type_index(typeid(Corpus)), "MinibatchSplit");
     reg.SetDefaultSplitType(std::type_index(typeid(std::vector<TaggedDoc>)), "TaggedSplit");
     return true;

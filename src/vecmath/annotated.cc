@@ -194,14 +194,22 @@ void RegisterSplits() {
     reg.DefineSplitType("ReduceMax", nullptr, nullptr);
     reg.DefineSplitType("ReduceMin", nullptr, nullptr);
 
-    mz::RegisterTypedSplitter<long>(reg, "SizeSplit", SizeInfo, SizeSplitFn, SizeMerge);
+    // Pieces of these types alias the original storage (scalars and pointer
+    // offsets), so their merges are identities — the executor may keep the
+    // pieces across a stage boundary (piece passing) without materializing.
+    const mz::SplitterTraits kInPlace{.merge_is_identity = true, .merge_only = false};
+    const mz::SplitterTraits kMergeOnly{.merge_is_identity = false, .merge_only = true};
+    mz::RegisterTypedSplitter<long>(reg, "SizeSplit", SizeInfo, SizeSplitFn, SizeMerge, kInPlace);
     mz::RegisterTypedSplitter<double*>(reg, "ArraySplit", ArrayInfo<double*>,
-                                       ArraySplitFn<double*>, ArrayMerge);
+                                       ArraySplitFn<double*>, ArrayMerge, kInPlace);
     mz::RegisterTypedSplitter<const double*>(reg, "ArraySplit", ArrayInfo<const double*>,
-                                             ArraySplitFn<const double*>, ArrayMerge);
-    mz::RegisterTypedSplitter<double>(reg, "ReduceAdd", ReduceInfo, ReduceSplitFn, ReduceAddMerge);
-    mz::RegisterTypedSplitter<double>(reg, "ReduceMax", ReduceInfo, ReduceSplitFn, ReduceMaxMerge);
-    mz::RegisterTypedSplitter<double>(reg, "ReduceMin", ReduceInfo, ReduceSplitFn, ReduceMinMerge);
+                                             ArraySplitFn<const double*>, ArrayMerge, kInPlace);
+    mz::RegisterTypedSplitter<double>(reg, "ReduceAdd", ReduceInfo, ReduceSplitFn, ReduceAddMerge,
+                                      kMergeOnly);
+    mz::RegisterTypedSplitter<double>(reg, "ReduceMax", ReduceInfo, ReduceSplitFn, ReduceMaxMerge,
+                                      kMergeOnly);
+    mz::RegisterTypedSplitter<double>(reg, "ReduceMin", ReduceInfo, ReduceSplitFn, ReduceMinMerge,
+                                      kMergeOnly);
     return true;
   }();
   (void)done;

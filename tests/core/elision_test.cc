@@ -1,0 +1,360 @@
+// Stage-boundary piece passing (elision): the planner's carry-over analysis
+// and the executor's piece-driven stages. Covers the satellite edge cases of
+// ISSUE 4: zero-element stages, mut in-place inputs carried across an elided
+// boundary, pedantic mode, dynamic-scheduling order restoration over carried
+// pieces, and the ablation flag.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/client.h"
+#include "core/runtime.h"
+#include "dataframe/annotated.h"
+#include "vecmath/annotated.h"
+#include "vecmath/vecmath.h"
+
+namespace mz {
+namespace {
+
+RuntimeOptions Opts(int threads = 2, bool pedantic = true) {
+  RuntimeOptions o;
+  o.num_threads = threads;
+  o.pedantic = pedantic;
+  return o;
+}
+
+// A serial node (all "_" arguments): forces a stage break without touching
+// the column stream flowing around it.
+const Annotated<void(long)>& Tick() {
+  static long sink = 0;
+  static const Annotated<void(long)> tick(
+      [](long k) { sink += k; },
+      AnnotationBuilder("elision_test.tick").Arg("k", NoSplit()).Build());
+  return tick;
+}
+
+df::Column MakeColumn(long n, double start = 0.0) {
+  std::vector<double> vals(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    vals[static_cast<std::size_t>(i)] = start + static_cast<double>(i);
+  }
+  return df::Column::Doubles(std::move(vals));
+}
+
+// ---- in-place (identity-merge) carries: vecmath pointer chains ----
+
+TEST(ElisionInPlace, PipelineAblationChainCarriesAndMatches) {
+  // -pipe gives every node its own stage; the mut `out` array flows across
+  // each boundary with the identical ArraySplit<n> stream, so every
+  // boundary elides and the math is unchanged.
+  const long n = 60000;
+  std::vector<double> a(static_cast<std::size_t>(n), 4.0);
+  std::vector<double> got(static_cast<std::size_t>(n));
+  std::vector<double> want(static_cast<std::size_t>(n));
+  vecmath::Sqrt(n, a.data(), want.data());
+  vecmath::Exp(n, want.data(), want.data());
+  vecmath::Log(n, want.data(), want.data());
+
+  RuntimeOptions opts = Opts();
+  opts.pipeline = false;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), got.data());
+  mzvec::Exp(n, got.data(), got.data());
+  mzvec::Log(n, got.data(), got.data());
+  rt.Evaluate();
+  EXPECT_EQ(got, want);
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.stages, 3);
+  EXPECT_EQ(s.boundaries_elided, 2);  // out: stage1→2 and stage2→3
+  EXPECT_GT(s.carry_pieces, 0);
+  // In-place pointer pieces alias user memory: no merge bytes to avoid.
+  EXPECT_EQ(s.bytes_merge_avoided, 0);
+}
+
+TEST(ElisionInPlace, MutCarriedAcrossElidedBoundary) {
+  // Interleaved sizes force stage breaks (ArraySplit<n> vs ArraySplit<m>);
+  // each chain's mut array carries over the foreign stage and keeps being
+  // mutated in place through the carried pointer pieces.
+  const long n = 40000;
+  const long m = 25000;
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(m), 2.0);
+  std::vector<double> want_x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> want_y(static_cast<std::size_t>(m), 2.0);
+  const int kRounds = 4;
+  for (int k = 0; k < kRounds; ++k) {
+    vecmath::AddC(n, want_x.data(), 1.5, want_x.data());
+    vecmath::MulC(m, want_y.data(), 1.25, want_y.data());
+  }
+
+  Runtime rt(Opts(/*threads=*/4));
+  RuntimeScope scope(&rt);
+  for (int k = 0; k < kRounds; ++k) {
+    mzvec::AddC(n, x.data(), 1.5, x.data());
+    mzvec::MulC(m, y.data(), 1.25, y.data());
+  }
+  rt.Evaluate();
+  EXPECT_EQ(x, want_x);
+  EXPECT_EQ(y, want_y);
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.stages, 2 * kRounds);
+  // Each chain's array carries across every interior boundary of its stream.
+  EXPECT_EQ(s.boundaries_elided, 2 * (kRounds - 1));
+}
+
+TEST(ElisionInPlace, AblationFlagRestoresMergeResplit) {
+  const long n = 30000;
+  std::vector<double> a(static_cast<std::size_t>(n), 9.0);
+  std::vector<double> got(static_cast<std::size_t>(n));
+
+  RuntimeOptions opts = Opts();
+  opts.pipeline = false;
+  opts.elide_boundaries = false;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), got.data());
+  mzvec::Exp(n, got.data(), got.data());
+  rt.Evaluate();
+  EXPECT_DOUBLE_EQ(got[0], std::exp(3.0));
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.stages, 2);
+  EXPECT_EQ(s.boundaries_elided, 0);
+  EXPECT_EQ(s.carry_pieces, 0);
+}
+
+// ---- owned-value carries: column streams across serial breaks ----
+
+// Builds `rounds` produce→consume boundaries over one column stream, each
+// separated by a serial tick stage; intermediate futures are dropped before
+// evaluation so the boundary merges can elide. Returns the final reduction.
+double RunColumnChain(Runtime* rt, const df::Column& base, int rounds) {
+  RuntimeScope scope(rt);
+  Future<df::Column> cur = mzdf::ColMulC(base, 2.0);
+  for (int k = 0; k < rounds; ++k) {
+    auto next = mzdf::ColAddC(cur, 1.0);
+    Tick()(k);  // serial stage between producer and consumer
+    cur = next;
+  }
+  Future<double> sum = mzdf::ColSum(cur);
+  return sum.get();
+}
+
+double ExpectedColumnChain(long n, int rounds) {
+  double sum = 0;
+  for (long i = 0; i < n; ++i) {
+    sum += 2.0 * static_cast<double>(i) + static_cast<double>(rounds);
+  }
+  return sum;
+}
+
+TEST(ElisionOwned, ColumnCarriesAcrossSerialBreaks) {
+  const long n = 50000;
+  const int kRounds = 3;
+  df::Column base = MakeColumn(n);
+  Runtime rt(Opts());
+  double got = RunColumnChain(&rt, base, kRounds);
+  EXPECT_DOUBLE_EQ(got, ExpectedColumnChain(n, kRounds));
+  EvalStats::Snapshot s = rt.stats().Take();
+  // All interior boundaries elide; the last column is pinned by the live
+  // `cur` future (a graph output) and must still merge.
+  EXPECT_EQ(s.boundaries_elided, kRounds - 1);
+  EXPECT_GT(s.bytes_merge_avoided, 0);
+}
+
+TEST(ElisionOwned, ResultsIdenticalWithAndWithoutElision) {
+  const long n = 30000;
+  const int kRounds = 4;
+  df::Column base = MakeColumn(n, 3.0);
+
+  Runtime on(Opts());
+  double got_on = RunColumnChain(&on, base, kRounds);
+
+  RuntimeOptions off_opts = Opts();
+  off_opts.elide_boundaries = false;
+  Runtime off(off_opts);
+  double got_off = RunColumnChain(&off, base, kRounds);
+
+  EXPECT_DOUBLE_EQ(got_on, got_off);
+  EXPECT_GT(on.stats().Take().boundaries_elided, 0);
+  EXPECT_EQ(off.stats().Take().boundaries_elided, 0);
+  EXPECT_EQ(on.stats().Take().nodes_executed, off.stats().Take().nodes_executed);
+}
+
+TEST(ElisionOwned, ZeroElementStageCarries) {
+  // A zero-row column runs one empty batch (schema-preserving); its single
+  // [0, 0) piece must carry across the boundary and merge to an empty
+  // result, not crash or produce a stale value.
+  df::Column base = MakeColumn(0);
+  Runtime rt(Opts());
+  double got = RunColumnChain(&rt, base, 2);
+  EXPECT_DOUBLE_EQ(got, 0.0);
+  EXPECT_GT(rt.stats().Take().boundaries_elided, 0);
+}
+
+TEST(ElisionOwned, PedanticModeValidatesCarriedPieces) {
+  // Pedantic mode adds per-piece validation on both the split and the carry
+  // paths; the well-formed chain must still pass it.
+  const long n = 20000;
+  df::Column base = MakeColumn(n);
+  Runtime rt(Opts(/*threads=*/2, /*pedantic=*/true));
+  double got = RunColumnChain(&rt, base, 3);
+  EXPECT_DOUBLE_EQ(got, ExpectedColumnChain(n, 3));
+  EXPECT_GT(rt.stats().Take().boundaries_elided, 0);
+}
+
+TEST(ElisionOwned, UnknownStreamCarriesOnlyWhenFullyCarried) {
+  // Filter output (unknown stream) consumed across a serial break: the
+  // consuming stage's only split input is the carried stream, so it may
+  // pass piecewise; correctness = same kept rows as the direct library.
+  const long n = 40000;
+  std::vector<double> vals(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    vals[static_cast<std::size_t>(i)] = static_cast<double>(i % 100);
+  }
+  df::DataFrame frame = df::DataFrame::Make({"v"}, {df::Column::Doubles(std::move(vals))});
+  double want;
+  {
+    df::DataFrame kept = df::FilterRows(frame, df::ColGtC(frame.col(0), 50.0));
+    want = df::ColSum(df::ColMulC(kept.col(0), 3.0));
+  }
+
+  Runtime rt(Opts());
+  double got;
+  {
+    RuntimeScope scope(&rt);
+    Future<double> sum = [&] {
+      auto col = mzdf::ColFromFrame(frame, 0);
+      auto mask = mzdf::ColGtC(col, 50.0);
+      auto kept = mzdf::FilterRows(frame, mask);
+      auto kept_col = mzdf::ColFromFrame(kept, 0);
+      Tick()(1);  // break between the filter stage and its consumer
+      auto scaled = mzdf::ColMulC(kept_col, 3.0);
+      return mzdf::ColSum(scaled);
+    }();  // every intermediate future is dropped here
+    got = sum.get();
+  }
+  EXPECT_DOUBLE_EQ(got, want);
+  EXPECT_GT(rt.stats().Take().boundaries_elided, 0);
+}
+
+// ---- dynamic scheduling over carried pieces ----
+
+TEST(ElisionDynamic, OrderRestoredAcrossCarriedBoundary) {
+  // Under work stealing the carried pieces are claimed out of order by the
+  // consuming stage; the final merge must still reassemble the filter
+  // output in source order.
+  const long n = 60000;
+  std::vector<double> vals(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    vals[static_cast<std::size_t>(i)] = static_cast<double>(i);
+  }
+  df::DataFrame frame = df::DataFrame::Make({"v"}, {df::Column::Doubles(std::move(vals))});
+
+  RuntimeOptions opts = Opts(/*threads=*/4);
+  opts.dynamic_scheduling = true;
+  opts.batch_elems_override = 512;  // many small batches → real stealing
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  Future<df::Column> out = [&] {
+    auto col = mzdf::ColFromFrame(frame, 0);
+    auto mask = mzdf::ColGtC(col, 29999.5);
+    auto kept = mzdf::FilterRows(frame, mask);
+    auto kept_col = mzdf::ColFromFrame(kept, 0);
+    Tick()(7);  // boundary: kept_col carries into the doubling stage
+    return mzdf::ColMulC(kept_col, 2.0);
+  }();
+  df::Column got = out.get();
+  EXPECT_GT(rt.stats().Take().boundaries_elided, 0);
+  ASSERT_EQ(got.size(), n / 2);
+  for (long r = 1; r < got.size(); r += 97) {
+    EXPECT_LT(got.d(r - 1), got.d(r)) << "row order lost at " << r;
+  }
+  EXPECT_DOUBLE_EQ(got.d(0), 2.0 * 30000.0);
+}
+
+TEST(ElisionDynamic, InPlaceChainMatchesStatic) {
+  const long n = 100000;
+  std::vector<double> a(static_cast<std::size_t>(n), 4.0);
+  std::vector<double> want(static_cast<std::size_t>(n));
+  std::vector<double> got(static_cast<std::size_t>(n));
+  vecmath::Sqrt(n, a.data(), want.data());
+  vecmath::Log(n, want.data(), want.data());
+
+  RuntimeOptions opts = Opts(/*threads=*/4);
+  opts.pipeline = false;  // one stage per node → carried boundaries
+  opts.dynamic_scheduling = true;
+  opts.batch_elems_override = 1000;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), got.data());
+  mzvec::Log(n, got.data(), got.data());
+  rt.Evaluate();
+  EXPECT_EQ(got, want);
+  EXPECT_GT(rt.stats().Take().boundaries_elided, 0);
+}
+
+// ---- interactions that must veto elision ----
+
+TEST(ElisionVeto, LiveFutureForcesTheMerge) {
+  // Holding the intermediate's future makes it a graph output: the boundary
+  // must merge so .get() can observe the full value later.
+  const long n = 20000;
+  df::Column base = MakeColumn(n);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  Future<df::Column> mid = mzdf::ColMulC(base, 2.0);
+  Tick()(1);
+  Future<double> sum = mzdf::ColSum(mzdf::ColAddC(mid, 1.0));
+  double got = sum.get();
+  double want = 0;
+  for (long i = 0; i < n; ++i) {
+    want += 2.0 * static_cast<double>(i) + 1.0;
+  }
+  EXPECT_DOUBLE_EQ(got, want);
+  // `mid` is still alive: its boundary merged, and the full column is there.
+  df::Column full = mid.get();
+  ASSERT_EQ(full.size(), n);
+  EXPECT_DOUBLE_EQ(full.d(5), 10.0);
+}
+
+TEST(ElisionVeto, SplitTypeChangeForcesTheMerge) {
+  // ArraySplit<n> produced, ArraySplit<n/2> consumed: streams differ, the
+  // boundary must materialize (existing stage-break semantics preserved).
+  const long n = 30000;
+  std::vector<double> a(static_cast<std::size_t>(n), 16.0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());
+  mzvec::Sqrt(n / 2, out.data(), out.data());
+  rt.Evaluate();
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(n / 2)], 4.0);
+  EXPECT_EQ(rt.stats().Take().stages, 2);
+  EXPECT_EQ(rt.stats().Take().boundaries_elided, 0);
+}
+
+TEST(ElisionVeto, SerialConsumerForcesTheMerge) {
+  // A serial node reads the produced column in full ("_" semantics): the
+  // producer must merge; nothing may carry into a serial stage.
+  static double observed = 0;
+  static const Annotated<void(const df::Column&)> snapshot(
+      [](const df::Column& c) { observed = c.size() > 0 ? c.d(0) : -1.0; },
+      AnnotationBuilder("elision_test.snapshot").Arg("c", NoSplit()).Build());
+  const long n = 10000;
+  df::Column base = MakeColumn(n, 5.0);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  {
+    auto doubled = mzdf::ColMulC(base, 2.0);
+    snapshot(doubled);
+  }
+  rt.Evaluate();
+  EXPECT_DOUBLE_EQ(observed, 10.0);
+  EXPECT_EQ(rt.stats().Take().boundaries_elided, 0);
+}
+
+}  // namespace
+}  // namespace mz

@@ -12,6 +12,7 @@
 
 #include "core/client.h"
 #include "core/runtime.h"
+#include "dataframe/annotated.h"
 #include "vecmath/annotated.h"
 #include "vecmath/vecmath.h"
 
@@ -317,6 +318,143 @@ TEST_F(PlanCacheRuntimeTest, EvictionCountersSurfaceInEvalStats) {
   EXPECT_EQ(cache.size(), 1u);
   // Elementwise pipeline: the n2-sized expectation covers both prefixes.
   EXPECT_EQ(got, Expected(n2, a, b));
+}
+
+// ---- carry-over (piece passing) fields through the template rewrite ----
+
+// Field-by-field plan equality, including the carry fields added by the
+// stage-boundary elision analysis (planner.h). Instantiating a cached
+// template must reproduce the cold plan bit-for-bit.
+void ExpectPlansIdentical(const Plan& a, const Plan& b) {
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t s = 0; s < a.stages.size(); ++s) {
+    const Stage& sa = a.stages[s];
+    const Stage& sb = b.stages[s];
+    EXPECT_EQ(sa.serial, sb.serial) << "stage " << s;
+    EXPECT_EQ(sa.feeds_carries, sb.feeds_carries) << "stage " << s;
+    EXPECT_EQ(sa.takes_carries, sb.takes_carries) << "stage " << s;
+    ASSERT_EQ(sa.buffers.size(), sb.buffers.size()) << "stage " << s;
+    for (std::size_t i = 0; i < sa.buffers.size(); ++i) {
+      const StageBuffer& ba = sa.buffers[i];
+      const StageBuffer& bb = sb.buffers[i];
+      EXPECT_EQ(ba.slot, bb.slot) << "stage " << s << " buffer " << i;
+      EXPECT_EQ(ba.is_broadcast, bb.is_broadcast);
+      EXPECT_EQ(ba.is_input, bb.is_input);
+      EXPECT_EQ(ba.is_output, bb.is_output);
+      EXPECT_EQ(ba.use_default_split, bb.use_default_split);
+      EXPECT_EQ(ba.params_deferred, bb.params_deferred);
+      EXPECT_EQ(ba.merge_by_piece_type, bb.merge_by_piece_type);
+      EXPECT_EQ(ba.carry_in, bb.carry_in) << "stage " << s << " buffer " << i;
+      EXPECT_EQ(ba.carry_out, bb.carry_out) << "stage " << s << " buffer " << i;
+      EXPECT_EQ(ba.split_name, bb.split_name);
+      EXPECT_EQ(ba.params, bb.params);
+    }
+    ASSERT_EQ(sa.funcs.size(), sb.funcs.size()) << "stage " << s;
+    for (std::size_t f = 0; f < sa.funcs.size(); ++f) {
+      EXPECT_EQ(sa.funcs[f].node_index, sb.funcs[f].node_index);
+      EXPECT_EQ(sa.funcs[f].ret_buffer, sb.funcs[f].ret_buffer);
+      ASSERT_EQ(sa.funcs[f].args.size(), sb.funcs[f].args.size());
+      for (std::size_t g = 0; g < sa.funcs[f].args.size(); ++g) {
+        EXPECT_EQ(sa.funcs[f].args[g].buffer, sb.funcs[f].args[g].buffer);
+      }
+    }
+  }
+}
+
+TEST_F(PlanCacheRuntimeTest, CarryFieldsRoundTripThroughTemplates) {
+  // Build a plan with elided boundaries: a column stream crossing serial
+  // stage breaks (the produce→serial→consume shape carries), then push it
+  // through MakePlanTemplate/InstantiatePlan and demand an identical plan.
+  static long sink = 0;
+  static const Annotated<void(long)> tick(
+      [](long k) { sink += k; },
+      AnnotationBuilder("plan_cache_test.tick").Arg("k", NoSplit()).Build());
+
+  const long n = 1000;
+  std::vector<double> vals(static_cast<std::size_t>(n), 1.5);
+  df::Column base = df::Column::Doubles(std::move(vals));
+
+  Runtime rt(MakeOptions(nullptr));
+  RuntimeScope scope(&rt);
+  {
+    Future<df::Column> cur = mzdf::ColMulC(base, 2.0);
+    for (int k = 0; k < 2; ++k) {
+      auto next = mzdf::ColAddC(cur, 1.0);
+      tick(k);
+      cur = next;
+    }
+    mzdf::ColSum(cur);
+  }  // futures dropped: interior boundaries are elidable
+
+  TaskGraph& graph = rt.graph_for_test();
+  const int end = graph.num_nodes();
+  RangeFingerprint fp = FingerprintRange(graph, Registry::Global(), 0, end, /*pipeline=*/true);
+  Planner planner(graph, Registry::Global(), /*pipeline=*/true);
+  Plan cold = planner.Build(0, end);
+
+  bool any_carry = false;
+  for (const Stage& stage : cold.stages) {
+    any_carry = any_carry || stage.feeds_carries || stage.takes_carries;
+  }
+  ASSERT_TRUE(any_carry) << "test premise: the plan must contain elided boundaries";
+
+  Plan tmpl = MakePlanTemplate(cold, fp.canon_slots, 0);
+  Plan warm = InstantiatePlan(tmpl, fp.canon_slots, 0);
+  ExpectPlansIdentical(cold, warm);
+}
+
+TEST_F(PlanCacheRuntimeTest, WarmHitReproducesElisionBitIdentical) {
+  // End to end: the same carried pipeline through two runtimes sharing a
+  // cache. The warm runtime must instantiate (no Planner::Build), elide the
+  // same boundaries, and produce the identical result.
+  static long sink = 0;
+  static const Annotated<void(long)> tick(
+      [](long k) { sink += k; },
+      AnnotationBuilder("plan_cache_test.tick2").Arg("k", NoSplit()).Build());
+
+  const long n = 25000;
+  auto run_chain = [&](Runtime* rt, double start) {
+    std::vector<double> vals(static_cast<std::size_t>(n));
+    for (long i = 0; i < n; ++i) {
+      vals[static_cast<std::size_t>(i)] = start + static_cast<double>(i);
+    }
+    df::Column base = df::Column::Doubles(std::move(vals));
+    RuntimeScope scope(rt);
+    Future<df::Column> cur = mzdf::ColMulC(base, 2.0);
+    for (int k = 0; k < 3; ++k) {
+      auto next = mzdf::ColAddC(cur, 1.0);
+      tick(k);
+      cur = next;
+    }
+    return mzdf::ColSum(cur).get();
+  };
+  auto expected = [&](double start) {
+    double sum = 0;
+    for (long i = 0; i < n; ++i) {
+      sum += 2.0 * (start + static_cast<double>(i)) + 3.0;
+    }
+    return sum;
+  };
+
+  PlanCache cache;
+  std::int64_t cold_elided = 0;
+  {
+    Runtime rt1(MakeOptions(&cache));
+    EXPECT_DOUBLE_EQ(run_chain(&rt1, 1.0), expected(1.0));
+    EvalStats::Snapshot s = rt1.stats().Take();
+    EXPECT_EQ(s.plans_built, 1);
+    cold_elided = s.boundaries_elided;
+    EXPECT_GT(cold_elided, 0);
+  }
+  {
+    Runtime rt2(MakeOptions(&cache));
+    EXPECT_DOUBLE_EQ(run_chain(&rt2, 4.0), expected(4.0));
+    EvalStats::Snapshot s = rt2.stats().Take();
+    EXPECT_EQ(s.plans_built, 0) << "warm runtime re-planned";
+    EXPECT_EQ(s.plan_cache_hits, 1);
+    EXPECT_EQ(s.boundaries_elided, cold_elided)
+        << "warm instantiation elided different boundaries than cold planning";
+  }
 }
 
 TEST_F(PlanCacheRuntimeTest, NoCacheConfiguredAlwaysPlans) {
