@@ -5,12 +5,23 @@
 // Paper shape: a U-curve — tiny batches pay per-batch overhead, huge batches
 // stop fitting in cache and lose the pipelining benefit; the heuristic lands
 // within ~10% of the best point.
+//
+// Extension (ISSUE 5): a footprint-blowup workload — a narrow producer stage
+// (small per-element footprint → large batches) feeding a wide consumer
+// stage across an elided boundary (many live arrays → the carried batches
+// overflow L2 several times over). Sweeps the single global heuristic
+// (batch_per_stage=false: the consumer inherits the producer's granularity)
+// against footprint-aware per-stage batching (the carried pieces re-batch
+// to the consumer's size), plus the no-elision baseline. Emits
+// MOZART_BENCH_JSON metrics for BENCH_PR5.json.
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/cpu.h"
+#include "core/client.h"
 #include "core/runtime.h"
+#include "vecmath/annotated.h"
 #include "workloads/numerical.h"
 
 namespace {
@@ -42,6 +53,100 @@ void Sweep(const char* name, W* w, const std::vector<long>& batches,
               100.0 * (t_auto / best - 1.0));
 }
 
+// ---- footprint blowup: narrow producer → wide consumer over one carry ----
+
+const mz::Annotated<void(long)>& Tick() {
+  static long sink = 0;
+  static const mz::Annotated<void(long)> tick(
+      [](long k) { sink += k; },
+      mz::AnnotationBuilder("fig6.tick").Arg("k", mz::NoSplit()).Build());
+  return tick;
+}
+
+struct FootprintBlowup {
+  long n;
+  int wide;
+  int passes;
+  std::vector<double> a, t, o;
+  std::vector<std::vector<double>> b;
+
+  FootprintBlowup(long n_in, int wide_in, int passes_in)
+      : n(n_in), wide(wide_in), passes(passes_in) {
+    a.assign(static_cast<std::size_t>(n), 1.000001);
+    t.assign(static_cast<std::size_t>(n), 0.0);
+    o.assign(static_cast<std::size_t>(n), 0.0);
+    for (int k = 0; k < wide; ++k) {
+      b.emplace_back(static_cast<std::size_t>(n), 1e-7 * (k + 1));
+    }
+  }
+
+  void Run(mz::Runtime* rt) {
+    mz::RuntimeScope scope(rt);
+    // Stage A (narrow, ~16 B/elem): batches of ~|L2|/16 elements.
+    mzvec::Copy(n, a.data(), t.data());
+    Tick()(1);
+    // Stage B (wide, ~(2+wide)×8 B/elem): t carries across the boundary
+    // and the stage sweeps the whole b-set `passes` times, so every b[k]
+    // is re-touched after (wide-1) other arrays' worth of traffic. With
+    // the consumer's own footprint-derived batch that reuse distance fits
+    // L2; at the producer's inherited granularity the batch working set is
+    // several MB and every revisit streams from the outer levels — the
+    // cache-thrash the per-stage model exists to avoid.
+    mzvec::Add(n, t.data(), b[0].data(), o.data());
+    for (int p = 0; p < passes; ++p) {
+      for (int k = (p == 0 ? 1 : 0); k < wide; ++k) {
+        mzvec::Add(n, o.data(), b[k].data(), o.data());
+      }
+    }
+    rt->Evaluate();
+  }
+};
+
+void RunFootprintBlowup(long n, int wide, int passes, int threads) {
+  std::printf("\n  (c) footprint blowup — narrow producer (16 B/elem) -> wide consumer (%d B/elem)\n",
+              (2 + wide) * 8);
+  std::printf("      n=%ld passes=%d threads=%d\n", n, passes, threads);
+  struct Config {
+    const char* name;
+    bool elide;
+    bool per_stage;
+  };
+  constexpr Config kConfigs[] = {
+      {"-elide", false, true},          // merge + re-split: correct batch, boundary cost
+      {"+elide,global", true, false},   // inherit producer granularity (pre-ISSUE-5)
+      {"+elide,per-stage", true, true}, // re-batch carried pieces to the stage's size
+  };
+  const char* workload = "footprint-blowup";
+  double base_seconds = 0;
+  for (const Config& cfg : kConfigs) {
+    mz::RuntimeOptions opts;
+    opts.num_threads = threads;
+    opts.elide_boundaries = cfg.elide;
+    opts.batch_per_stage = cfg.per_stage;
+    mz::Runtime rt(opts);
+    FootprintBlowup w(n, wide, passes);
+    w.Run(&rt);  // warm up (touches every page)
+    rt.stats().Reset();
+    // Median of 5: single-core containers jitter and the configs differ by
+    // tens of ms, so the default 3 reps under-resolve the gap.
+    double seconds = bench::TimeSeconds([&] { w.Run(&rt); }, /*reps=*/5);
+    mz::EvalStats::Snapshot s = rt.stats().Take();
+    if (base_seconds == 0) {
+      base_seconds = seconds;
+    }
+    std::printf("      %-18s %8.4fs  norm %5.2f  rebatched %lld  footprint<=%lld KB\n", cfg.name,
+                seconds, seconds / base_seconds, static_cast<long long>(s.stages_rebatched),
+                static_cast<long long>(s.footprint_bytes_max / 1024));
+    bench::Metric("fig6_footprint", workload, cfg.name, "seconds", seconds);
+    bench::Metric("fig6_footprint", workload, cfg.name, "stages_rebatched",
+                  static_cast<double>(s.stages_rebatched));
+    bench::Metric("fig6_footprint", workload, cfg.name, "footprint_bytes_max",
+                  static_cast<double>(s.footprint_bytes_max));
+    bench::Metric("fig6_footprint", workload, cfg.name, "boundaries_elided",
+                  static_cast<double>(s.boundaries_elided));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -62,5 +167,9 @@ int main() {
                          (6 * n * static_cast<long>(sizeof(double)));
   Sweep("(b) nBody — element = 1 matrix row", &nb, {1, 4, 16, 64, 256, 1024, 2048},
         std::max<std::int64_t>(nb_heur, 1));
+
+  // (c) the ISSUE 5 workload: small input elements, wide consumer rows —
+  // global vs. per-stage batching across an elided boundary.
+  RunFootprintBlowup(bench::Scaled(4 << 20), /*wide=*/12, /*passes=*/4, mz::NumLogicalCpus());
   return 0;
 }

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag wall-time regressions.
+
+Usage:
+  scripts/bench_diff.py OLD.json NEW.json [--threshold 0.20] [--all]
+
+Matches metrics on (bench, workload, config, metric) and reports the ratio
+new/old. Only wall-time metrics (metric == "seconds") count toward the
+regression verdict; counter metrics are shown with --all for context.
+
+Advisory by design: the exit code is 0 unless the inputs are unusable —
+single-core CI wall times are too noisy to gate on (ROADMAP). Use the
+printed REGRESSION lines in review instead.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    metrics = {}
+    for m in doc.get("metrics", []):
+        key = (m.get("bench"), m.get("workload"), m.get("config"), m.get("metric"))
+        metrics[key] = float(m.get("value", 0.0))
+    return doc, metrics
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="flag wall-time ratios above 1+threshold (default 0.20)")
+    ap.add_argument("--all", action="store_true",
+                    help="also print non-wall-time (counter) metrics")
+    args = ap.parse_args()
+
+    old_doc, old = load(args.old)
+    new_doc, new = load(args.new)
+
+    print(f"bench_diff: {args.old} (tag {old_doc.get('tag')}, scale {old_doc.get('scale')}) "
+          f"vs {args.new} (tag {new_doc.get('tag')}, scale {new_doc.get('scale')})")
+    if old_doc.get("scale") != new_doc.get("scale"):
+        print("bench_diff: WARNING: scales differ; ratios are not comparable")
+
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        sys.exit("bench_diff: no overlapping metrics")
+
+    regressions = 0
+    improvements = 0
+    for key in shared:
+        bench, workload, config, metric = key
+        o, n = old[key], new[key]
+        is_wall = metric == "seconds"
+        if not is_wall and not args.all:
+            continue
+        if o <= 0:
+            ratio_s = "  n/a"
+            flag = ""
+        else:
+            ratio = n / o
+            ratio_s = f"{ratio:5.2f}"
+            if is_wall and ratio > 1.0 + args.threshold:
+                flag = f"  <-- REGRESSION (> {args.threshold:.0%})"
+                regressions += 1
+            elif is_wall and ratio < 1.0 - args.threshold:
+                flag = "  (improved)"
+                improvements += 1
+            else:
+                flag = ""
+        print(f"  {bench:16s} {workload:22s} {config:18s} {metric:22s} "
+              f"{o:14.6g} -> {n:14.6g}  x{ratio_s}{flag}")
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"bench_diff: {len(only_old)} metric(s) dropped in {args.new}")
+    if only_new:
+        print(f"bench_diff: {len(only_new)} metric(s) new in {args.new}")
+    print(f"bench_diff: {len(shared)} shared metrics, "
+          f"{regressions} wall-time regression(s), {improvements} improvement(s) "
+          f"at ±{args.threshold:.0%}")
+    # Advisory: always exit 0 on a successful comparison.
+
+
+if __name__ == "__main__":
+    main()

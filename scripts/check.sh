@@ -7,6 +7,9 @@
 #   scripts/check.sh            # plain build + tests
 #   scripts/check.sh --asan     # additionally run the suite under ASan/UBSan
 #   scripts/check.sh --tsan     # additionally run core/common under TSan
+#   scripts/check.sh --bench-diff   # also diff the two newest BENCH_*.json
+#                                   # (advisory — single-core CI wall times
+#                                   # are too noisy to gate on)
 #   MOZART_CHECK_JOBS=4 scripts/check.sh   # override build/test parallelism
 set -euo pipefail
 
@@ -25,6 +28,18 @@ if [[ "${1:-}" == "--asan" ]]; then
   cmake -B build-asan -S . -DMZ_SANITIZE=address
   cmake --build build-asan -j "$jobs"
   (cd build-asan && ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ "${1:-}" == "--bench-diff" ]]; then
+  # Compare the two most recent committed bench snapshots (by PR number).
+  # Advisory: prints REGRESSION markers but never fails the check.
+  mapfile -t snaps < <(ls BENCH_PR*.json 2>/dev/null | sort -t R -k 2 -n | tail -2)
+  if [[ ${#snaps[@]} -lt 2 ]]; then
+    echo "== bench-diff: need two BENCH_PR*.json snapshots, found ${#snaps[@]} — skipping =="
+  else
+    echo "== bench-diff (advisory): ${snaps[0]} vs ${snaps[1]} =="
+    python3 scripts/bench_diff.py "${snaps[0]}" "${snaps[1]}" || true
+  fi
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

@@ -15,6 +15,20 @@ namespace mz {
 
 namespace {
 
+// First non-empty piece of a per-worker piece table (sample for splitter
+// resolution and Info probes); null when every piece is empty.
+template <typename PieceLists>
+const Value* FirstPiece(const PieceLists& per_worker_lists) {
+  for (const auto& per_worker : per_worker_lists) {
+    for (const auto& p : per_worker) {
+      if (p.piece.has_value()) {
+        return &p.piece;
+      }
+    }
+  }
+  return nullptr;
+}
+
 // Per-buffer execution state resolved at stage start.
 struct BufExec {
   const StageBuffer* def = nullptr;
@@ -139,12 +153,14 @@ void Executor::RunStage(const Stage& stage) {
   Scratch& sc = *scratch_;
   sc.Reset(nb, num_threads);
 
-  // Claim the piece sets carried into this stage. The planner guarantees
-  // they all come from one producer stage, so their per-worker range lists
-  // are identical by construction.
+  // Claim the piece sets carried into this stage. With single-producer
+  // carries the per-worker range lists are identical by construction; with
+  // multi-producer carry chains they may differ, and the reconciliation
+  // below re-batches or materializes the stragglers.
   bool takes_carries = false;
   int template_buf = -1;  // first carried buffer: defines the batch ranges
   std::int64_t carried_total = -1;
+  int chain_in_max = 0;
   if (elide) {
     for (std::size_t i = 0; i < nb; ++i) {
       if (!stage.buffers[i].carry_in) {
@@ -157,13 +173,50 @@ void Executor::RunStage(const Stage& stage) {
       sc.carried_in[i] = std::move(it->second);
       carried_.erase(it);
       sc.bufs[i].carried = true;
+      // Dynamic producers emit pieces in claim order; reconciliation and
+      // adjacency-based coalescing want each worker's list range-sorted.
+      for (auto& per_worker : sc.carried_in[i].per_worker) {
+        std::sort(per_worker.begin(), per_worker.end(),
+                  [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
+      }
       if (template_buf < 0) {
         template_buf = static_cast<int>(i);
       }
-      carried_total = sc.carried_in[i].total;
+      if (carried_total < 0) {
+        carried_total = sc.carried_in[i].total;
+      } else {
+        MZ_THROW_IF(carried_total != sc.carried_in[i].total,
+                    "carried piece sets disagree on total elements: "
+                        << carried_total << " vs " << sc.carried_in[i].total);
+      }
+      chain_in_max = std::max(chain_in_max, sc.carried_in[i].chain_len);
       takes_carries = true;
     }
   }
+
+  // Resolves buffer i as a freshly split input (split type, params,
+  // splitter, Info). Also used when a carried set materializes back into a
+  // full value during reconciliation.
+  auto resolve_fresh_input = [&](std::size_t i) {
+    const StageBuffer& def = stage.buffers[i];
+    InternedId name = def.split_name;
+    if (def.use_default_split) {
+      auto dflt = registry_->DefaultSplitTypeFor(sc.bufs[i].full.type());
+      MZ_THROW_IF(!dflt.has_value(), "no default split type registered for C++ type "
+                                         << sc.bufs[i].full.type_name());
+      name = *dflt;
+      sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
+    } else if (def.params_deferred) {
+      sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
+    } else {
+      sc.bufs[i].params = def.params;
+    }
+    sc.bufs[i].splitter = registry_->FindSplitter(name, sc.bufs[i].full.type());
+    MZ_THROW_IF(sc.bufs[i].splitter == nullptr, "no splitter registered for ("
+                                                    << InternedName(name) << ", "
+                                                    << sc.bufs[i].full.type_name() << ")");
+    sc.bufs[i].info = sc.bufs[i].splitter->Info(sc.bufs[i].full, sc.bufs[i].params);
+  };
 
   std::int64_t total = -1;
   std::int64_t sum_bpe = 0;
@@ -194,31 +247,14 @@ void Executor::RunStage(const Stage& stage) {
     if (!def.is_input) {
       continue;
     }
-    InternedId name = def.split_name;
-    if (def.use_default_split) {
-      auto dflt = registry_->DefaultSplitTypeFor(sc.bufs[i].full.type());
-      MZ_THROW_IF(!dflt.has_value(), "no default split type registered for C++ type "
-                                         << sc.bufs[i].full.type_name());
-      name = *dflt;
-      sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
-    } else if (def.params_deferred) {
-      sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
-    } else {
-      sc.bufs[i].params = def.params;
-    }
-    sc.bufs[i].splitter = registry_->FindSplitter(name, sc.bufs[i].full.type());
-    MZ_THROW_IF(sc.bufs[i].splitter == nullptr, "no splitter registered for ("
-                                                    << InternedName(name) << ", "
-                                                    << sc.bufs[i].full.type_name() << ")");
-    sc.bufs[i].info = sc.bufs[i].splitter->Info(sc.bufs[i].full, sc.bufs[i].params);
+    resolve_fresh_input(i);
     if (total < 0) {
       total = sc.bufs[i].info.total_elements;
     } else {
       MZ_THROW_IF(total != sc.bufs[i].info.total_elements,
-                  "stage inputs disagree on total elements: " << total << " vs "
-                                                              << sc.bufs[i].info.total_elements
-                                                              << " (split " << InternedName(name)
-                                                              << ")");
+                  "stage inputs disagree on total elements: "
+                      << total << " vs " << sc.bufs[i].info.total_elements << " (slot "
+                      << def.slot << ")");
     }
     sum_bpe += sc.bufs[i].info.bytes_per_element;
   }
@@ -229,37 +265,6 @@ void Executor::RunStage(const Stage& stage) {
     total = carried_total;
   }
   MZ_CHECK_MSG(total >= 0, "non-serial stage with no split inputs");
-
-  std::int64_t batch = 0;
-  std::int64_t chunk = 0;
-  if (!takes_carries) {
-    batch = opts_.batch_override;
-    if (batch <= 0) {
-      batch = HeuristicBatchElems(sum_bpe);
-      if (batch == 0) {
-        // No input reports a memory footprint; fall back to one batch per
-        // worker.
-        batch = std::max<std::int64_t>(1, (total + pool_->num_threads() - 1) /
-                                              pool_->num_threads());
-      }
-    }
-    batch = std::clamp<std::int64_t>(batch, 1, std::max<std::int64_t>(total, 1));
-    chunk = (std::max<std::int64_t>(total, 1) + num_threads - 1) / num_threads;
-    MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
-                  << " elems, batch=" << batch << " (sum_bpe=" << sum_bpe << ")";
-  } else {
-    // Piece-driven: the carried ranges define the batch structure.
-    if (dynamic && template_buf >= 0) {
-      const auto& lists = sc.carried_in[static_cast<std::size_t>(template_buf)].per_worker;
-      for (std::size_t w = 0; w < lists.size(); ++w) {
-        for (std::size_t idx = 0; idx < lists[w].size(); ++idx) {
-          sc.flat.emplace_back(static_cast<int>(w), idx);
-        }
-      }
-    }
-    MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
-                  << " elems, piece-driven (carried)";
-  }
 
   std::atomic<std::int64_t> cursor{0};       // dynamic mode: next unclaimed batch
   std::atomic<std::size_t> piece_cursor{0};  // dynamic carried mode
@@ -305,6 +310,401 @@ void Executor::RunStage(const Stage& stage) {
                                                         << sample_piece.type_name() << ")");
     return s;
   };
+
+  // Same resolution, but returning the owning handle (deferred merges
+  // outlive this evaluation and must pin their splitter registration).
+  auto merge_splitter_shared_for = [&](std::size_t i, const Value& sample_piece)
+      -> std::shared_ptr<const Splitter> {
+    const StageBuffer& def = stage.buffers[i];
+    InternedId name = def.split_name;
+    if (def.merge_by_piece_type || def.split_name == 0) {
+      auto dflt = registry_->DefaultSplitTypeFor(sample_piece.type());
+      MZ_THROW_IF(!dflt.has_value(), "no default split type for produced value of C++ type "
+                                         << sample_piece.type_name());
+      name = *dflt;
+    }
+    std::shared_ptr<const Splitter> s = registry_->FindSplitterShared(name, sample_piece.type());
+    if (s == nullptr) {
+      auto dflt = registry_->DefaultSplitTypeFor(sample_piece.type());
+      if (dflt.has_value() && *dflt != name) {
+        s = registry_->FindSplitterShared(*dflt, sample_piece.type());
+      }
+    }
+    MZ_THROW_IF(s == nullptr, "no merge splitter for (" << InternedName(name) << ", "
+                                                        << sample_piece.type_name() << ")");
+    return s;
+  };
+
+  // Footprint model (§5.2 extension): produced values and carried pieces
+  // are part of the batch's working set too. Carried pieces are live — a
+  // sample piece's Info() beats any static hint (it knows matrix row widths,
+  // string columns, corpus doc sizes); produced values fall back to the
+  // planner's splitter-declared widths (elem_bytes_hint).
+  if (opts_.batch_per_stage) {
+    for (std::size_t i = 0; i < nb; ++i) {
+      const StageBuffer& def = stage.buffers[i];
+      if (def.is_broadcast) {
+        continue;
+      }
+      if (!sc.bufs[i].carried && def.is_input) {
+        continue;  // fresh inputs already contributed their Info() width
+      }
+      std::int64_t bpe = def.elem_bytes_hint;
+      if (sc.bufs[i].carried) {
+        const Value* sample = FirstPiece(sc.carried_in[i].per_worker);
+        if (sample != nullptr) {
+          try {
+            const Splitter* s = merge_splitter_for(i, *sample);
+            RuntimeInfo piece_info = s->Info(*sample, merge_params_for(i));
+            if (piece_info.bytes_per_element > 0) {
+              bpe = piece_info.bytes_per_element;
+            }
+          } catch (const std::exception&) {
+            // Unsizable pieces keep the static hint.
+          }
+        }
+      }
+      sum_bpe += bpe;
+    }
+  }
+
+  // Per-stage batch from the footprint sum. Carried stages need it too: it
+  // is the yardstick the re-batching decision measures the inherited piece
+  // granularity against.
+  std::int64_t batch = opts_.batch_override;
+  if (batch <= 0) {
+    batch = HeuristicBatchElems(sum_bpe);
+    if (batch == 0) {
+      // No buffer reports a memory footprint; fall back to one batch per
+      // worker.
+      batch = std::max<std::int64_t>(1, (total + num_threads - 1) / num_threads);
+    }
+  }
+  batch = std::clamp<std::int64_t>(batch, 1, std::max<std::int64_t>(total, 1));
+  const std::int64_t chunk = (std::max<std::int64_t>(total, 1) + num_threads - 1) / num_threads;
+
+  // Effective per-batch granularity this stage actually runs at (for the
+  // footprint_bytes_max gauge): the batch size, or the largest carried
+  // piece after reconciliation.
+  std::int64_t granularity = batch;
+
+  // Reconciles the carried piece sets with this stage's batch choice
+  // (footprint-aware re-batching) and with each other (multi-producer carry
+  // chains). The template set's ranges define the stage's final batch
+  // structure; every other carried buffer is brought to that exact
+  // structure — kept as-is, transformed piecewise, rebuilt by re-slicing an
+  // identity stream's full value, or (last resort) materialized into the
+  // slot and re-split like a fresh input. Returns the largest piece length
+  // of the final structure.
+  auto reconcile_carried = [&]() -> std::int64_t {
+    CarriedSet& tset = sc.carried_in[static_cast<std::size_t>(template_buf)];
+
+    auto same_structure = [](const CarriedSet& a, const CarriedSet& b) {
+      if (a.per_worker.size() != b.per_worker.size()) {
+        return false;
+      }
+      for (std::size_t w = 0; w < a.per_worker.size(); ++w) {
+        const auto& x = a.per_worker[w];
+        const auto& y = b.per_worker[w];
+        if (x.size() != y.size()) {
+          return false;
+        }
+        for (std::size_t j = 0; j < x.size(); ++j) {
+          if (x[j].start != y[j].start || x[j].end != y[j].end) {
+            return false;
+          }
+        }
+      }
+      return true;
+    };
+
+    std::int64_t npieces = 0;
+    for (const auto& per_worker : tset.per_worker) {
+      npieces += static_cast<std::int64_t>(per_worker.size());
+    }
+
+    // Re-batch direction, measured on the template set: inherited pieces
+    // much larger than this stage's batch overflow its working-set budget
+    // (subdivide); much smaller ones pay per-piece overhead (coalesce,
+    // but never below one piece per worker — that is the parallelism).
+    enum class Op { kNone, kSubdivide, kCoalesce };
+    Op op = Op::kNone;
+    const double thresh = opts_.rebatch_threshold;
+    if (opts_.batch_per_stage && thresh > 0 && total > 0 && npieces > 0) {
+      const double avg = static_cast<double>(total) / static_cast<double>(npieces);
+      if (avg > static_cast<double>(batch) * thresh) {
+        op = Op::kSubdivide;
+      } else if (avg * thresh < static_cast<double>(batch) && npieces > num_threads) {
+        op = Op::kCoalesce;
+      }
+    }
+
+    // What each carried buffer can do. Identity streams with a live full
+    // value re-slice it at any granularity (pure pointer arithmetic);
+    // otherwise pieces subdivide through their own splitter when it
+    // declares can_subdivide, and coalesce through their merge.
+    struct Cap {
+      bool identity_full = false;
+      const Splitter* full_splitter = nullptr;
+      const Splitter* piece_splitter = nullptr;
+      bool piece_subdivide = false;
+    };
+    auto capability_of = [&](std::size_t i) {
+      Cap cap;
+      const StageBuffer& def = stage.buffers[i];
+      if (sc.bufs[i].full.has_value()) {
+        InternedId name = 0;
+        if (!def.use_default_split && !def.params_deferred && def.split_name != 0) {
+          name = def.split_name;
+        } else if (auto dflt = registry_->DefaultSplitTypeFor(sc.bufs[i].full.type());
+                   dflt.has_value()) {
+          name = *dflt;
+        }
+        if (name != 0) {
+          const Splitter* s = registry_->FindSplitter(name, sc.bufs[i].full.type());
+          if (s != nullptr && s->traits().merge_is_identity) {
+            cap.identity_full = true;
+            cap.full_splitter = s;
+            if (sc.bufs[i].params.empty() && (def.use_default_split || def.params_deferred)) {
+              sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
+            }
+          }
+        }
+      }
+      if (const Value* sample = FirstPiece(sc.carried_in[i].per_worker)) {
+        try {
+          cap.piece_splitter = merge_splitter_for(i, *sample);
+        } catch (const std::exception&) {
+          cap.piece_splitter = nullptr;  // no merge path; identity may still apply
+        }
+        if (cap.piece_splitter != nullptr) {
+          cap.piece_subdivide = cap.piece_splitter->traits().can_subdivide;
+        }
+      }
+      return cap;
+    };
+
+    std::vector<Cap> caps(nb);
+    std::vector<bool> matches(nb, false);
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (!sc.bufs[i].carried) {
+        continue;
+      }
+      caps[i] = capability_of(i);
+      matches[i] = static_cast<int>(i) == template_buf || same_structure(sc.carried_in[i], tset);
+    }
+
+    const Cap& tcap = caps[static_cast<std::size_t>(template_buf)];
+    if (op == Op::kSubdivide && !(tcap.identity_full || tcap.piece_subdivide)) {
+      op = Op::kNone;  // the structure-defining set cannot re-cut: inherit
+    }
+    if (op == Op::kCoalesce && !(tcap.identity_full || tcap.piece_splitter != nullptr)) {
+      op = Op::kNone;
+    }
+
+    // Final range structure with provenance into the template set's (sorted)
+    // ranges. Subdivision cuts single pieces, coalescing groups *adjacent*
+    // whole pieces; both stay within one worker's list, preserving worker
+    // affinity and the order tags that dynamic merges sort by.
+    struct FinalRange {
+      std::int64_t start = 0;
+      std::int64_t end = 0;
+      std::size_t src_lo = 0;  // [src_lo, src_hi) source piece indices
+      std::size_t src_hi = 0;
+    };
+    std::vector<std::vector<FinalRange>> final_ranges(static_cast<std::size_t>(num_threads));
+    std::int64_t max_len = 0;
+    for (int w = 0; w < num_threads; ++w) {
+      const auto& src = tset.per_worker[static_cast<std::size_t>(w)];
+      auto& dst = final_ranges[static_cast<std::size_t>(w)];
+      if (op == Op::kSubdivide) {
+        for (std::size_t j = 0; j < src.size(); ++j) {
+          if (src[j].start >= src[j].end) {
+            dst.push_back({src[j].start, src[j].end, j, j + 1});
+            continue;
+          }
+          for (std::int64_t s = src[j].start; s < src[j].end; s += batch) {
+            dst.push_back({s, std::min(src[j].end, s + batch), j, j + 1});
+          }
+        }
+      } else if (op == Op::kCoalesce) {
+        std::size_t j = 0;
+        while (j < src.size()) {
+          std::size_t k = j + 1;
+          while (k < src.size() && src[k].start == src[k - 1].end &&
+                 src[k].end - src[j].start <= batch) {
+            ++k;
+          }
+          dst.push_back({src[j].start, src[k - 1].end, j, k});
+          j = k;
+        }
+      } else {
+        for (std::size_t j = 0; j < src.size(); ++j) {
+          dst.push_back({src[j].start, src[j].end, j, j + 1});
+        }
+      }
+      for (const FinalRange& r : dst) {
+        max_len = std::max(max_len, r.end - r.start);
+      }
+    }
+
+    // Per-buffer plan: keep, rebuild from the full value, transform
+    // piecewise, or materialize.
+    enum class Mode { kKeep, kRebuild, kPiecewise, kMaterialize };
+    std::vector<Mode> modes(nb, Mode::kKeep);
+    bool any_transform = false;
+    bool any_rebatch = false;
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (!sc.bufs[i].carried) {
+        continue;
+      }
+      if (matches[i]) {
+        if (op == Op::kNone) {
+          modes[i] = Mode::kKeep;
+        } else if (caps[i].identity_full) {
+          modes[i] = Mode::kRebuild;
+        } else if (op == Op::kSubdivide ? caps[i].piece_subdivide
+                                        : caps[i].piece_splitter != nullptr) {
+          modes[i] = Mode::kPiecewise;
+        } else {
+          modes[i] = Mode::kMaterialize;
+        }
+      } else {
+        // Different producer, different range structure: re-slice identity
+        // streams straight to the final structure, everything else
+        // materializes (sound: merging at consume time is what the
+        // non-carried path would have done at the boundary).
+        modes[i] = caps[i].identity_full ? Mode::kRebuild : Mode::kMaterialize;
+      }
+      if (modes[i] == Mode::kRebuild || modes[i] == Mode::kPiecewise) {
+        any_transform = true;
+        if (matches[i] && op != Op::kNone) {
+          any_rebatch = true;
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (!sc.bufs[i].carried || modes[i] != Mode::kMaterialize) {
+        continue;
+      }
+      CarriedSet& set = sc.carried_in[i];
+      std::vector<OrderedPiece> all;
+      for (auto& per_worker : set.per_worker) {
+        all.insert(all.end(), std::make_move_iterator(per_worker.begin()),
+                   std::make_move_iterator(per_worker.end()));
+      }
+      std::sort(all.begin(), all.end(),
+                [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
+      std::vector<Value> parts;
+      parts.reserve(all.size());
+      for (OrderedPiece& p : all) {
+        if (p.piece.has_value()) {
+          parts.push_back(std::move(p.piece));
+        }
+      }
+      if (!parts.empty()) {
+        const Splitter* ms = merge_splitter_for(i, parts.front());
+        sc.bufs[i].full = ms->Merge(sc.bufs[i].full, std::move(parts), merge_params_for(i));
+      }
+      MZ_THROW_IF(!sc.bufs[i].full.has_value(),
+                  "cannot materialize carried pieces for slot " << stage.buffers[i].slot);
+      sc.bufs[i].carried = false;
+      set = CarriedSet{};
+      resolve_fresh_input(i);
+      MZ_THROW_IF(sc.bufs[i].info.total_elements != total,
+                  "materialized carried value disagrees on total elements: "
+                      << sc.bufs[i].info.total_elements << " vs " << total);
+    }
+
+    if (any_transform) {
+      std::mutex rebatch_error_mu;
+      std::exception_ptr rebatch_error;
+      pool_->RunOnAllWorkers([&](int w) {
+        try {
+          SplitContext ctx{w, num_threads};
+          for (std::size_t i = 0; i < nb; ++i) {
+            if (!sc.bufs[i].carried || modes[i] == Mode::kKeep) {
+              continue;
+            }
+            const auto& fr = final_ranges[static_cast<std::size_t>(w)];
+            auto& old = sc.carried_in[i].per_worker[static_cast<std::size_t>(w)];
+            std::vector<OrderedPiece> fresh;
+            fresh.reserve(fr.size());
+            for (const FinalRange& r : fr) {
+              if (modes[i] == Mode::kRebuild) {
+                fresh.push_back({r.start, r.end,
+                                 caps[i].full_splitter->Split(sc.bufs[i].full, r.start, r.end,
+                                                              sc.bufs[i].params, ctx)});
+              } else if (op == Op::kSubdivide) {
+                OrderedPiece& src = old[r.src_lo];
+                if (r.start == src.start && r.end == src.end) {
+                  fresh.push_back({r.start, r.end, std::move(src.piece)});
+                } else {
+                  fresh.push_back(
+                      {r.start, r.end,
+                       caps[i].piece_splitter->Split(src.piece, r.start - src.start,
+                                                     r.end - src.start, sc.bufs[i].params, ctx)});
+                }
+              } else {  // coalesce
+                if (r.src_hi - r.src_lo == 1) {
+                  fresh.push_back({r.start, r.end, std::move(old[r.src_lo].piece)});
+                } else {
+                  std::vector<Value> group;
+                  group.reserve(r.src_hi - r.src_lo);
+                  for (std::size_t j = r.src_lo; j < r.src_hi; ++j) {
+                    group.push_back(std::move(old[j].piece));
+                  }
+                  // sc.bufs[i].full is empty for produced owned streams; a
+                  // splitter whose Merge needs the original gets it when the
+                  // slot still holds one.
+                  fresh.push_back(
+                      {r.start, r.end,
+                       caps[i].piece_splitter->Merge(sc.bufs[i].full, std::move(group),
+                                                     merge_params_for(i))});
+                }
+              }
+            }
+            old = std::move(fresh);
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(rebatch_error_mu);
+          if (!rebatch_error) {
+            rebatch_error = std::current_exception();
+          }
+        }
+      });
+      if (rebatch_error) {
+        std::rethrow_exception(rebatch_error);
+      }
+    }
+    if (any_rebatch) {
+      stats_->stages_rebatched.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::max<std::int64_t>(max_len, 1);
+  };
+
+  if (takes_carries) {
+    granularity = reconcile_carried();
+    // Piece-driven: the (reconciled) carried ranges define the batch
+    // structure. Dynamic workers steal from the flattened piece list.
+    if (dynamic && template_buf >= 0) {
+      const auto& lists = sc.carried_in[static_cast<std::size_t>(template_buf)].per_worker;
+      for (std::size_t w = 0; w < lists.size(); ++w) {
+        for (std::size_t idx = 0; idx < lists[w].size(); ++idx) {
+          sc.flat.emplace_back(static_cast<int>(w), idx);
+        }
+      }
+    }
+    MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
+                  << " elems, piece-driven (carried, granularity<=" << granularity << ")";
+  } else {
+    MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
+                  << " elems, batch=" << batch << " (sum_bpe=" << sum_bpe << ")";
+  }
+  if (collect && sum_bpe > 0 && granularity > 0) {
+    EvalStats::MaxInto(stats_->footprint_bytes_max, granularity * sum_bpe);
+  }
 
   std::mutex error_mu;
   std::exception_ptr first_error;
@@ -494,13 +894,7 @@ void Executor::RunStage(const Stage& stage) {
         // Best-effort accounting of the merge traffic this elision avoided.
         // Identity merges move no bytes and contribute nothing.
         try {
-          const Value* sample = nullptr;
-          for (const auto& per_worker : sc.pieces[i]) {
-            if (!per_worker.empty() && per_worker.front().piece.has_value()) {
-              sample = &per_worker.front().piece;
-              break;
-            }
-          }
+          const Value* sample = FirstPiece(sc.pieces[i]);
           if (sample != nullptr) {
             const Splitter* ms = merge_splitter_for(i, *sample);
             if (!ms->traits().merge_is_identity) {
@@ -524,13 +918,44 @@ void Executor::RunStage(const Stage& stage) {
       }
       MZ_CHECK_MSG(carried_.count(def.slot) == 0,
                    "slot " << def.slot << " already has carried pieces in flight");
+      if (def.deferred_merge) {
+        // Lazy merge-on-get: the slot is pinned by a live Future, so park an
+        // ordered copy of the pieces (cheap: Values share holders) plus the
+        // merge recipe on the slot. Future::get() — or a later capture
+        // referencing the slot — merges on demand; if the Future dies
+        // unread, the merge never happens at all.
+        std::vector<OrderedPiece> ordered;
+        for (const auto& per_worker : sc.pieces[i]) {
+          ordered.insert(ordered.end(), per_worker.begin(), per_worker.end());
+        }
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
+        auto state = std::make_shared<DeferredMergeState>();
+        state->pieces.reserve(ordered.size());
+        for (OrderedPiece& p : ordered) {
+          if (p.piece.has_value()) {
+            state->pieces.push_back(std::move(p.piece));
+          }
+        }
+        if (!state->pieces.empty()) {
+          state->splitter = merge_splitter_shared_for(i, state->pieces.front());
+          state->original = sc.bufs[i].full;
+          std::span<const std::int64_t> params = merge_params_for(i);
+          state->params.assign(params.begin(), params.end());
+          graph_->slot(def.slot).deferred = std::move(state);
+          stats_->deferred_merges.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       CarriedSet set;
       set.per_worker = std::move(sc.pieces[i]);
       set.total = total;
+      set.chain_len = chain_in_max + 1;
+      EvalStats::MaxInto(stats_->carry_chain_len_max, set.chain_len);
       carried_.emplace(def.slot, std::move(set));
       // The slot is satisfied by the pieces in flight: identity streams keep
       // their full value, owned streams are consumed wholesale by the next
-      // stage and can never be observed merged.
+      // stage and can never be observed merged (unless a deferred merge
+      // parked them above for a lazy merge-on-get).
       graph_->slot(def.slot).pending = false;
     }
   }

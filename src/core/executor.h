@@ -20,6 +20,21 @@
 // elide_boundaries ablates this at execution time: with it off, the carry
 // marks are ignored and every boundary merges and re-splits as the paper
 // describes.
+//
+// Footprint-aware per-stage batching: each stage's batch is sized from the
+// bytes *that stage* keeps live per element — Info() for freshly split
+// inputs plus the planner's splitter-declared hints for produced values and
+// carried pieces (StageBuffer::elem_bytes_hint). When a consuming stage's
+// chosen granularity diverges from its carried pieces by more than
+// rebatch_threshold, the pieces are re-batched before the stage runs:
+// subdivided (identity streams re-slice the original storage — pointer
+// arithmetic; owned streams re-Split their own pieces when the splitter
+// declares can_subdivide) or coalesced per worker (adjacent pieces merged
+// toward the target batch), preserving order tags and worker affinity.
+// Carried sets whose range structure cannot be reconciled (e.g. a second
+// producer stage under dynamic scheduling) are materialized — merged into
+// the slot and re-split like a fresh input — so multi-producer carry chains
+// degrade gracefully instead of erroring.
 #ifndef MOZART_CORE_EXECUTOR_H_
 #define MOZART_CORE_EXECUTOR_H_
 
@@ -53,6 +68,17 @@ struct ExecOptions {
   // Honor the planner's stage-boundary carry marks (piece passing). Off =
   // the ablation: merge at every stage exit, re-split at every entry.
   bool elide_boundaries = true;
+  // Footprint-aware per-stage batching: include produced values and carried
+  // pieces (via StageBuffer::elem_bytes_hint) in the batch-size footprint,
+  // and re-batch carried pieces whose granularity diverges from the stage's
+  // choice. Off = the pre-footprint behavior: only freshly split inputs
+  // count and carried stages inherit the producer's granularity verbatim.
+  bool batch_per_stage = true;
+  // Re-batch a carried stage when its piece granularity is more than this
+  // factor away from the stage's chosen batch (avg piece > threshold×batch
+  // coalesces nothing but subdivides; avg×threshold < batch coalesces).
+  // <= 0 disables re-batching while keeping the footprint model.
+  double rebatch_threshold = 2.0;
 };
 
 class Executor {
@@ -83,10 +109,13 @@ class Executor {
 
   // Pieces handed across a stage boundary instead of being merged:
   // per-worker piece lists (aligned by index across all buffers carried from
-  // the same producer stage) plus the producer's element total.
+  // the same producer stage) plus the producer's element total and how many
+  // consecutive carried boundaries this stream has crossed (chain length —
+  // feeds EvalStats::carry_chain_len_max).
   struct CarriedSet {
     std::vector<std::vector<OrderedPiece>> per_worker;
     std::int64_t total = -1;
+    int chain_len = 1;
   };
 
   // Reusable per-run scratch (pieces/partials/per-worker cursors), so

@@ -10,7 +10,10 @@ namespace {
 
 // Fingerprint format version: bump when the word stream changes so stale
 // processes (or a future persisted cache) can never mix formats.
-constexpr std::uint64_t kFormatVersion = 1;
+// v2: per-arg-slot default-split totals probe (the planner's stage totals
+// probe reads value lengths — unbound-generic streams of different lengths
+// plan differently, so the lengths must key differently too).
+constexpr std::uint64_t kFormatVersion = 2;
 // Marker hashed in place of ctor parameters when the constructor defers
 // (nullopt: a parameter depends on a still-pending value).
 constexpr std::uint64_t kDeferredCtor = 0x9e3779b97f4a7c15ull;
@@ -80,6 +83,11 @@ RangeFingerprint FingerprintRange(const TaskGraph& graph, const Registry& regist
       sink.Put(slot_flags(slot));
       if (slot.value.has_value()) {
         sink.Put(static_cast<std::uint64_t>(slot.value.type().hash_code()));
+        // The planner's stage totals probe (planner.cc) turns unbound-
+        // generic streams of different lengths into stage breaks, so the
+        // probed length is a planner input and must be part of the key.
+        std::optional<std::int64_t> probe = registry.ProbeTotalElements(slot.value);
+        sink.Put(probe.has_value() ? static_cast<std::uint64_t>(*probe) + 1 : 0);
       }
     }
     if (has_ret) {

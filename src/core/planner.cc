@@ -187,6 +187,41 @@ Plan Planner::Build(int first_node, int end_node) {
   std::unordered_map<InternedId, std::vector<std::int64_t>> stage_types;
   int stage_last_node = -1;
 
+  // Stage totals probe. Unbound-generic / unknown streams carry no size in
+  // their types, so two independent chains of different lengths could
+  // co-reside in a stage (no concrete-name conflict) and only fail at
+  // execution with "stage inputs disagree on total elements". Probe such
+  // streams' materialized sources through their default split types
+  // (Registry::ProbeTotalElements — also hashed by the plan-cache
+  // fingerprint, so cached plans reproduce the breaks), propagate the totals
+  // along inference classes, and turn a disagreement into a stage break like
+  // the concrete-name case.
+  std::unordered_map<int, std::int64_t> class_totals;  // class root → probed total
+  std::int64_t stage_probe = -1;
+  auto probe_of_arg = [&](SlotId s, int c) -> std::optional<std::int64_t> {
+    int root = Find(c);
+    const Class& cls = classes_[static_cast<std::size_t>(root)];
+    if (cls.bound && !cls.type.is_unknown()) {
+      return std::nullopt;  // concrete: sized by ctor params, not probed
+    }
+    if (cls.name_constraint != kNoConstraint) {
+      return std::nullopt;  // deferred concrete ctor: params arrive late
+    }
+    const Slot& slot = graph_.slot(s);
+    if (slot.value.has_value()) {
+      std::optional<std::int64_t> t = registry_.ProbeTotalElements(slot.value);
+      if (t.has_value()) {
+        class_totals.emplace(root, *t);
+        return t;
+      }
+    }
+    auto it = class_totals.find(root);
+    if (it != class_totals.end()) {
+      return it->second;  // pending value: total flows from the chain's source
+    }
+    return std::nullopt;
+  };
+
   // Finalizes produced buffers' is_output flags and appends the stage.
   auto close_stage = [&] {
     if (cur.funcs.empty()) {
@@ -211,6 +246,7 @@ Plan Planner::Build(int first_node, int end_node) {
     split_buf.clear();
     broadcast_buf.clear();
     stage_types.clear();
+    stage_probe = -1;
   };
 
   // True when a bound concrete type conflicts with a same-named type already
@@ -333,6 +369,11 @@ Plan Planner::Build(int first_node, int end_node) {
         break_needed = true;
         continue;
       }
+      if (std::optional<std::int64_t> probe = probe_of_arg(s, c);
+          probe.has_value() && stage_probe >= 0 && *probe != stage_probe) {
+        break_needed = true;  // totals probe: streams of different lengths
+        continue;
+      }
       if (it != split_buf.end()) {
         int buf_cls = cur.buffers[static_cast<std::size_t>(it->second)].class_id;
         int ra = Find(c);
@@ -385,6 +426,10 @@ Plan Planner::Build(int first_node, int end_node) {
         if (ann.args()[i].is_mut) {
           cur.buffers[static_cast<std::size_t>(buf_idx)].is_output = true;
         }
+        if (std::optional<std::int64_t> probe = probe_of_arg(s, c);
+            probe.has_value() && stage_probe < 0) {
+          stage_probe = *probe;
+        }
       }
       pf.args.push_back({buf_idx});
     }
@@ -409,6 +454,7 @@ Plan Planner::Build(int first_node, int end_node) {
   }
   close_stage();
   AnnotateCarries(&plan);
+  AnnotateFootprints(&plan);
 
   MZ_LOG(Debug) << "planned " << plan.stages.size() << " stage(s) for nodes [" << first_node
                 << ", " << end_node << ")";
@@ -438,15 +484,26 @@ Plan Planner::Build(int first_node, int end_node) {
 //           additional consuming stages are all fine and only the *first*
 //           consuming stage takes pieces; or
 //       (b) owned: nothing outside `s2` can observe the merged value — the
-//           slot is not external, holds no live Future handles, and every
-//           in-plan reference sits in `s2` as that one split input.
+//           slot is not external and every in-plan reference sits in `s2`
+//           as that one split input. A live Future handle no longer forces
+//           the merge: when the consumer reads the stream immutably, the
+//           buffer carries with `deferred_merge` set and the executor parks
+//           the ordered pieces on the slot for a lazy merge-on-get
+//           (Slot::deferred) — the common hold-every-intermediate-future
+//           client pattern still gets the elision.
 //  3. The stream can be re-consumed piecewise at all: concrete streams whose
 //     split type is merge-only (reductions, partial aggregations) never
 //     carry — their pieces are not positional slices of the source range.
 //
 // Per consuming stage, two structural rules keep execution well-defined:
-//  * all carried-in buffers must come from ONE producer stage (their piece
-//    range sets are identical by construction);
+//  * carried-in buffers normally come from ONE producer stage (their piece
+//    range sets are identical by construction). Carries from *multiple*
+//    producer stages — the multi-hop case where a stream skips over an
+//    intermediate carried stage — are kept only when every carried stream
+//    is aligned (bound concrete), because then each set's range tags are
+//    positional slices of the same element space and the executor can
+//    reconcile differing range structures by re-batching (or, failing
+//    that, materialize the stragglers at consume time);
 //  * a consuming stage may mix carried buffers with freshly split inputs
 //    only if every carried stream is "aligned" — a bound concrete type whose
 //    pieces cover the source ranges [start, end) — so the fresh inputs can
@@ -461,6 +518,7 @@ void Planner::AnnotateCarries(Plan* plan) {
     int consumer_stage = -1;
     int consumer_buf = -1;
     bool aligned = false;
+    bool deferred = false;  // live-Future pin: park pieces for merge-on-get
   };
   std::vector<Candidate> candidates;
 
@@ -560,40 +618,60 @@ void Planner::AnnotateCarries(Plan* plan) {
           identity = sp != nullptr && sp->traits().merge_is_identity;
         }
       }
+      bool deferred = false;
       if (!identity) {
-        const bool observable = slot.external || slot.external_refs > 0;
-        if (observable || later_consumers || first_has_broadcast) {
+        if (slot.external || later_consumers || first_has_broadcast) {
           continue;
         }
+        if (slot.external_refs > 0) {
+          // Pinned by a live Future. The pieces the consumer sees share
+          // storage with the pieces we would park on the slot, so defer the
+          // merge into Future::get() only when the consumer reads them
+          // immutably.
+          if (cb.is_output) {
+            continue;
+          }
+          deferred = true;
+        }
       }
-      candidates.push_back({s, bi, first_cs, first_cb, concrete});
+      candidates.push_back({s, bi, first_cs, first_cb, concrete, deferred});
     }
   }
 
-  // Per consuming stage: keep carries from a single producer stage (the one
-  // contributing the most buffers; ties go to the earliest), then drop
-  // non-aligned carries when the stage still has freshly split inputs.
+  // Per consuming stage: keep carries from multiple producer stages when
+  // every candidate stream is aligned (bound concrete — the executor can
+  // reconcile their differing range structures by re-batching); otherwise
+  // fall back to a single producer stage (the one contributing the most
+  // buffers; ties go to the earliest). Then drop non-aligned carries when
+  // the stage still has freshly split inputs.
   std::unordered_map<int, std::vector<Candidate>> by_consumer;
   for (const Candidate& c : candidates) {
     by_consumer[c.consumer_stage].push_back(c);
   }
   for (auto& [cs, cands] : by_consumer) {
     std::unordered_map<int, int> producer_count;
+    bool all_aligned = true;
     for (const Candidate& c : cands) {
       producer_count[c.producer_stage]++;
-    }
-    int best_producer = -1;
-    int best_count = 0;
-    for (const auto& [p, count] : producer_count) {
-      if (count > best_count || (count == best_count && (best_producer < 0 || p < best_producer))) {
-        best_producer = p;
-        best_count = count;
-      }
+      all_aligned = all_aligned && c.aligned;
     }
     std::vector<Candidate> kept;
-    for (const Candidate& c : cands) {
-      if (c.producer_stage == best_producer) {
-        kept.push_back(c);
+    if (producer_count.size() == 1 || all_aligned) {
+      kept = cands;  // one structure, or positionally reconcilable sets
+    } else {
+      int best_producer = -1;
+      int best_count = 0;
+      for (const auto& [p, count] : producer_count) {
+        if (count > best_count ||
+            (count == best_count && (best_producer < 0 || p < best_producer))) {
+          best_producer = p;
+          best_count = count;
+        }
+      }
+      for (const Candidate& c : cands) {
+        if (c.producer_stage == best_producer) {
+          kept.push_back(c);
+        }
       }
     }
 
@@ -619,12 +697,71 @@ void Planner::AnnotateCarries(Plan* plan) {
       // carries remain and those tolerate fresh inputs, one pass suffices.
     }
     for (const Candidate& c : kept) {
-      plan->stages[static_cast<std::size_t>(c.producer_stage)]
-          .buffers[static_cast<std::size_t>(c.producer_buf)]
-          .carry_out = true;
+      StageBuffer& pb = plan->stages[static_cast<std::size_t>(c.producer_stage)]
+                            .buffers[static_cast<std::size_t>(c.producer_buf)];
+      pb.carry_out = true;
+      pb.deferred_merge = c.deferred;
       plan->stages[static_cast<std::size_t>(c.producer_stage)].feeds_carries = true;
       cstage.buffers[static_cast<std::size_t>(c.consumer_buf)].carry_in = true;
       cstage.takes_carries = true;
+    }
+  }
+}
+
+// Per-stage footprint model: record each buffer's splitter-declared
+// bytes-per-element so the executor can size the stage's batch by the sum
+// over *all* live buffers — inputs it will Info() directly, plus produced
+// values and carried pieces it cannot. Everything here is a pure function of
+// fingerprinted planner inputs (split names, held C++ types, registry
+// version), so plan-cache templates reproduce the hints bit-identically.
+void Planner::AnnotateFootprints(Plan* plan) {
+  // First pass — stream default types: an unbound generic chain's element
+  // width comes from its materialized source's C++ type; propagate it along
+  // the inference class so *produced* buffers of the chain (pending slots,
+  // nothing to inspect) still contribute their width.
+  std::unordered_map<int, InternedId> class_defaults;
+  for (Stage& stage : plan->stages) {
+    if (stage.serial) {
+      continue;
+    }
+    for (StageBuffer& buf : stage.buffers) {
+      if (buf.is_broadcast || buf.class_id < 0) {
+        continue;
+      }
+      const Slot& slot = graph_.slot(buf.slot);
+      if (!slot.value.has_value()) {
+        continue;
+      }
+      if (auto dflt = registry_.DefaultSplitTypeFor(slot.value.type()); dflt.has_value()) {
+        class_defaults.emplace(buf.class_id, *dflt);
+      }
+    }
+  }
+  for (Stage& stage : plan->stages) {
+    if (stage.serial) {
+      continue;
+    }
+    for (StageBuffer& buf : stage.buffers) {
+      if (buf.is_broadcast) {
+        continue;
+      }
+      InternedId name = buf.split_name;
+      if (name == 0) {
+        const Slot& slot = graph_.slot(buf.slot);
+        if (slot.value.has_value()) {
+          if (auto dflt = registry_.DefaultSplitTypeFor(slot.value.type()); dflt.has_value()) {
+            name = *dflt;
+          }
+        }
+      }
+      if (name == 0 && buf.class_id >= 0) {
+        if (auto it = class_defaults.find(buf.class_id); it != class_defaults.end()) {
+          name = it->second;
+        }
+      }
+      if (name != 0) {
+        buf.elem_bytes_hint = registry_.ElementWidthForSplitType(name);
+      }
     }
   }
 }

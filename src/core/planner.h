@@ -80,6 +80,24 @@ struct StageBuffer {
   bool carry_out = false;
   bool carry_in = false;
 
+  // Lazy merge-on-get: this carry_out buffer's slot is pinned by a live
+  // Future, so the executor parks the ordered pieces on the slot
+  // (Slot::deferred) instead of merging; Future::get() — or a later capture
+  // referencing the slot — merges on demand. Only set together with
+  // carry_out on owned (non-identity) streams whose consumer reads them
+  // immutably.
+  bool deferred_merge = false;
+
+  // Per-stage footprint model (§5.2 extension): the splitter-declared
+  // bytes-per-element of this buffer's stream (SplitterTraits::
+  // element_width via the registry). The executor prefers live Info() for
+  // freshly split inputs and falls back to this hint for buffers it cannot
+  // Info() — produced values and carried pieces — so each stage's batch is
+  // sized by the bytes *that stage* keeps live per element. Derived purely
+  // from fingerprinted inputs (split names, value C++ types, registry
+  // version), so plan templates reproduce it bit-identically.
+  std::int64_t elem_bytes_hint = 0;
+
   // Planning-internal: inference class root for same-stream checks.
   int class_id = -1;
   std::string debug_type;
@@ -139,6 +157,10 @@ class Planner {
   // split stream, sound to skip the merge, consuming stage batchable from
   // the carried ranges). See the rules in planner.cc.
   void AnnotateCarries(Plan* plan);
+
+  // Post-pass: fills StageBuffer::elem_bytes_hint from splitter-declared
+  // element widths (per-stage footprint model).
+  void AnnotateFootprints(Plan* plan);
 
   int ClassForConcreteExpr(const SplitExpr& expr, const Node& node);
 

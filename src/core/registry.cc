@@ -1,5 +1,7 @@
 #include "core/registry.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace mz {
@@ -68,6 +70,64 @@ bool Registry::SplitTypeIsMergeOnly(InternedId name) const {
     }
   }
   return true;
+}
+
+std::int64_t Registry::ElementWidthForSplitType(InternedId name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return 0;
+  }
+  std::int64_t width = 0;
+  for (const auto& [type, splitter] : it->second.splitters) {
+    width = std::max(width, splitter->traits().element_width);
+  }
+  return width;
+}
+
+std::shared_ptr<const Splitter> Registry::FindSplitterShared(InternedId name,
+                                                             std::type_index type) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return nullptr;
+  }
+  auto jt = it->second.splitters.find(type);
+  if (jt == it->second.splitters.end()) {
+    return nullptr;
+  }
+  return jt->second;
+}
+
+std::optional<std::int64_t> Registry::ProbeTotalElements(const Value& value) const {
+  if (!value.has_value()) {
+    return std::nullopt;
+  }
+  LateCtor late;
+  const Splitter* splitter = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto dit = defaults_.find(value.type());
+    if (dit == defaults_.end()) {
+      return std::nullopt;
+    }
+    auto it = types_.find(dit->second);
+    if (it == types_.end()) {
+      return std::nullopt;
+    }
+    auto jt = it->second.splitters.find(value.type());
+    if (jt == it->second.splitters.end()) {
+      return std::nullopt;
+    }
+    late = it->second.late_ctor;
+    splitter = jt->second.get();
+  }
+  try {
+    std::vector<std::int64_t> params = late ? late(value) : std::vector<std::int64_t>{};
+    return splitter->Info(value, params).total_elements;
+  } catch (const std::exception&) {
+    return std::nullopt;  // a probe is best-effort; unprobeable = unconstrained
+  }
 }
 
 std::optional<std::vector<std::int64_t>> Registry::RunCtor(InternedId name,

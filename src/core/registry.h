@@ -76,6 +76,25 @@ class Registry {
   // the planner's carry-over analysis must materialize it at the boundary.
   bool SplitTypeIsMergeOnly(InternedId name) const;
 
+  // Splitter-declared per-element footprint for streams of this split type
+  // (the max element_width across the type's registered splitters; 0 when
+  // unknown). Feeds the planner's per-stage footprint model for buffers the
+  // executor cannot Info() — produced values and carried pieces.
+  std::int64_t ElementWidthForSplitType(InternedId name) const;
+
+  // Like FindSplitter, but returns the owning handle. Deferred merges
+  // (lazy merge-on-get, task_graph.h) outlive the evaluation that resolved
+  // the splitter, so they must pin it against re-registration.
+  std::shared_ptr<const Splitter> FindSplitterShared(InternedId name, std::type_index type) const;
+
+  // Element total of `value` under its C++ type's default split type, or
+  // nullopt when no default/splitter applies. Used by the planner's stage
+  // totals probe (two independent unbound-generic chains of different
+  // lengths must stage-break, not fail at execution) and by the plan-cache
+  // fingerprint, which must hash the same probe so cached plans reproduce
+  // the breaks. Must stay cheap and pure: late ctor + Info only.
+  std::optional<std::int64_t> ProbeTotalElements(const Value& value) const;
+
   // Runs the split type's constructor; nullopt = deferred.
   std::optional<std::vector<std::int64_t>> RunCtor(InternedId name,
                                                    std::span<const Value> args) const;

@@ -87,6 +87,10 @@ SlotId Runtime::RegisterNode(std::shared_ptr<const Annotation> ann,
   slots.reserve(bindings.size());
   for (ArgBinding& b : bindings) {
     if (b.future_slot != kInvalidSlot) {
+      // A slot holding lazily parked boundary pieces (merge-on-get) is
+      // re-entering the dataflow: planner and fingerprint read slot values,
+      // so merge now.
+      ResolveDeferredMerge(graph_.slot(b.future_slot));
       slots.push_back(b.future_slot);
     } else if (b.ptr_key != nullptr) {
       slots.push_back(graph_.SlotForPointer(b.ptr_key, b.value));
@@ -172,6 +176,8 @@ void Runtime::EvaluateLocked() {
   exec_opts.collect_stats = opts_.collect_stats;
   exec_opts.dynamic_scheduling = opts_.dynamic_scheduling;
   exec_opts.elide_boundaries = opts_.elide_boundaries;
+  exec_opts.batch_per_stage = opts_.batch_per_stage;
+  exec_opts.rebatch_threshold = opts_.rebatch_threshold;
 
   // Admission (see admission.h): small plans stay on the calling thread —
   // or coalesce with other sessions' small plans through the BatchCollector
@@ -262,6 +268,7 @@ Value ResolveSlotValue(Runtime* runtime, SlotId slot) {
     std::lock_guard<std::recursive_mutex> lock(runtime->mu_);
     Slot& s = runtime->graph_.slot(slot);
     if (!s.pending) {
+      ResolveDeferredMerge(s);  // lazy merge-on-get (stage-boundary elision)
       return s.value;
     }
   }
@@ -269,6 +276,7 @@ Value ResolveSlotValue(Runtime* runtime, SlotId slot) {
   std::lock_guard<std::recursive_mutex> lock(runtime->mu_);
   Slot& s = runtime->graph_.slot(slot);
   MZ_CHECK_MSG(!s.pending, "slot still pending after evaluation");
+  ResolveDeferredMerge(s);
   return s.value;
 }
 

@@ -41,8 +41,9 @@ struct SplitContext {
 };
 
 // Static properties of a splitter, consulted by the planner's stage-boundary
-// carry-over analysis (piece passing, §5.2 extension). They describe the
-// *semantics* of Split/Merge, not runtime state:
+// carry-over analysis (piece passing, §5.2 extension) and by its per-stage
+// footprint model. They describe the *semantics* of Split/Merge, not runtime
+// state:
 //  * merge_is_identity — Merge returns `original` unchanged because pieces
 //    alias the original storage (pointer offsets, matrix views). Skipping
 //    such a merge is always sound: the full value never stops being valid.
@@ -50,9 +51,21 @@ struct SplitContext {
 //    (reductions, partial aggregations). Pieces of such a stream are *not*
 //    positional slices of the source range, so they can never be re-consumed
 //    piecewise — the runtime must materialize (merge) them at the boundary.
+//  * element_width — bytes of cache footprint one element of this stream
+//    contributes, for values the executor cannot Info() (buffers *produced*
+//    mid-stage, carried pieces). 0 = unknown/variable; such buffers simply
+//    do not contribute to the footprint sum. Must match what Info() would
+//    report for the common case (e.g. sizeof(double) for a double stream).
+//  * can_subdivide — Split may be applied to a *piece* of this stream with
+//    piece-local [start, end) coordinates and yields the same value a split
+//    of the original at the corresponding global range would (positional
+//    slices of slices, cheap: pointer offsets, views, O(1) sub-slices).
+//    Enables zero-copy re-batching of carried pieces.
 struct SplitterTraits {
   bool merge_is_identity = false;
   bool merge_only = false;
+  std::int64_t element_width = 0;
+  bool can_subdivide = false;
 };
 
 class Splitter {

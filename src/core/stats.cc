@@ -30,7 +30,18 @@ std::string EvalStats::Snapshot::ToString() const {
   }
   if (boundaries_elided > 0) {
     os << " [elided " << boundaries_elided << " boundaries, " << carry_pieces
-       << " pieces carried, " << bytes_merge_avoided << " merge bytes avoided]";
+       << " pieces carried, " << bytes_merge_avoided << " merge bytes avoided"
+       << ", chain<=" << carry_chain_len_max;
+    if (stages_rebatched > 0) {
+      os << ", rebatched " << stages_rebatched << " stages";
+    }
+    if (deferred_merges > 0) {
+      os << ", deferred " << deferred_merges << " merges";
+    }
+    os << "]";
+  }
+  if (footprint_bytes_max > 0) {
+    os << " [max batch footprint " << footprint_bytes_max << " bytes]";
   }
   return os.str();
 }

@@ -10,6 +10,7 @@
 #ifndef MOZART_CORE_STATS_H_
 #define MOZART_CORE_STATS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -52,6 +53,16 @@ class EvalStats {
     std::int64_t boundaries_elided = 0;
     std::int64_t carry_pieces = 0;
     std::int64_t bytes_merge_avoided = 0;
+    // Footprint-aware per-stage batching (ISSUE 5): stages whose carried
+    // pieces were re-cut to the consumer's granularity, boundary merges
+    // parked on slots for lazy merge-on-get, the longest chain of
+    // consecutive carried boundaries one stream travelled, and the largest
+    // per-batch working set (batch × Σ bytes-per-element) any stage ran
+    // with. The last two aggregate by max, not sum.
+    std::int64_t stages_rebatched = 0;
+    std::int64_t deferred_merges = 0;
+    std::int64_t carry_chain_len_max = 0;
+    std::int64_t footprint_bytes_max = 0;
 
     // Total across the per-phase wall-clock counters. Split/task/merge are
     // summed across workers, so on N threads this exceeds elapsed time.
@@ -85,6 +96,10 @@ class EvalStats {
       boundaries_elided += other.boundaries_elided;
       carry_pieces += other.carry_pieces;
       bytes_merge_avoided += other.bytes_merge_avoided;
+      stages_rebatched += other.stages_rebatched;
+      deferred_merges += other.deferred_merges;
+      carry_chain_len_max = std::max(carry_chain_len_max, other.carry_chain_len_max);
+      footprint_bytes_max = std::max(footprint_bytes_max, other.footprint_bytes_max);
     }
 
     std::string ToString() const;
@@ -115,6 +130,10 @@ class EvalStats {
     s.boundaries_elided = boundaries_elided.load(std::memory_order_relaxed);
     s.carry_pieces = carry_pieces.load(std::memory_order_relaxed);
     s.bytes_merge_avoided = bytes_merge_avoided.load(std::memory_order_relaxed);
+    s.stages_rebatched = stages_rebatched.load(std::memory_order_relaxed);
+    s.deferred_merges = deferred_merges.load(std::memory_order_relaxed);
+    s.carry_chain_len_max = carry_chain_len_max.load(std::memory_order_relaxed);
+    s.footprint_bytes_max = footprint_bytes_max.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -144,6 +163,18 @@ class EvalStats {
     boundaries_elided.fetch_add(s.boundaries_elided, std::memory_order_relaxed);
     carry_pieces.fetch_add(s.carry_pieces, std::memory_order_relaxed);
     bytes_merge_avoided.fetch_add(s.bytes_merge_avoided, std::memory_order_relaxed);
+    stages_rebatched.fetch_add(s.stages_rebatched, std::memory_order_relaxed);
+    deferred_merges.fetch_add(s.deferred_merges, std::memory_order_relaxed);
+    MaxInto(carry_chain_len_max, s.carry_chain_len_max);
+    MaxInto(footprint_bytes_max, s.footprint_bytes_max);
+  }
+
+  // Lock-free fold of a max-aggregated counter.
+  static void MaxInto(std::atomic<std::int64_t>& counter, std::int64_t value) {
+    std::int64_t cur = counter.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !counter.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
   }
 
   void Reset() {
@@ -170,6 +201,10 @@ class EvalStats {
     boundaries_elided = 0;
     carry_pieces = 0;
     bytes_merge_avoided = 0;
+    stages_rebatched = 0;
+    deferred_merges = 0;
+    carry_chain_len_max = 0;
+    footprint_bytes_max = 0;
   }
 
   std::atomic<std::int64_t> client_ns{0};
@@ -195,6 +230,10 @@ class EvalStats {
   std::atomic<std::int64_t> boundaries_elided{0};
   std::atomic<std::int64_t> carry_pieces{0};
   std::atomic<std::int64_t> bytes_merge_avoided{0};
+  std::atomic<std::int64_t> stages_rebatched{0};
+  std::atomic<std::int64_t> deferred_merges{0};
+  std::atomic<std::int64_t> carry_chain_len_max{0};
+  std::atomic<std::int64_t> footprint_bytes_max{0};
 };
 
 }  // namespace mz

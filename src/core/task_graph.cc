@@ -6,6 +6,15 @@
 
 namespace mz {
 
+void ResolveDeferredMerge(Slot& slot) {
+  if (slot.deferred == nullptr) {
+    return;
+  }
+  std::shared_ptr<DeferredMergeState> state = std::move(slot.deferred);
+  slot.deferred = nullptr;
+  slot.value = state->splitter->Merge(state->original, std::move(state->pieces), state->params);
+}
+
 SlotId TaskGraph::SlotForPointer(const void* ptr, const Value& value) {
   auto it = pointer_slots_.find(ptr);
   if (it != pointer_slots_.end()) {

@@ -25,6 +25,7 @@
 
 #include "core/annotation.h"
 #include "core/func.h"
+#include "core/splitter.h"
 #include "core/value.h"
 
 namespace mz {
@@ -32,17 +33,36 @@ namespace mz {
 using SlotId = std::uint32_t;
 inline constexpr SlotId kInvalidSlot = static_cast<SlotId>(-1);
 
-// Every field below is a planner input, and therefore part of the plan
-// cache's structural fingerprint (plan_cache.h): pending/external/
-// external_refs and the held value's C++ type are hashed per slot. If a
-// field's planning semantics change, bump kFormatVersion in plan_cache.cc.
+// Lazy merge-on-get (stage-boundary piece passing with a live Future): the
+// executor elided this slot's boundary merge and left the ordered pieces
+// here instead; the first observer — `Future::get()` resolving the slot, or
+// a later capture that references it — performs the merge then. The
+// splitter handle pins the registration against replacement.
+struct DeferredMergeState {
+  std::shared_ptr<const Splitter> splitter;
+  Value original;                      // empty for produced values
+  std::vector<Value> pieces;           // global element order
+  std::vector<std::int64_t> params;
+};
+
+// Every field below except `deferred` is a planner input, and therefore part
+// of the plan cache's structural fingerprint (plan_cache.h): pending/
+// external/external_refs and the held value's C++ type are hashed per slot.
+// (`deferred` is resolved before any slot re-enters capture or planning, so
+// the planner never observes it.) If a field's planning semantics change,
+// bump kFormatVersion in plan_cache.cc.
 struct Slot {
   SlotId id = kInvalidSlot;
   Value value;              // current full value (empty while pending if produced by a node)
   bool pending = false;     // will be (re)written by an unexecuted node
   bool external = false;    // aliases user memory (pointer-keyed slots)
   int external_refs = 0;    // live Future handles observing this slot
+  std::shared_ptr<DeferredMergeState> deferred;  // lazy merge-on-get pieces
 };
+
+// Merges and installs `slot.deferred` if present (no-op otherwise).
+// Callers: Future resolution and capture-time binding (runtime.cc).
+void ResolveDeferredMerge(Slot& slot);
 
 struct Node {
   std::shared_ptr<const Annotation> ann;

@@ -170,8 +170,24 @@ void RegisterSplits() {
                         },
                         nullptr);
 
-    mz::RegisterTypedSplitter<Column>(reg, "SeriesSplit", SeriesInfo, SeriesSplitFn, SeriesMerge);
-    mz::RegisterTypedSplitter<DataFrame>(reg, "FrameSplit", FrameInfo, FrameSplitFn, FrameMerge);
+    // Column/DataFrame slices are offset views over shared storage, so a
+    // piece re-Splits with piece-local ranges at zero copy (can_subdivide —
+    // re-batching of carried row streams). SeriesSplit declares the common
+    // 8-byte (double) row for the footprint model; frame rows vary by
+    // schema, so FrameSplit leaves the width unknown and produced frames
+    // simply do not contribute to the footprint sum.
+    const mz::SplitterTraits kRowStream{.merge_is_identity = false,
+                                        .merge_only = false,
+                                        .element_width = sizeof(double),
+                                        .can_subdivide = true};
+    const mz::SplitterTraits kFrameStream{.merge_is_identity = false,
+                                          .merge_only = false,
+                                          .element_width = 0,
+                                          .can_subdivide = true};
+    mz::RegisterTypedSplitter<Column>(reg, "SeriesSplit", SeriesInfo, SeriesSplitFn, SeriesMerge,
+                                      kRowStream);
+    mz::RegisterTypedSplitter<DataFrame>(reg, "FrameSplit", FrameInfo, FrameSplitFn, FrameMerge,
+                                         kFrameStream);
     mz::RegisterTypedSplitter<DataFrame>(reg, "GroupSplit", GroupInfo, GroupSplitFn, GroupMerge,
                                          mz::SplitterTraits{.merge_only = true});
     reg.SetDefaultSplitType(std::type_index(typeid(Column)), "SeriesSplit");

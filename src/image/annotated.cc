@@ -91,7 +91,15 @@ void RegisterSplits() {
       const Image* image = ImageFromValue(v);
       return std::vector<std::int64_t>{image->height(), image->width()};
     });
-    mz::RegisterTypedSplitter<Image*>(reg, "ImageBandSplit", ImageInfo, ImageSplitFn, ImageMerge);
+    // Bands are real pixel copies (Crop) blitted back on merge: neither an
+    // identity merge nor a zero-copy subdivision exists, so carried bands
+    // never re-batch — they materialize if granularities must reconcile.
+    // Row width depends on the image, so no static element width either.
+    mz::RegisterTypedSplitter<Image*>(reg, "ImageBandSplit", ImageInfo, ImageSplitFn, ImageMerge,
+                                      mz::SplitterTraits{.merge_is_identity = false,
+                                                         .merge_only = false,
+                                                         .element_width = 0,
+                                                         .can_subdivide = false});
     reg.SetDefaultSplitType(std::type_index(typeid(Image*)), "ImageBandSplit");
     return true;
   }();

@@ -203,10 +203,17 @@ void RegisterSplits() {
     reg.DefineSplitType("ArraySplit", FlexibleLengthCtor, nullptr);
 
     // Matrix pieces are row/column views into the original storage: merges
-    // are identities, so boundary pieces may pass to the next stage intact.
+    // are identities, so boundary pieces may pass to the next stage intact,
+    // and re-batching re-slices the full matrix at any granularity (the
+    // identity path — pieces are Matrix values, so piecewise subdivision
+    // does not apply). A row's width depends on the shape, so the static
+    // element width stays unknown; Info() reports the real bytes per row.
     mz::RegisterTypedSplitter<Matrix*>(reg, "MatrixSplit", MatrixInfo, MatrixSplitFn,
                                        MatrixMerge,
-                                       mz::SplitterTraits{.merge_is_identity = true});
+                                       mz::SplitterTraits{.merge_is_identity = true,
+                                                          .merge_only = false,
+                                                          .element_width = 0,
+                                                          .can_subdivide = false});
     mz::RegisterTypedSplitter<std::vector<double>>(reg, "ReduceSplit", ReduceVecInfo,
                                                    ReduceVecSplitFn, ReduceVecMerge,
                                                    mz::SplitterTraits{.merge_only = true});

@@ -122,10 +122,23 @@ void RegisterSplits() {
     });
     reg.DefineSplitType("TaggedSplit", nullptr, nullptr);
     reg.DefineSplitType("ReducePos", nullptr, nullptr);
+    // Corpus minibatches copy document handles (not a view), so carried
+    // minibatches do not subdivide zero-copy; doc sizes vary, so no static
+    // width. Tagged docs report a flat 64 bytes apiece from Info(), and the
+    // trait mirrors it so *produced* tagged streams count toward their
+    // stage's footprint.
     mz::RegisterTypedSplitter<Corpus>(reg, "MinibatchSplit", CorpusInfo, CorpusSplitFn,
-                                      CorpusMerge);
+                                      CorpusMerge,
+                                      mz::SplitterTraits{.merge_is_identity = false,
+                                                         .merge_only = false,
+                                                         .element_width = 0,
+                                                         .can_subdivide = false});
     mz::RegisterTypedSplitter<std::vector<TaggedDoc>>(reg, "TaggedSplit", TaggedInfo,
-                                                      TaggedSplitFn, TaggedMerge);
+                                                      TaggedSplitFn, TaggedMerge,
+                                                      mz::SplitterTraits{.merge_is_identity = false,
+                                                                         .merge_only = false,
+                                                                         .element_width = 64,
+                                                                         .can_subdivide = false});
     mz::RegisterTypedSplitter<PosCounts>(reg, "ReducePos", PosInfo, PosSplitFn, PosMerge,
                                          mz::SplitterTraits{.merge_only = true});
     reg.SetDefaultSplitType(std::type_index(typeid(Corpus)), "MinibatchSplit");

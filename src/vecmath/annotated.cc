@@ -196,14 +196,27 @@ void RegisterSplits() {
 
     // Pieces of these types alias the original storage (scalars and pointer
     // offsets), so their merges are identities — the executor may keep the
-    // pieces across a stage boundary (piece passing) without materializing.
-    const mz::SplitterTraits kInPlace{.merge_is_identity = true, .merge_only = false};
+    // pieces across a stage boundary (piece passing) without materializing —
+    // and a piece can itself be re-Split with piece-local ranges (pointer
+    // arithmetic), which is what zero-copy re-batching leans on. ArraySplit
+    // declares its 8-byte element width for the per-stage footprint model;
+    // SizeSplit splits arithmetic, not memory, and stays at width 0.
+    const mz::SplitterTraits kInPlaceSize{.merge_is_identity = true,
+                                          .merge_only = false,
+                                          .element_width = 0,
+                                          .can_subdivide = true};
+    const mz::SplitterTraits kInPlaceArray{.merge_is_identity = true,
+                                           .merge_only = false,
+                                           .element_width = sizeof(double),
+                                           .can_subdivide = true};
     const mz::SplitterTraits kMergeOnly{.merge_is_identity = false, .merge_only = true};
-    mz::RegisterTypedSplitter<long>(reg, "SizeSplit", SizeInfo, SizeSplitFn, SizeMerge, kInPlace);
+    mz::RegisterTypedSplitter<long>(reg, "SizeSplit", SizeInfo, SizeSplitFn, SizeMerge,
+                                    kInPlaceSize);
     mz::RegisterTypedSplitter<double*>(reg, "ArraySplit", ArrayInfo<double*>,
-                                       ArraySplitFn<double*>, ArrayMerge, kInPlace);
+                                       ArraySplitFn<double*>, ArrayMerge, kInPlaceArray);
     mz::RegisterTypedSplitter<const double*>(reg, "ArraySplit", ArrayInfo<const double*>,
-                                             ArraySplitFn<const double*>, ArrayMerge, kInPlace);
+                                             ArraySplitFn<const double*>, ArrayMerge,
+                                             kInPlaceArray);
     mz::RegisterTypedSplitter<double>(reg, "ReduceAdd", ReduceInfo, ReduceSplitFn, ReduceAddMerge,
                                       kMergeOnly);
     mz::RegisterTypedSplitter<double>(reg, "ReduceMax", ReduceInfo, ReduceSplitFn, ReduceMaxMerge,

@@ -157,9 +157,12 @@ TEST(ElisionOwned, ColumnCarriesAcrossSerialBreaks) {
   double got = RunColumnChain(&rt, base, kRounds);
   EXPECT_DOUBLE_EQ(got, ExpectedColumnChain(n, kRounds));
   EvalStats::Snapshot s = rt.stats().Take();
-  // All interior boundaries elide; the last column is pinned by the live
-  // `cur` future (a graph output) and must still merge.
-  EXPECT_EQ(s.boundaries_elided, kRounds - 1);
+  // Every boundary elides — including the one pinned by the live `cur`
+  // future, whose merge is parked on the slot (lazy merge-on-get) and never
+  // runs because RunColumnChain drops the future unread.
+  EXPECT_EQ(s.boundaries_elided, kRounds);
+  EXPECT_EQ(s.deferred_merges, 1);
+  EXPECT_EQ(s.carry_chain_len_max, kRounds);
   EXPECT_GT(s.bytes_merge_avoided, 0);
 }
 
@@ -297,9 +300,10 @@ TEST(ElisionDynamic, InPlaceChainMatchesStatic) {
 
 // ---- interactions that must veto elision ----
 
-TEST(ElisionVeto, LiveFutureForcesTheMerge) {
-  // Holding the intermediate's future makes it a graph output: the boundary
-  // must merge so .get() can observe the full value later.
+TEST(ElisionDeferred, LiveFutureDefersTheMergeUntilGet) {
+  // Holding the intermediate's future used to force the boundary merge.
+  // With lazy merge-on-get the boundary still elides: the ordered pieces
+  // are parked on the slot and .get() performs the merge on demand.
   const long n = 20000;
   df::Column base = MakeColumn(n);
   Runtime rt(Opts());
@@ -313,10 +317,89 @@ TEST(ElisionVeto, LiveFutureForcesTheMerge) {
     want += 2.0 * static_cast<double>(i) + 1.0;
   }
   EXPECT_DOUBLE_EQ(got, want);
-  // `mid` is still alive: its boundary merged, and the full column is there.
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_GE(s.boundaries_elided, 1);
+  EXPECT_EQ(s.deferred_merges, 1);
+  // `mid` is still alive and readable: get() resolves the parked pieces
+  // into the full column, in source order.
   df::Column full = mid.get();
   ASSERT_EQ(full.size(), n);
   EXPECT_DOUBLE_EQ(full.d(5), 10.0);
+  for (long i = 1; i < n; i += 531) {
+    EXPECT_LT(full.d(i - 1), full.d(i)) << "row order lost at " << i;
+  }
+}
+
+TEST(ElisionDeferred, HoldEveryIntermediateFutureStillElides) {
+  // The common client pattern ISSUE 5 names: every intermediate future is
+  // held across evaluation. Each boundary still elides (deferred), unread
+  // futures never pay their merge, and a late read merges on demand.
+  const long n = 30000;
+  const int kRounds = 3;
+  df::Column base = MakeColumn(n);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  std::vector<Future<df::Column>> held;
+  Future<df::Column> cur = mzdf::ColMulC(base, 2.0);
+  held.push_back(cur);
+  for (int k = 0; k < kRounds; ++k) {
+    auto next = mzdf::ColAddC(cur, 1.0);
+    Tick()(k);
+    held.push_back(next);
+    cur = next;
+  }
+  Future<double> sum = mzdf::ColSum(cur);
+  double got = sum.get();
+  double want = 0;
+  for (long i = 0; i < n; ++i) {
+    want += 2.0 * static_cast<double>(i) + static_cast<double>(kRounds);
+  }
+  EXPECT_DOUBLE_EQ(got, want);
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.boundaries_elided, kRounds);
+  EXPECT_EQ(s.deferred_merges, kRounds);
+  // Read one mid-chain intermediate: merge-on-get must reconstruct it.
+  df::Column mid = held[1].get();
+  ASSERT_EQ(mid.size(), n);
+  EXPECT_DOUBLE_EQ(mid.d(7), 2.0 * 7.0 + 1.0);
+}
+
+TEST(ElisionDeferred, LaterCaptureResolvesTheDeferredMerge) {
+  // A deferred slot re-entering the dataflow as an argument of a *new*
+  // capture must materialize before planning sees it.
+  const long n = 15000;
+  df::Column base = MakeColumn(n);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  Future<df::Column> mid = mzdf::ColMulC(base, 3.0);
+  Tick()(1);
+  Future<double> sum = mzdf::ColSum(mzdf::ColAddC(mid, 1.0));
+  (void)sum.get();  // evaluation 1: mid's pieces parked on its slot
+  EXPECT_EQ(rt.stats().Take().deferred_merges, 1);
+  Future<double> sum2 = mzdf::ColSum(mzdf::ColMulC(mid, 2.0));  // new capture
+  double want2 = 0;
+  for (long i = 0; i < n; ++i) {
+    want2 += 2.0 * 3.0 * static_cast<double>(i);
+  }
+  EXPECT_DOUBLE_EQ(sum2.get(), want2);
+}
+
+TEST(ElisionDeferred, AblationFlagDisablesDeferral) {
+  const long n = 10000;
+  df::Column base = MakeColumn(n);
+  RuntimeOptions opts = Opts();
+  opts.elide_boundaries = false;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  Future<df::Column> mid = mzdf::ColMulC(base, 2.0);
+  Tick()(1);
+  Future<double> sum = mzdf::ColSum(mzdf::ColAddC(mid, 1.0));
+  (void)sum.get();
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.boundaries_elided, 0);
+  EXPECT_EQ(s.deferred_merges, 0);
+  df::Column full = mid.get();
+  ASSERT_EQ(full.size(), n);
 }
 
 TEST(ElisionVeto, SplitTypeChangeForcesTheMerge) {

@@ -346,6 +346,8 @@ void ExpectPlansIdentical(const Plan& a, const Plan& b) {
       EXPECT_EQ(ba.merge_by_piece_type, bb.merge_by_piece_type);
       EXPECT_EQ(ba.carry_in, bb.carry_in) << "stage " << s << " buffer " << i;
       EXPECT_EQ(ba.carry_out, bb.carry_out) << "stage " << s << " buffer " << i;
+      EXPECT_EQ(ba.deferred_merge, bb.deferred_merge) << "stage " << s << " buffer " << i;
+      EXPECT_EQ(ba.elem_bytes_hint, bb.elem_bytes_hint) << "stage " << s << " buffer " << i;
       EXPECT_EQ(ba.split_name, bb.split_name);
       EXPECT_EQ(ba.params, bb.params);
     }
@@ -397,6 +399,48 @@ TEST_F(PlanCacheRuntimeTest, CarryFieldsRoundTripThroughTemplates) {
     any_carry = any_carry || stage.feeds_carries || stage.takes_carries;
   }
   ASSERT_TRUE(any_carry) << "test premise: the plan must contain elided boundaries";
+
+  Plan tmpl = MakePlanTemplate(cold, fp.canon_slots, 0);
+  Plan warm = InstantiatePlan(tmpl, fp.canon_slots, 0);
+  ExpectPlansIdentical(cold, warm);
+}
+
+TEST_F(PlanCacheRuntimeTest, FootprintAndDeferredFieldsRoundTripThroughTemplates) {
+  // ISSUE 5: the per-stage batch fields (elem_bytes_hint) and the lazy
+  // merge-on-get mark (deferred_merge, forced here by holding the
+  // intermediate's future across planning) must survive the template
+  // rewrite bit-for-bit.
+  static long sink = 0;
+  static const Annotated<void(long)> tick(
+      [](long k) { sink += k; },
+      AnnotationBuilder("plan_cache_test.tick3").Arg("k", NoSplit()).Build());
+
+  const long n = 2000;
+  std::vector<double> vals(static_cast<std::size_t>(n), 0.5);
+  df::Column base = df::Column::Doubles(std::move(vals));
+
+  Runtime rt(MakeOptions(nullptr));
+  RuntimeScope scope(&rt);
+  Future<df::Column> mid = mzdf::ColMulC(base, 2.0);  // stays live: deferred_merge
+  tick(1);
+  mzdf::ColSum(mzdf::ColAddC(mid, 1.0));
+
+  TaskGraph& graph = rt.graph_for_test();
+  const int end = graph.num_nodes();
+  RangeFingerprint fp = FingerprintRange(graph, Registry::Global(), 0, end, /*pipeline=*/true);
+  Planner planner(graph, Registry::Global(), /*pipeline=*/true);
+  Plan cold = planner.Build(0, end);
+
+  bool any_deferred = false;
+  bool any_hint = false;
+  for (const Stage& stage : cold.stages) {
+    for (const StageBuffer& buf : stage.buffers) {
+      any_deferred = any_deferred || buf.deferred_merge;
+      any_hint = any_hint || buf.elem_bytes_hint > 0;
+    }
+  }
+  ASSERT_TRUE(any_deferred) << "test premise: the live future must defer a merge";
+  ASSERT_TRUE(any_hint) << "test premise: column buffers must carry footprint hints";
 
   Plan tmpl = MakePlanTemplate(cold, fp.canon_slots, 0);
   Plan warm = InstantiatePlan(tmpl, fp.canon_slots, 0);

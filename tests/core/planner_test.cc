@@ -130,6 +130,53 @@ TEST(PlannerRules, TwoUnknownsNeverUnify) {
   EXPECT_GE(rt.stats().Take().stages, 2);
 }
 
+TEST(PlannerRules, IndependentGenericChainsOfDifferentLengthsStageBreak) {
+  // ISSUE 5 satellite (pre-existing gap): two *independent* unbound-generic
+  // chains of different lengths carry no concrete name conflict, so they
+  // used to co-reside in one stage and die at execution with "stage inputs
+  // disagree on total elements". The planner's totals probe (default-split
+  // Info over materialized sources, propagated along inference classes)
+  // must turn this into a stage break instead.
+  const long n = 12000;
+  const long m = 5000;
+  auto make_col = [](long len, double v) {
+    std::vector<double> vals(static_cast<std::size_t>(len), v);
+    return df::Column::Doubles(std::move(vals));
+  };
+  df::Column a = make_col(n, 2.0);
+  df::Column b = make_col(m, 3.0);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  auto x = mzdf::ColMulC(a, 2.0);  // chain 1: length n
+  auto y = mzdf::ColMulC(b, 2.0);  // chain 2: length m — must not co-reside
+  auto sx = mzdf::ColSum(x);
+  auto sy = mzdf::ColSum(y);
+  EXPECT_DOUBLE_EQ(sx.get(), 4.0 * static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(sy.get(), 6.0 * static_cast<double>(m));
+  EXPECT_GE(rt.stats().Take().stages, 2);
+}
+
+TEST(PlannerRules, EqualLengthGenericChainsStillCoReside) {
+  // The probe must only break on *disagreeing* totals: two independent
+  // same-length chains keep sharing one stage (one split pass, pipelined).
+  const long n = 9000;
+  auto make_col = [](long len, double v) {
+    std::vector<double> vals(static_cast<std::size_t>(len), v);
+    return df::Column::Doubles(std::move(vals));
+  };
+  df::Column a = make_col(n, 1.0);
+  df::Column b = make_col(n, 2.0);
+  Runtime rt(Opts());
+  RuntimeScope scope(&rt);
+  auto x = mzdf::ColMulC(a, 3.0);
+  auto y = mzdf::ColMulC(b, 3.0);
+  auto sx = mzdf::ColSum(x);
+  auto sy = mzdf::ColSum(y);
+  EXPECT_DOUBLE_EQ(sx.get(), 3.0 * static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(sy.get(), 6.0 * static_cast<double>(n));
+  EXPECT_EQ(rt.stats().Take().stages, 1);
+}
+
 TEST(PlannerRules, MissingArgOnSplitValueBreaksStage) {
   // Axpy mutates x (split); OuterDiff-style consumers that need the *full*
   // vector ("_") must wait for the merge. Modeled here with vecmath only:

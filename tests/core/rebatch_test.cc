@@ -1,0 +1,333 @@
+// Footprint-aware per-stage batching and carried-piece re-batching
+// (ISSUE 5). Covers: identity subdivision (zero-copy — pieces alias the
+// original arrays, verified by in-place results and exercised under ASan),
+// owned-stream subdivision and per-worker coalescing, dynamic-scheduling
+// order restoration over re-cut pieces, zero-element and single-piece edge
+// cases, multi-producer aligned carries (carry chains), the ablation knobs
+// (batch_per_stage / rebatch_threshold), and warm plan-cache behavioral
+// round-trips of the per-stage batch fields.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/cpu.h"
+#include "core/client.h"
+#include "core/plan_cache.h"
+#include "core/runtime.h"
+#include "dataframe/annotated.h"
+#include "vecmath/annotated.h"
+#include "vecmath/vecmath.h"
+
+namespace mz {
+namespace {
+
+RuntimeOptions Opts(int threads = 2, bool pedantic = true) {
+  RuntimeOptions o;
+  o.num_threads = threads;
+  o.pedantic = pedantic;
+  return o;
+}
+
+// Serial node: forces a stage break without touching the streams around it.
+const Annotated<void(long)>& Tick() {
+  static long sink = 0;
+  static const Annotated<void(long)> tick(
+      [](long k) { sink += k; },
+      AnnotationBuilder("rebatch_test.tick").Arg("k", NoSplit()).Build());
+  return tick;
+}
+
+df::Column MakeColumn(long n, double start = 0.0) {
+  std::vector<double> vals(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    vals[static_cast<std::size_t>(i)] = start + static_cast<double>(i);
+  }
+  return df::Column::Doubles(std::move(vals));
+}
+
+// ---- identity streams: subdivision is pointer arithmetic ----
+
+// Narrow producer (Copy: ~16 B/elem) feeding a wide consumer stage (a chain
+// of Adds over many arrays: ~90 B/elem). The consumer's footprint-derived
+// batch is several times smaller than the carried granularity, so the
+// carried pointer pieces must subdivide — zero-copy, since ArraySplit
+// pieces are offsets into the caller's arrays.
+struct FootprintBlowup {
+  long n;
+  static constexpr int kWide = 8;
+  std::vector<double> a, t, o;
+  std::vector<std::vector<double>> b;
+
+  explicit FootprintBlowup(long n_in) : n(n_in) {
+    a.assign(static_cast<std::size_t>(n), 2.0);
+    t.assign(static_cast<std::size_t>(n), 0.0);
+    o.assign(static_cast<std::size_t>(n), 0.0);
+    for (int k = 0; k < kWide; ++k) {
+      b.emplace_back(static_cast<std::size_t>(n), 0.25 * (k + 1));
+    }
+  }
+
+  void Run(Runtime* rt) {
+    RuntimeScope scope(rt);
+    mzvec::Copy(n, a.data(), t.data());  // stage A: narrow
+    Tick()(1);
+    mzvec::Add(n, t.data(), b[0].data(), o.data());  // stage B: wide
+    for (int k = 1; k < kWide; ++k) {
+      mzvec::Add(n, o.data(), b[k].data(), o.data());
+    }
+    rt->Evaluate();
+  }
+
+  std::vector<double> Expected() const {
+    std::vector<double> want(static_cast<std::size_t>(n), 2.0);
+    for (long i = 0; i < n; ++i) {
+      for (int k = 0; k < kWide; ++k) {
+        want[static_cast<std::size_t>(i)] += 0.25 * (k + 1);
+      }
+    }
+    return want;
+  }
+};
+
+TEST(RebatchIdentity, WideConsumerSubdividesCarriedPieces) {
+  // Size so stage A makes a handful of large pieces per worker.
+  const long n = std::max<long>(100000, 4 * static_cast<long>(L2CacheBytes()) / 16);
+  FootprintBlowup w(n);
+  Runtime rt(Opts());
+  w.Run(&rt);
+  EXPECT_EQ(w.o, w.Expected());
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.stages, 3);
+  EXPECT_GE(s.boundaries_elided, 1);
+  EXPECT_EQ(s.stages_rebatched, 1);
+  // The whole point: every stage's per-batch working set fits the budget.
+  EXPECT_LE(s.footprint_bytes_max, static_cast<std::int64_t>(L2CacheBytes()));
+}
+
+TEST(RebatchIdentity, BatchPerStageOffRestoresInheritance) {
+  const long n = std::max<long>(100000, 4 * static_cast<long>(L2CacheBytes()) / 16);
+  FootprintBlowup w(n);
+  RuntimeOptions opts = Opts();
+  opts.batch_per_stage = false;  // old behavior: inherit producer granularity
+  Runtime rt(opts);
+  w.Run(&rt);
+  EXPECT_EQ(w.o, w.Expected());
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_GE(s.boundaries_elided, 1);
+  EXPECT_EQ(s.stages_rebatched, 0);
+}
+
+TEST(RebatchIdentity, ThresholdZeroKeepsFootprintButNeverRecuts) {
+  const long n = std::max<long>(100000, 4 * static_cast<long>(L2CacheBytes()) / 16);
+  FootprintBlowup w(n);
+  RuntimeOptions opts = Opts();
+  opts.rebatch_threshold = 0.0;
+  Runtime rt(opts);
+  w.Run(&rt);
+  EXPECT_EQ(w.o, w.Expected());
+  EXPECT_EQ(rt.stats().Take().stages_rebatched, 0);
+}
+
+TEST(RebatchIdentity, WarmPlanCacheReproducesRebatching) {
+  // The per-stage batch fields (elem_bytes_hint) ride plan templates; a
+  // warm hit must re-batch exactly like the cold run did.
+  const long n = std::max<long>(100000, 4 * static_cast<long>(L2CacheBytes()) / 16);
+  PlanCache cache;
+  auto run = [&](EvalStats::Snapshot* out) {
+    FootprintBlowup w(n);
+    RuntimeOptions opts = Opts();
+    opts.plan_cache = &cache;
+    Runtime rt(opts);
+    w.Run(&rt);
+    EXPECT_EQ(w.o, w.Expected());
+    *out = rt.stats().Take();
+  };
+  EvalStats::Snapshot cold, warm;
+  run(&cold);
+  run(&warm);
+  EXPECT_EQ(cold.plans_built, 1);
+  EXPECT_EQ(warm.plans_built, 0) << "warm runtime re-planned";
+  EXPECT_EQ(warm.plan_cache_hits, 1);
+  EXPECT_EQ(warm.stages_rebatched, cold.stages_rebatched);
+  EXPECT_EQ(warm.boundaries_elided, cold.boundaries_elided);
+  EXPECT_EQ(warm.footprint_bytes_max, cold.footprint_bytes_max);
+}
+
+// ---- owned streams: subdivision re-Splits pieces, coalescing merges ----
+
+df::Column MakeColumnMod(long n, long mod, double offset) {
+  std::vector<double> vals(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    vals[static_cast<std::size_t>(i)] = static_cast<double>(i % mod) + offset;
+  }
+  return df::Column::Doubles(std::move(vals));
+}
+
+TEST(RebatchOwned, NarrowConsumerCoalescesCarriedPieces) {
+  // Wide producer (5 column buffers live) → narrow consumer (2): consumer
+  // batch ≈ 2.5× the carried granularity, so adjacent pieces coalesce per
+  // worker (real per-worker merges, no global merge → re-split). Values are
+  // small integers so the parallel reduction stays exactly representable.
+  const long n = std::max<long>(60000, 6 * static_cast<long>(L2CacheBytes()) / 40);
+  df::Column a = MakeColumnMod(n, 100, 0.0);
+  df::Column b = MakeColumnMod(n, 100, 1.0);
+  df::Column c = MakeColumnMod(n, 100, 2.0);
+  Runtime rt(Opts());
+  double got;
+  {
+    RuntimeScope scope(&rt);
+    Future<double> sum = [&] {
+      auto ab = mzdf::ColMul(a, b);
+      auto x = mzdf::ColAdd(ab, c);  // stage A: a, b, ab, c, x live
+      Tick()(1);
+      auto y = mzdf::ColMulC(x, 2.0);  // stage B: x (carried), y
+      return mzdf::ColSum(y);
+    }();
+    got = sum.get();
+  }
+  double want = 0;
+  for (long i = 0; i < n; ++i) {
+    double v = static_cast<double>(i % 100);
+    want += 2.0 * (v * (v + 1.0) + v + 2.0);
+  }
+  EXPECT_DOUBLE_EQ(got, want);
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_GE(s.boundaries_elided, 1);
+  EXPECT_EQ(s.stages_rebatched, 1);
+}
+
+TEST(RebatchOwned, DynamicSchedulingRestoresOrderAfterSubdivide) {
+  // Narrow producer → wide consumer over an owned column stream, with work
+  // stealing: subdivided pieces are claimed out of order and the consumer's
+  // output column must still reassemble in source order. The output future
+  // stays live, so its merge is the deferred (merge-on-get) path — ordered
+  // pieces merged on demand.
+  const long n = std::max<long>(80000, 4 * static_cast<long>(L2CacheBytes()) / 16);
+  df::Column base = MakeColumn(n);
+  RuntimeOptions opts = Opts(/*threads=*/4);
+  opts.dynamic_scheduling = true;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  Future<df::Column> out = [&] {
+    auto x = mzdf::ColMulC(base, 1.0);  // stage A: base, x (narrow)
+    Tick()(7);
+    // Stage B: x carried + m, w, z, s live → wide.
+    auto m = mzdf::ColGtC(x, -1.0);
+    auto w = mzdf::ColWhere(m, x, 0.0);
+    auto z = mzdf::ColMul(w, x);
+    return mzdf::ColMulC(z, 2.0);
+  }();
+  df::Column got = out.get();
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_GE(s.boundaries_elided, 1);
+  EXPECT_EQ(s.stages_rebatched, 1);
+  ASSERT_EQ(got.size(), n);
+  for (long i = 0; i < n; i += 997) {
+    double v = static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(got.d(i), 2.0 * v * v) << "row order lost at " << i;
+  }
+}
+
+TEST(RebatchOwned, ZeroElementStreamNeverRebatches) {
+  df::Column base = MakeColumn(0);
+  Runtime rt(Opts());
+  double got;
+  {
+    RuntimeScope scope(&rt);
+    Future<double> sum = [&] {
+      auto x = mzdf::ColMulC(base, 1.0);
+      Tick()(1);
+      auto m = mzdf::ColGtC(x, -1.0);
+      auto w = mzdf::ColWhere(m, x, 0.0);
+      auto z = mzdf::ColMul(w, x);
+      return mzdf::ColSum(z);
+    }();
+    got = sum.get();
+  }
+  EXPECT_DOUBLE_EQ(got, 0.0);
+  EXPECT_EQ(rt.stats().Take().stages_rebatched, 0);
+}
+
+TEST(RebatchOwned, TinyTotalStaysSinglePiece) {
+  // A total far below any batch size: one piece per worker, nothing to
+  // subdivide or coalesce — the reconciliation must be a clean no-op.
+  const long n = 64;
+  df::Column base = MakeColumn(n);
+  Runtime rt(Opts());
+  double got;
+  {
+    RuntimeScope scope(&rt);
+    Future<double> sum = [&] {
+      auto x = mzdf::ColMulC(base, 3.0);
+      Tick()(1);
+      auto m = mzdf::ColGtC(x, -1.0);
+      auto w = mzdf::ColWhere(m, x, 0.0);
+      auto z = mzdf::ColMul(w, x);
+      return mzdf::ColSum(z);
+    }();
+    got = sum.get();
+  }
+  double want = 0;
+  for (long i = 0; i < n; ++i) {
+    double x = 3.0 * static_cast<double>(i);
+    want += x * x;
+  }
+  EXPECT_DOUBLE_EQ(got, want);
+  EXPECT_EQ(rt.stats().Take().stages_rebatched, 0);
+}
+
+// ---- multi-producer carries (carry chains) ----
+
+TEST(RebatchChains, AlignedCarriesFromTwoProducersBothElide) {
+  // -pipe puts every node in its own stage: stage 2 consumes p (produced in
+  // stage 0) and q (produced in stage 1). Both streams are aligned identity
+  // ArraySplit<n>, so BOTH may carry — the single-producer rule used to
+  // drop one of them.
+  const long n = 120000;
+  std::vector<double> a(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 2.0);
+  std::vector<double> p(static_cast<std::size_t>(n));
+  std::vector<double> q(static_cast<std::size_t>(n));
+  std::vector<double> r(static_cast<std::size_t>(n));
+  RuntimeOptions opts = Opts();
+  opts.pipeline = false;
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  mzvec::Copy(n, a.data(), p.data());
+  mzvec::Copy(n, b.data(), q.data());
+  mzvec::Add(n, p.data(), q.data(), r.data());
+  rt.Evaluate();
+  for (long i = 0; i < n; i += 1999) {
+    EXPECT_DOUBLE_EQ(r[static_cast<std::size_t>(i)], 3.0);
+  }
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.stages, 3);
+  EXPECT_EQ(s.boundaries_elided, 2) << "both producers' pieces should carry";
+}
+
+TEST(RebatchChains, IdentityPipelineChainsAllBoundaries) {
+  // Acceptance shape: an N-stage identity-merge pipeline does one split and
+  // one merge total — stages-1 boundaries elided, chain length stages-1.
+  const long n = 80000;
+  const int kStages = 4;
+  std::vector<double> a(static_cast<std::size_t>(n), 16.0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  RuntimeOptions opts = Opts();
+  opts.pipeline = false;  // one stage per node
+  Runtime rt(opts);
+  RuntimeScope scope(&rt);
+  mzvec::Sqrt(n, a.data(), out.data());   // 4
+  mzvec::Sqrt(n, out.data(), out.data()); // 2
+  mzvec::Sqr(n, out.data(), out.data());  // 4
+  mzvec::Sqrt(n, out.data(), out.data()); // 2
+  rt.Evaluate();
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EvalStats::Snapshot s = rt.stats().Take();
+  EXPECT_EQ(s.stages, kStages);
+  EXPECT_EQ(s.boundaries_elided, kStages - 1);
+  EXPECT_EQ(s.carry_chain_len_max, kStages - 1);
+}
+
+}  // namespace
+}  // namespace mz
