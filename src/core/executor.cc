@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <utility>
@@ -41,37 +42,60 @@ struct BufExec {
 
 }  // namespace
 
-// Reusable scratch: the per-stage pieces/partials tables and per-worker
+// Reusable scratch: the per-depth pieces/partials tables and per-worker
 // cursors live here so a multi-stage plan reuses their capacity instead of
-// reallocating every stage.
+// reallocating every region.
 struct Executor::Scratch {
-  std::vector<BufExec> bufs;
-  // pieces[buffer][worker] — output pieces tagged with their batch range.
-  std::vector<std::vector<std::vector<OrderedPiece>>> pieces;
-  std::vector<std::vector<Value>> partials;  // [buffer][worker]
-  std::vector<CarriedSet> carried_in;        // [buffer]; valid when carry_in
+  // Execution state for one stage of the current region ("depth" = its
+  // position within the region; a standalone stage is a region of depth 1).
+  struct StageExec {
+    std::vector<BufExec> bufs;
+    // pieces[buffer][worker] — output pieces tagged with their batch range.
+    std::vector<std::vector<std::vector<OrderedPiece>>> pieces;
+    std::vector<std::vector<Value>> partials;  // [buffer][worker]
+    std::vector<CarriedSet> carried_in;        // depth 0 only
+    // In-region piece feeds (pipeline regions): the producer side records
+    // which depth consumes its carry_out buffer and a dense feed slot id;
+    // the consumer side records where its carried input comes from.
+    std::vector<int> feed_consumer;  // producer: consuming depth, -1 = none
+    std::vector<int> feed_id;        // producer: dense feed slot id
+    std::vector<int> src_depth;      // consumer: producer depth, -1 = none
+    std::vector<int> src_buf;        // consumer: producer buffer index
+    std::vector<int> src_feed;       // consumer: dense feed slot id
+  };
+  std::vector<StageExec> stages;
   struct PerWorker {
-    std::vector<Value> cur;
+    std::vector<std::vector<Value>> cur;  // [depth][buffer]
     std::vector<Value*> call_args;
   };
   std::vector<PerWorker> workers;
   // Flattened (worker, index) piece order for dynamic piece-driven stages.
   std::vector<std::pair<int, std::size_t>> flat;
 
-  void Reset(std::size_t nb, int num_threads) {
-    bufs.assign(nb, BufExec{});
-    pieces.resize(nb);
-    for (auto& per_buffer : pieces) {
-      per_buffer.resize(static_cast<std::size_t>(num_threads));
-      for (auto& per_worker : per_buffer) {
-        per_worker.clear();
+  void Reset(const std::vector<const Stage*>& region, int num_threads) {
+    stages.resize(region.size());
+    for (std::size_t d = 0; d < region.size(); ++d) {
+      StageExec& st = stages[d];
+      const std::size_t nb = region[d]->buffers.size();
+      st.bufs.assign(nb, BufExec{});
+      st.pieces.resize(nb);
+      for (auto& per_buffer : st.pieces) {
+        per_buffer.resize(static_cast<std::size_t>(num_threads));
+        for (auto& per_worker : per_buffer) {
+          per_worker.clear();
+        }
       }
+      st.partials.resize(nb);
+      for (auto& per_buffer : st.partials) {
+        per_buffer.assign(static_cast<std::size_t>(num_threads), Value());
+      }
+      st.carried_in.assign(nb, CarriedSet{});
+      st.feed_consumer.assign(nb, -1);
+      st.feed_id.assign(nb, -1);
+      st.src_depth.assign(nb, -1);
+      st.src_buf.assign(nb, -1);
+      st.src_feed.assign(nb, -1);
     }
-    partials.resize(nb);
-    for (auto& per_buffer : partials) {
-      per_buffer.assign(static_cast<std::size_t>(num_threads), Value());
-    }
-    carried_in.assign(nb, CarriedSet{});
     workers.resize(static_cast<std::size_t>(num_threads));
     flat.clear();
   }
@@ -90,24 +114,55 @@ Executor::Executor(TaskGraph* graph, const Registry* registry, ThreadPool* pool,
 
 Executor::~Executor() = default;
 
-std::int64_t Executor::HeuristicBatchElems(std::int64_t sum_bytes_per_element) const {
+std::int64_t Executor::HeuristicBatchElems(std::int64_t sum_bytes_per_element,
+                                           std::int64_t resident_bytes) const {
   if (sum_bytes_per_element <= 0) {
     return 0;
   }
-  std::int64_t batch = static_cast<std::int64_t>(opts_.l2_fraction *
-                                                 static_cast<double>(opts_.l2_bytes)) /
-                       sum_bytes_per_element;
-  return std::max<std::int64_t>(batch, 1);
+  std::int64_t budget = static_cast<std::int64_t>(opts_.l2_fraction *
+                                                  static_cast<double>(opts_.l2_bytes)) -
+                        resident_bytes;
+  if (budget <= 0) {
+    // Resident operands (broadcast values) already overflow the cache
+    // budget; the smallest batch at least bounds the marginal working set.
+    return 1;
+  }
+  return std::max<std::int64_t>(budget / sum_bytes_per_element, 1);
 }
 
 void Executor::Run(const Plan& plan) {
-  for (const Stage& stage : plan.stages) {
+  const std::size_t n = plan.stages.size();
+  std::size_t s = 0;
+  while (s < n) {
+    const Stage& stage = plan.stages[s];
     if (stage.serial) {
       RunSerialStage(stage);
-    } else {
-      RunStage(stage);
+      stats_->stages.fetch_add(1, std::memory_order_relaxed);
+      ++s;
+      continue;
     }
-    stats_->stages.fetch_add(1, std::memory_order_relaxed);
+    // Extend a pipelineable region over the run of stages sharing the
+    // planner's region id. The knob (and elide_boundaries, which the
+    // regions are built from) off degrades every stage to its own
+    // single-depth region — exactly the sequential stage loop.
+    std::size_t run_end = s + 1;
+    if (opts_.pipeline_stages && opts_.elide_boundaries && stage.pipeline_region >= 0) {
+      while (run_end < n && !plan.stages[run_end].serial &&
+             plan.stages[run_end].pipeline_region == stage.pipeline_region) {
+        ++run_end;
+      }
+    }
+    std::vector<const Stage*> region;
+    region.reserve(run_end - s);
+    for (std::size_t k = s; k < run_end; ++k) {
+      region.push_back(&plan.stages[k]);
+    }
+    RunRegion(region);
+    stats_->stages.fetch_add(static_cast<std::int64_t>(run_end - s), std::memory_order_relaxed);
+    if (region.size() > 1) {
+      stats_->pipeline_regions.fetch_add(1, std::memory_order_relaxed);
+    }
+    s = run_end;
   }
   MZ_CHECK_MSG(carried_.empty(), "carried pieces left unconsumed at plan end ("
                                      << carried_.size() << " slot(s))");
@@ -143,39 +198,44 @@ void Executor::RunSerialStage(const Stage& stage) {
   }
 }
 
-void Executor::RunStage(const Stage& stage) {
-  const std::size_t nb = stage.buffers.size();
+void Executor::RunRegion(const std::vector<const Stage*>& region) {
+  const int D = static_cast<int>(region.size());
   const int num_threads = pool_->num_threads();
   const bool elide = opts_.elide_boundaries;
   const bool dynamic = opts_.dynamic_scheduling;
   const bool pedantic = opts_.pedantic;
   const bool collect = opts_.collect_stats;
   Scratch& sc = *scratch_;
-  sc.Reset(nb, num_threads);
+  sc.Reset(region, num_threads);
+  const std::int64_t fill_t0 = (collect && D > 1) ? NowNanos() : 0;
 
-  // Claim the piece sets carried into this stage. With single-producer
-  // carries the per-worker range lists are identical by construction; with
-  // multi-producer carry chains they may differ, and the reconciliation
-  // below re-batches or materializes the stragglers.
+  const Stage& stage0 = *region.front();
+  Scratch::StageExec& st0 = sc.stages.front();
+  const std::size_t nb = stage0.buffers.size();
+
+  // Claim the piece sets carried into the region's entry stage. With
+  // single-producer carries the per-worker range lists are identical by
+  // construction; with multi-producer carry chains they may differ, and the
+  // reconciliation below re-batches, re-cuts, or materializes stragglers.
   bool takes_carries = false;
   int template_buf = -1;  // first carried buffer: defines the batch ranges
   std::int64_t carried_total = -1;
   int chain_in_max = 0;
   if (elide) {
     for (std::size_t i = 0; i < nb; ++i) {
-      if (!stage.buffers[i].carry_in) {
+      if (!stage0.buffers[i].carry_in) {
         continue;
       }
-      auto it = carried_.find(stage.buffers[i].slot);
+      auto it = carried_.find(stage0.buffers[i].slot);
       MZ_CHECK_MSG(it != carried_.end(), "stage expects carried pieces for slot "
-                                             << stage.buffers[i].slot
+                                             << stage0.buffers[i].slot
                                              << " but none are in flight");
-      sc.carried_in[i] = std::move(it->second);
+      st0.carried_in[i] = std::move(it->second);
       carried_.erase(it);
-      sc.bufs[i].carried = true;
+      st0.bufs[i].carried = true;
       // Dynamic producers emit pieces in claim order; reconciliation and
       // adjacency-based coalescing want each worker's list range-sorted.
-      for (auto& per_worker : sc.carried_in[i].per_worker) {
+      for (auto& per_worker : st0.carried_in[i].per_worker) {
         std::sort(per_worker.begin(), per_worker.end(),
                   [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
       }
@@ -183,57 +243,59 @@ void Executor::RunStage(const Stage& stage) {
         template_buf = static_cast<int>(i);
       }
       if (carried_total < 0) {
-        carried_total = sc.carried_in[i].total;
+        carried_total = st0.carried_in[i].total;
       } else {
-        MZ_THROW_IF(carried_total != sc.carried_in[i].total,
+        MZ_THROW_IF(carried_total != st0.carried_in[i].total,
                     "carried piece sets disagree on total elements: "
-                        << carried_total << " vs " << sc.carried_in[i].total);
+                        << carried_total << " vs " << st0.carried_in[i].total);
       }
-      chain_in_max = std::max(chain_in_max, sc.carried_in[i].chain_len);
+      chain_in_max = std::max(chain_in_max, st0.carried_in[i].chain_len);
       takes_carries = true;
     }
   }
 
-  // Resolves buffer i as a freshly split input (split type, params,
-  // splitter, Info). Also used when a carried set materializes back into a
-  // full value during reconciliation.
-  auto resolve_fresh_input = [&](std::size_t i) {
-    const StageBuffer& def = stage.buffers[i];
+  // Resolves buffer i of depth d as a freshly split input (split type,
+  // params, splitter, Info). Also used when a carried set materializes back
+  // into a full value during reconciliation.
+  auto resolve_fresh_input_at = [&](int d, std::size_t i) {
+    const StageBuffer& def = region[static_cast<std::size_t>(d)]->buffers[i];
+    Scratch::StageExec& st = sc.stages[static_cast<std::size_t>(d)];
     InternedId name = def.split_name;
     if (def.use_default_split) {
-      auto dflt = registry_->DefaultSplitTypeFor(sc.bufs[i].full.type());
+      auto dflt = registry_->DefaultSplitTypeFor(st.bufs[i].full.type());
       MZ_THROW_IF(!dflt.has_value(), "no default split type registered for C++ type "
-                                         << sc.bufs[i].full.type_name());
+                                         << st.bufs[i].full.type_name());
       name = *dflt;
-      sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
+      st.bufs[i].params = registry_->RunLateCtor(name, st.bufs[i].full);
     } else if (def.params_deferred) {
-      sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
+      st.bufs[i].params = registry_->RunLateCtor(name, st.bufs[i].full);
     } else {
-      sc.bufs[i].params = def.params;
+      st.bufs[i].params = def.params;
     }
-    sc.bufs[i].splitter = registry_->FindSplitter(name, sc.bufs[i].full.type());
-    MZ_THROW_IF(sc.bufs[i].splitter == nullptr, "no splitter registered for ("
+    st.bufs[i].splitter = registry_->FindSplitter(name, st.bufs[i].full.type());
+    MZ_THROW_IF(st.bufs[i].splitter == nullptr, "no splitter registered for ("
                                                     << InternedName(name) << ", "
-                                                    << sc.bufs[i].full.type_name() << ")");
-    sc.bufs[i].info = sc.bufs[i].splitter->Info(sc.bufs[i].full, sc.bufs[i].params);
+                                                    << st.bufs[i].full.type_name() << ")");
+    st.bufs[i].info = st.bufs[i].splitter->Info(st.bufs[i].full, st.bufs[i].params);
   };
+  auto resolve_fresh_input = [&](std::size_t i) { resolve_fresh_input_at(0, i); };
 
   std::int64_t total = -1;
   std::int64_t sum_bpe = 0;
   for (std::size_t i = 0; i < nb; ++i) {
-    const StageBuffer& def = stage.buffers[i];
-    sc.bufs[i].def = &def;
-    if (sc.bufs[i].carried) {
+    const StageBuffer& def = stage0.buffers[i];
+    st0.bufs[i].def = &def;
+    if (st0.bufs[i].carried) {
       // Carried inputs skip Info and Split. Keep the slot's full value when
       // it still holds one (identity streams: pieces alias it) so merges
       // and broadcasts that name the original stay correct, and the
       // plan-time params for a possible merge of mutated carried pieces.
       Slot& slot = graph_->slot(def.slot);
       if (slot.value.has_value()) {
-        sc.bufs[i].full = slot.value;
+        st0.bufs[i].full = slot.value;
       }
       if (!def.use_default_split && !def.params_deferred) {
-        sc.bufs[i].params = def.params;
+        st0.bufs[i].params = def.params;
       }
       continue;
     }
@@ -243,20 +305,20 @@ void Executor::RunStage(const Stage& stage) {
     Slot& slot = graph_->slot(def.slot);
     MZ_THROW_IF(!slot.value.has_value(), "stage input has no materialized value (slot "
                                              << def.slot << ")");
-    sc.bufs[i].full = slot.value;
+    st0.bufs[i].full = slot.value;
     if (!def.is_input) {
       continue;
     }
     resolve_fresh_input(i);
     if (total < 0) {
-      total = sc.bufs[i].info.total_elements;
+      total = st0.bufs[i].info.total_elements;
     } else {
-      MZ_THROW_IF(total != sc.bufs[i].info.total_elements,
+      MZ_THROW_IF(total != st0.bufs[i].info.total_elements,
                   "stage inputs disagree on total elements: "
-                      << total << " vs " << sc.bufs[i].info.total_elements << " (slot "
+                      << total << " vs " << st0.bufs[i].info.total_elements << " (slot "
                       << def.slot << ")");
     }
-    sum_bpe += sc.bufs[i].info.bytes_per_element;
+    sum_bpe += st0.bufs[i].info.bytes_per_element;
   }
   if (takes_carries) {
     MZ_THROW_IF(total >= 0 && total != carried_total,
@@ -266,15 +328,83 @@ void Executor::RunStage(const Stage& stage) {
   }
   MZ_CHECK_MSG(total >= 0, "non-serial stage with no split inputs");
 
-  std::atomic<std::int64_t> cursor{0};       // dynamic mode: next unclaimed batch
-  std::atomic<std::size_t> piece_cursor{0};  // dynamic carried mode
+  // Resolve the interior stages of the region (depth >= 1): every carried
+  // split input is fed by an earlier in-region stage (AnnotatePipeline
+  // guarantees this), so wire producer -> consumer feed slots instead of
+  // claiming from carried_. Fresh split inputs were materialized before the
+  // region started (the planner refuses regions over in-region-produced
+  // fresh inputs) and split by the in-flight batch ranges, exactly like the
+  // entry stage's. Broadcasts read slots the region never writes.
+  int num_feed_slots = 0;
+  for (int d = 1; d < D; ++d) {
+    const Stage& stage = *region[static_cast<std::size_t>(d)];
+    Scratch::StageExec& st = sc.stages[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < stage.buffers.size(); ++i) {
+      const StageBuffer& def = stage.buffers[i];
+      st.bufs[i].def = &def;
+      if (def.is_broadcast) {
+        Slot& slot = graph_->slot(def.slot);
+        MZ_THROW_IF(!slot.value.has_value(),
+                    "pipelined stage broadcast has no materialized value (slot " << def.slot
+                                                                                << ")");
+        st.bufs[i].full = slot.value;
+        continue;
+      }
+      if (!def.is_input) {
+        continue;
+      }
+      if (!def.carry_in) {
+        Slot& slot = graph_->slot(def.slot);
+        MZ_THROW_IF(!slot.value.has_value(), "pipelined stage input has no materialized value "
+                                                 << "(slot " << def.slot << ")");
+        st.bufs[i].full = slot.value;
+        resolve_fresh_input_at(d, i);
+        MZ_THROW_IF(st.bufs[i].info.total_elements != total,
+                    "pipelined stage input disagrees with the region on total elements: "
+                        << st.bufs[i].info.total_elements << " vs " << total << " (slot "
+                        << def.slot << ")");
+        continue;
+      }
+      int src_d = -1;
+      int src_b = -1;
+      for (int p = d - 1; p >= 0 && src_d < 0; --p) {
+        const Stage& prev = *region[static_cast<std::size_t>(p)];
+        for (std::size_t j = 0; j < prev.buffers.size(); ++j) {
+          if (prev.buffers[j].slot == def.slot && prev.buffers[j].carry_out) {
+            src_d = p;
+            src_b = static_cast<int>(j);
+            break;
+          }
+        }
+      }
+      MZ_THROW_IF(src_d < 0,
+                  "no in-region producer for carried slot " << def.slot << " at depth " << d);
+      Scratch::StageExec& src = sc.stages[static_cast<std::size_t>(src_d)];
+      MZ_THROW_IF(src.feed_consumer[static_cast<std::size_t>(src_b)] >= 0,
+                  "carried slot " << def.slot << " feeds two in-region consumers");
+      src.feed_consumer[static_cast<std::size_t>(src_b)] = d;
+      src.feed_id[static_cast<std::size_t>(src_b)] = num_feed_slots;
+      st.src_depth[i] = src_d;
+      st.src_buf[i] = src_b;
+      st.src_feed[i] = num_feed_slots;
+      ++num_feed_slots;
+      st.bufs[i].carried = true;  // fed in-flight: no Info/Split calls
+      Slot& slot = graph_->slot(def.slot);
+      if (slot.value.has_value()) {
+        st.bufs[i].full = slot.value;
+      }
+      if (!def.use_default_split && !def.params_deferred) {
+        st.bufs[i].params = def.params;
+      }
+    }
+  }
 
   // Merge parameters: inputs use their (possibly late-constructed) split
   // params; produced buffers use plan-time params unless deferred.
-  auto merge_params_for = [&](std::size_t i) -> std::span<const std::int64_t> {
-    const StageBuffer& def = stage.buffers[i];
+  auto merge_params_for = [&](int d, std::size_t i) -> std::span<const std::int64_t> {
+    const StageBuffer& def = region[static_cast<std::size_t>(d)]->buffers[i];
     if (def.is_input) {
-      return sc.bufs[i].params;
+      return sc.stages[static_cast<std::size_t>(d)].bufs[i].params;
     }
     if (def.params_deferred) {
       return {};
@@ -282,13 +412,15 @@ void Executor::RunStage(const Stage& stage) {
     return def.params;
   };
 
-  // Resolves the splitter used to merge pieces of buffer i (the input's own
-  // splitter when it has one, otherwise derived from the piece type).
-  auto merge_splitter_for = [&](std::size_t i, const Value& sample_piece) -> const Splitter* {
-    if (sc.bufs[i].splitter != nullptr) {
-      return sc.bufs[i].splitter;
+  // Resolves the splitter used to merge pieces of buffer (d, i) (the input's
+  // own splitter when it has one, otherwise derived from the piece type).
+  auto merge_splitter_for = [&](int d, std::size_t i,
+                                const Value& sample_piece) -> const Splitter* {
+    Scratch::StageExec& st = sc.stages[static_cast<std::size_t>(d)];
+    if (st.bufs[i].splitter != nullptr) {
+      return st.bufs[i].splitter;
     }
-    const StageBuffer& def = stage.buffers[i];
+    const StageBuffer& def = region[static_cast<std::size_t>(d)]->buffers[i];
     InternedId name = def.split_name;
     if (def.merge_by_piece_type || def.split_name == 0) {
       auto dflt = registry_->DefaultSplitTypeFor(sample_piece.type());
@@ -313,9 +445,9 @@ void Executor::RunStage(const Stage& stage) {
 
   // Same resolution, but returning the owning handle (deferred merges
   // outlive this evaluation and must pin their splitter registration).
-  auto merge_splitter_shared_for = [&](std::size_t i, const Value& sample_piece)
+  auto merge_splitter_shared_for = [&](int d, std::size_t i, const Value& sample_piece)
       -> std::shared_ptr<const Splitter> {
-    const StageBuffer& def = stage.buffers[i];
+    const StageBuffer& def = region[static_cast<std::size_t>(d)]->buffers[i];
     InternedId name = def.split_name;
     if (def.merge_by_piece_type || def.split_name == 0) {
       auto dflt = registry_->DefaultSplitTypeFor(sample_piece.type());
@@ -339,23 +471,28 @@ void Executor::RunStage(const Stage& stage) {
   // are part of the batch's working set too. Carried pieces are live — a
   // sample piece's Info() beats any static hint (it knows matrix row widths,
   // string columns, corpus doc sizes); produced values fall back to the
-  // planner's splitter-declared widths (elem_bytes_hint).
+  // planner's splitter-declared widths (elem_bytes_hint). Broadcast ("_")
+  // operands sit cache-resident for the whole stage regardless of the batch
+  // size (a hash join's build side), so they charge *resident* bytes that
+  // shrink the batch budget instead of per-element bytes.
+  std::int64_t sum_bpe_max = sum_bpe;
+  std::int64_t resident_max = 0;
   if (opts_.batch_per_stage) {
     for (std::size_t i = 0; i < nb; ++i) {
-      const StageBuffer& def = stage.buffers[i];
+      const StageBuffer& def = stage0.buffers[i];
       if (def.is_broadcast) {
-        continue;
+        continue;  // charged as resident bytes below
       }
-      if (!sc.bufs[i].carried && def.is_input) {
+      if (!st0.bufs[i].carried && def.is_input) {
         continue;  // fresh inputs already contributed their Info() width
       }
       std::int64_t bpe = def.elem_bytes_hint;
-      if (sc.bufs[i].carried) {
-        const Value* sample = FirstPiece(sc.carried_in[i].per_worker);
+      if (st0.bufs[i].carried) {
+        const Value* sample = FirstPiece(st0.carried_in[i].per_worker);
         if (sample != nullptr) {
           try {
-            const Splitter* s = merge_splitter_for(i, *sample);
-            RuntimeInfo piece_info = s->Info(*sample, merge_params_for(i));
+            const Splitter* s = merge_splitter_for(0, i, *sample);
+            RuntimeInfo piece_info = s->Info(*sample, merge_params_for(0, i));
             if (piece_info.bytes_per_element > 0) {
               bpe = piece_info.bytes_per_element;
             }
@@ -366,14 +503,47 @@ void Executor::RunStage(const Stage& stage) {
       }
       sum_bpe += bpe;
     }
+    sum_bpe_max = sum_bpe;
+    for (int d = 0; d < D; ++d) {
+      const Stage& stage = *region[static_cast<std::size_t>(d)];
+      Scratch::StageExec& st = sc.stages[static_cast<std::size_t>(d)];
+      std::int64_t resident = 0;
+      std::int64_t interior_bpe = 0;
+      for (std::size_t i = 0; i < stage.buffers.size(); ++i) {
+        const StageBuffer& def = stage.buffers[i];
+        if (def.is_broadcast) {
+          if (auto info = registry_->ProbeRuntimeInfo(st.bufs[i].full);
+              info.has_value() && info->bytes_per_element > 0 && info->total_elements > 0) {
+            resident += info->total_elements * info->bytes_per_element;
+          }
+          continue;
+        }
+        if (d > 0) {
+          // Fresh interior inputs carry a resolved Info(); fed/produced
+          // buffers fall back to the planner's splitter-declared width.
+          if (st.bufs[i].splitter != nullptr && !st.bufs[i].carried &&
+              st.bufs[i].info.bytes_per_element > 0) {
+            interior_bpe += st.bufs[i].info.bytes_per_element;
+          } else {
+            interior_bpe += def.elem_bytes_hint;
+          }
+        }
+      }
+      if (d > 0) {
+        // One batch walks the region depth by depth, so the live working
+        // set is the widest stage's, not the sum of all stages'.
+        sum_bpe_max = std::max(sum_bpe_max, interior_bpe);
+      }
+      resident_max = std::max(resident_max, resident);
+    }
   }
 
-  // Per-stage batch from the footprint sum. Carried stages need it too: it
-  // is the yardstick the re-batching decision measures the inherited piece
-  // granularity against.
+  // Per-region batch from the footprint maximum. Carried stages need it
+  // too: it is the yardstick the re-batching decision measures the
+  // inherited piece granularity against.
   std::int64_t batch = opts_.batch_override;
   if (batch <= 0) {
-    batch = HeuristicBatchElems(sum_bpe);
+    batch = HeuristicBatchElems(sum_bpe_max, resident_max);
     if (batch == 0) {
       // No buffer reports a memory footprint; fall back to one batch per
       // worker.
@@ -383,7 +553,7 @@ void Executor::RunStage(const Stage& stage) {
   batch = std::clamp<std::int64_t>(batch, 1, std::max<std::int64_t>(total, 1));
   const std::int64_t chunk = (std::max<std::int64_t>(total, 1) + num_threads - 1) / num_threads;
 
-  // Effective per-batch granularity this stage actually runs at (for the
+  // Effective per-batch granularity this region actually runs at (for the
   // footprint_bytes_max gauge): the batch size, or the largest carried
   // piece after reconciliation.
   std::int64_t granularity = batch;
@@ -393,11 +563,11 @@ void Executor::RunStage(const Stage& stage) {
   // chains). The template set's ranges define the stage's final batch
   // structure; every other carried buffer is brought to that exact
   // structure — kept as-is, transformed piecewise, rebuilt by re-slicing an
-  // identity stream's full value, or (last resort) materialized into the
-  // slot and re-split like a fresh input. Returns the largest piece length
-  // of the final structure.
+  // identity stream's full value, re-cut from pieces that tile the stream
+  // exactly, or (last resort) materialized into the slot and re-split like
+  // a fresh input. Returns the largest piece length of the final structure.
   auto reconcile_carried = [&]() -> std::int64_t {
-    CarriedSet& tset = sc.carried_in[static_cast<std::size_t>(template_buf)];
+    CarriedSet& tset = st0.carried_in[static_cast<std::size_t>(template_buf)];
 
     auto same_structure = [](const CarriedSet& a, const CarriedSet& b) {
       if (a.per_worker.size() != b.per_worker.size()) {
@@ -451,29 +621,29 @@ void Executor::RunStage(const Stage& stage) {
     };
     auto capability_of = [&](std::size_t i) {
       Cap cap;
-      const StageBuffer& def = stage.buffers[i];
-      if (sc.bufs[i].full.has_value()) {
+      const StageBuffer& def = stage0.buffers[i];
+      if (st0.bufs[i].full.has_value()) {
         InternedId name = 0;
         if (!def.use_default_split && !def.params_deferred && def.split_name != 0) {
           name = def.split_name;
-        } else if (auto dflt = registry_->DefaultSplitTypeFor(sc.bufs[i].full.type());
+        } else if (auto dflt = registry_->DefaultSplitTypeFor(st0.bufs[i].full.type());
                    dflt.has_value()) {
           name = *dflt;
         }
         if (name != 0) {
-          const Splitter* s = registry_->FindSplitter(name, sc.bufs[i].full.type());
+          const Splitter* s = registry_->FindSplitter(name, st0.bufs[i].full.type());
           if (s != nullptr && s->traits().merge_is_identity) {
             cap.identity_full = true;
             cap.full_splitter = s;
-            if (sc.bufs[i].params.empty() && (def.use_default_split || def.params_deferred)) {
-              sc.bufs[i].params = registry_->RunLateCtor(name, sc.bufs[i].full);
+            if (st0.bufs[i].params.empty() && (def.use_default_split || def.params_deferred)) {
+              st0.bufs[i].params = registry_->RunLateCtor(name, st0.bufs[i].full);
             }
           }
         }
       }
-      if (const Value* sample = FirstPiece(sc.carried_in[i].per_worker)) {
+      if (const Value* sample = FirstPiece(st0.carried_in[i].per_worker)) {
         try {
-          cap.piece_splitter = merge_splitter_for(i, *sample);
+          cap.piece_splitter = merge_splitter_for(0, i, *sample);
         } catch (const std::exception&) {
           cap.piece_splitter = nullptr;  // no merge path; identity may still apply
         }
@@ -487,11 +657,11 @@ void Executor::RunStage(const Stage& stage) {
     std::vector<Cap> caps(nb);
     std::vector<bool> matches(nb, false);
     for (std::size_t i = 0; i < nb; ++i) {
-      if (!sc.bufs[i].carried) {
+      if (!st0.bufs[i].carried) {
         continue;
       }
       caps[i] = capability_of(i);
-      matches[i] = static_cast<int>(i) == template_buf || same_structure(sc.carried_in[i], tset);
+      matches[i] = static_cast<int>(i) == template_buf || same_structure(st0.carried_in[i], tset);
     }
 
     const Cap& tcap = caps[static_cast<std::size_t>(template_buf)];
@@ -548,14 +718,51 @@ void Executor::RunStage(const Stage& stage) {
       }
     }
 
+    // Coverage-aware re-cut (multi-producer carry chains): a non-matching
+    // set whose pieces tile [0, total) exactly can be re-cut in place to the
+    // template structure through its own splitter — no materialize, no
+    // re-split of a merged value. Gaps, overlaps, or empty pieces fail the
+    // check and fall back to materializing.
+    std::vector<std::vector<OrderedPiece>> recut_sources(nb);
+    auto gather_recut_sources = [&](std::size_t i) -> bool {
+      std::vector<OrderedPiece> all;
+      for (const auto& per_worker : st0.carried_in[i].per_worker) {
+        for (const OrderedPiece& p : per_worker) {
+          if (p.end <= p.start) {
+            continue;
+          }
+          if (!p.piece.has_value()) {
+            return false;
+          }
+          all.push_back(p);  // shared-holder copy; originals stay for fallback
+        }
+      }
+      if (all.empty()) {
+        return false;
+      }
+      std::sort(all.begin(), all.end(),
+                [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
+      if (all.front().start != 0 || all.back().end != total) {
+        return false;
+      }
+      for (std::size_t k = 1; k < all.size(); ++k) {
+        if (all[k].start != all[k - 1].end) {
+          return false;
+        }
+      }
+      recut_sources[i] = std::move(all);
+      return true;
+    };
+
     // Per-buffer plan: keep, rebuild from the full value, transform
-    // piecewise, or materialize.
-    enum class Mode { kKeep, kRebuild, kPiecewise, kMaterialize };
+    // piecewise, re-cut from coverage, or materialize.
+    enum class Mode { kKeep, kRebuild, kPiecewise, kRecut, kMaterialize };
     std::vector<Mode> modes(nb, Mode::kKeep);
     bool any_transform = false;
     bool any_rebatch = false;
+    int nrecut = 0;
     for (std::size_t i = 0; i < nb; ++i) {
-      if (!sc.bufs[i].carried) {
+      if (!st0.bufs[i].carried) {
         continue;
       }
       if (matches[i]) {
@@ -571,12 +778,22 @@ void Executor::RunStage(const Stage& stage) {
         }
       } else {
         // Different producer, different range structure: re-slice identity
-        // streams straight to the final structure, everything else
+        // streams straight to the final structure; owned streams whose
+        // pieces provably cover the stream re-cut in place; everything else
         // materializes (sound: merging at consume time is what the
         // non-carried path would have done at the boundary).
-        modes[i] = caps[i].identity_full ? Mode::kRebuild : Mode::kMaterialize;
+        if (caps[i].identity_full) {
+          modes[i] = Mode::kRebuild;
+        } else if (caps[i].piece_splitter != nullptr && caps[i].piece_subdivide &&
+                   gather_recut_sources(i)) {
+          modes[i] = Mode::kRecut;
+          ++nrecut;
+        } else {
+          modes[i] = Mode::kMaterialize;
+        }
       }
-      if (modes[i] == Mode::kRebuild || modes[i] == Mode::kPiecewise) {
+      if (modes[i] == Mode::kRebuild || modes[i] == Mode::kPiecewise ||
+          modes[i] == Mode::kRecut) {
         any_transform = true;
         if (matches[i] && op != Op::kNone) {
           any_rebatch = true;
@@ -585,10 +802,10 @@ void Executor::RunStage(const Stage& stage) {
     }
 
     for (std::size_t i = 0; i < nb; ++i) {
-      if (!sc.bufs[i].carried || modes[i] != Mode::kMaterialize) {
+      if (!st0.bufs[i].carried || modes[i] != Mode::kMaterialize) {
         continue;
       }
-      CarriedSet& set = sc.carried_in[i];
+      CarriedSet& set = st0.carried_in[i];
       std::vector<OrderedPiece> all;
       for (auto& per_worker : set.per_worker) {
         all.insert(all.end(), std::make_move_iterator(per_worker.begin()),
@@ -604,17 +821,17 @@ void Executor::RunStage(const Stage& stage) {
         }
       }
       if (!parts.empty()) {
-        const Splitter* ms = merge_splitter_for(i, parts.front());
-        sc.bufs[i].full = ms->Merge(sc.bufs[i].full, std::move(parts), merge_params_for(i));
+        const Splitter* ms = merge_splitter_for(0, i, parts.front());
+        st0.bufs[i].full = ms->Merge(st0.bufs[i].full, std::move(parts), merge_params_for(0, i));
       }
-      MZ_THROW_IF(!sc.bufs[i].full.has_value(),
-                  "cannot materialize carried pieces for slot " << stage.buffers[i].slot);
-      sc.bufs[i].carried = false;
+      MZ_THROW_IF(!st0.bufs[i].full.has_value(),
+                  "cannot materialize carried pieces for slot " << stage0.buffers[i].slot);
+      st0.bufs[i].carried = false;
       set = CarriedSet{};
       resolve_fresh_input(i);
-      MZ_THROW_IF(sc.bufs[i].info.total_elements != total,
+      MZ_THROW_IF(st0.bufs[i].info.total_elements != total,
                   "materialized carried value disagrees on total elements: "
-                      << sc.bufs[i].info.total_elements << " vs " << total);
+                      << st0.bufs[i].info.total_elements << " vs " << total);
     }
 
     if (any_transform) {
@@ -624,18 +841,51 @@ void Executor::RunStage(const Stage& stage) {
         try {
           SplitContext ctx{w, num_threads};
           for (std::size_t i = 0; i < nb; ++i) {
-            if (!sc.bufs[i].carried || modes[i] == Mode::kKeep) {
+            if (!st0.bufs[i].carried || modes[i] == Mode::kKeep) {
               continue;
             }
             const auto& fr = final_ranges[static_cast<std::size_t>(w)];
-            auto& old = sc.carried_in[i].per_worker[static_cast<std::size_t>(w)];
+            auto& old = st0.carried_in[i].per_worker[static_cast<std::size_t>(w)];
             std::vector<OrderedPiece> fresh;
             fresh.reserve(fr.size());
             for (const FinalRange& r : fr) {
               if (modes[i] == Mode::kRebuild) {
                 fresh.push_back({r.start, r.end,
-                                 caps[i].full_splitter->Split(sc.bufs[i].full, r.start, r.end,
-                                                              sc.bufs[i].params, ctx)});
+                                 caps[i].full_splitter->Split(st0.bufs[i].full, r.start, r.end,
+                                                              st0.bufs[i].params, ctx)});
+              } else if (modes[i] == Mode::kRecut) {
+                // Cut [r.start, r.end) out of the sorted covering pieces;
+                // sources are shared across workers, so whole-piece reuse
+                // copies the Value instead of moving it.
+                const auto& srcs = recut_sources[i];
+                if (r.start >= r.end) {
+                  fresh.push_back({r.start, r.end,
+                                   caps[i].piece_splitter->Split(srcs.front().piece, 0, 0,
+                                                                 st0.bufs[i].params, ctx)});
+                  continue;
+                }
+                auto it = std::upper_bound(
+                    srcs.begin(), srcs.end(), r.start,
+                    [](std::int64_t v, const OrderedPiece& p) { return v < p.end; });
+                std::vector<Value> parts;
+                for (; it != srcs.end() && it->start < r.end; ++it) {
+                  const std::int64_t lo = std::max(r.start, it->start);
+                  const std::int64_t hi = std::min(r.end, it->end);
+                  if (lo == it->start && hi == it->end) {
+                    parts.push_back(it->piece);
+                  } else {
+                    parts.push_back(caps[i].piece_splitter->Split(
+                        it->piece, lo - it->start, hi - it->start, st0.bufs[i].params, ctx));
+                  }
+                }
+                if (parts.size() == 1) {
+                  fresh.push_back({r.start, r.end, std::move(parts.front())});
+                } else {
+                  fresh.push_back({r.start, r.end,
+                                   caps[i].piece_splitter->Merge(st0.bufs[i].full,
+                                                                 std::move(parts),
+                                                                 merge_params_for(0, i))});
+                }
               } else if (op == Op::kSubdivide) {
                 OrderedPiece& src = old[r.src_lo];
                 if (r.start == src.start && r.end == src.end) {
@@ -644,7 +894,8 @@ void Executor::RunStage(const Stage& stage) {
                   fresh.push_back(
                       {r.start, r.end,
                        caps[i].piece_splitter->Split(src.piece, r.start - src.start,
-                                                     r.end - src.start, sc.bufs[i].params, ctx)});
+                                                     r.end - src.start, st0.bufs[i].params,
+                                                     ctx)});
                 }
               } else {  // coalesce
                 if (r.src_hi - r.src_lo == 1) {
@@ -655,13 +906,13 @@ void Executor::RunStage(const Stage& stage) {
                   for (std::size_t j = r.src_lo; j < r.src_hi; ++j) {
                     group.push_back(std::move(old[j].piece));
                   }
-                  // sc.bufs[i].full is empty for produced owned streams; a
+                  // st0.bufs[i].full is empty for produced owned streams; a
                   // splitter whose Merge needs the original gets it when the
                   // slot still holds one.
                   fresh.push_back(
                       {r.start, r.end,
-                       caps[i].piece_splitter->Merge(sc.bufs[i].full, std::move(group),
-                                                     merge_params_for(i))});
+                       caps[i].piece_splitter->Merge(st0.bufs[i].full, std::move(group),
+                                                     merge_params_for(0, i))});
                 }
               }
             }
@@ -681,30 +932,87 @@ void Executor::RunStage(const Stage& stage) {
     if (any_rebatch) {
       stats_->stages_rebatched.fetch_add(1, std::memory_order_relaxed);
     }
+    if (nrecut > 0) {
+      stats_->carried_recuts.fetch_add(nrecut, std::memory_order_relaxed);
+    }
     return std::max<std::int64_t>(max_len, 1);
   };
 
   if (takes_carries) {
     granularity = reconcile_carried();
     // Piece-driven: the (reconciled) carried ranges define the batch
-    // structure. Dynamic workers steal from the flattened piece list.
-    if (dynamic && template_buf >= 0) {
-      const auto& lists = sc.carried_in[static_cast<std::size_t>(template_buf)].per_worker;
+    // structure. Dynamic single-stage workers steal from the flattened
+    // piece list; deeper regions use the per-(batch, depth) task queue.
+    if (dynamic && D == 1 && template_buf >= 0) {
+      const auto& lists = st0.carried_in[static_cast<std::size_t>(template_buf)].per_worker;
       for (std::size_t w = 0; w < lists.size(); ++w) {
         for (std::size_t idx = 0; idx < lists[w].size(); ++idx) {
           sc.flat.emplace_back(static_cast<int>(w), idx);
         }
       }
     }
-    MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
-                  << " elems, piece-driven (carried, granularity<=" << granularity << ")";
+    MZ_LOG(Debug) << "region[" << D << "]: " << stage0.funcs.size() << " entry funcs, total="
+                  << total << " elems, piece-driven (carried, granularity<=" << granularity
+                  << ")";
   } else {
-    MZ_LOG(Debug) << "stage: " << stage.funcs.size() << " funcs, total=" << total
-                  << " elems, batch=" << batch << " (sum_bpe=" << sum_bpe << ")";
+    MZ_LOG(Debug) << "region[" << D << "]: " << stage0.funcs.size() << " entry funcs, total="
+                  << total << " elems, batch=" << batch << " (sum_bpe=" << sum_bpe_max
+                  << " resident=" << resident_max << ")";
   }
-  if (collect && sum_bpe > 0 && granularity > 0) {
-    EvalStats::MaxInto(stats_->footprint_bytes_max, granularity * sum_bpe);
+  if (collect && sum_bpe_max > 0 && granularity > 0) {
+    EvalStats::MaxInto(stats_->footprint_bytes_max, granularity * sum_bpe_max);
   }
+
+  std::atomic<std::int64_t> cursor{0};       // dynamic mode: next unclaimed batch
+  std::atomic<std::size_t> piece_cursor{0};  // dynamic carried mode (D == 1)
+  std::atomic<std::int64_t> batch_runs{0};   // depth-0 batches actually run
+
+  // Dynamic scheduling across a deeper region: a per-(batch, depth) task
+  // queue. Each task walks one depth-0 batch through the region; workers
+  // claim the deepest ready task first, so downstream compute and merges
+  // drain while upstream batches are still being produced. Feed values
+  // travel in the task's dense feed slots (any worker may run any depth).
+  struct DynTask {
+    int cw = -1;
+    std::size_t cidx = 0;
+    std::int64_t b = 0;
+    std::int64_t e = 0;
+  };
+  const bool use_queue = dynamic && D > 1;
+  std::vector<DynTask> dtasks;
+  std::vector<std::vector<Value>> dyn_vals;
+  std::mutex qmu;
+  std::condition_variable qcv;
+  std::vector<std::vector<std::size_t>> ready(static_cast<std::size_t>(D));
+  std::size_t q_completed = 0;
+  bool q_failed = false;
+  if (use_queue) {
+    if (takes_carries) {
+      const auto& lists = st0.carried_in[static_cast<std::size_t>(template_buf)].per_worker;
+      for (std::size_t w = 0; w < lists.size(); ++w) {
+        for (std::size_t idx = 0; idx < lists[w].size(); ++idx) {
+          dtasks.push_back({static_cast<int>(w), idx, lists[w][idx].start, lists[w][idx].end});
+        }
+      }
+    } else if (total == 0) {
+      dtasks.push_back({-1, 0, 0, 0});
+    } else {
+      for (std::int64_t b = 0; b < total; b += batch) {
+        dtasks.push_back({-1, 0, b, std::min(total, b + batch)});
+      }
+    }
+    dyn_vals.assign(dtasks.size(), {});
+    for (auto& vals : dyn_vals) {
+      vals.assign(static_cast<std::size_t>(num_feed_slots), Value());
+    }
+    ready[0].reserve(dtasks.size());
+    for (std::size_t ti = 0; ti < dtasks.size(); ++ti) {
+      ready[0].push_back(ti);
+    }
+  }
+  const std::size_t q_total = dtasks.size() * static_cast<std::size_t>(D);
+
+  const std::int64_t fill_t1 = (collect && D > 1) ? NowNanos() : 0;
 
   std::mutex error_mu;
   std::exception_ptr first_error;
@@ -713,43 +1021,71 @@ void Executor::RunStage(const Stage& stage) {
     try {
       SplitContext ctx{t, num_threads};
       Scratch::PerWorker& ws = sc.workers[static_cast<std::size_t>(t)];
-      ws.cur.assign(nb, Value());
-      ws.call_args.clear();
-      for (std::size_t i = 0; i < nb; ++i) {
-        if (stage.buffers[i].is_broadcast) {
-          ws.cur[i] = sc.bufs[i].full;
+      ws.cur.resize(static_cast<std::size_t>(D));
+      for (int d = 0; d < D; ++d) {
+        const Stage& stage = *region[static_cast<std::size_t>(d)];
+        auto& cur = ws.cur[static_cast<std::size_t>(d)];
+        cur.assign(stage.buffers.size(), Value());
+        for (std::size_t i = 0; i < stage.buffers.size(); ++i) {
+          if (stage.buffers[i].is_broadcast) {
+            cur[i] = sc.stages[static_cast<std::size_t>(d)].bufs[i].full;
+          }
         }
       }
+      ws.call_args.clear();
       std::int64_t split_ns = 0;
       std::int64_t task_ns = 0;
       std::int64_t merge_ns = 0;
+      std::int64_t overlap_ns = 0;
       std::int64_t batches = 0;
 
-      // cw/cidx locate the carried pieces feeding the batch [b, e); cw < 0
-      // for range-driven stages.
-      auto run_batch = [&](std::int64_t b, std::int64_t e, int cw, std::size_t cidx) {
+      // Runs the batch [b, e) at region depth d. cw/cidx locate the carried
+      // pieces feeding a depth-0 batch (cw < 0 for range-driven stages);
+      // `vals` is the dynamic queue's feed-slot storage (null under the
+      // static walk, where feed values stay in this worker's ws.cur).
+      auto run_batch = [&](int d, std::int64_t b, std::int64_t e, int cw, std::size_t cidx,
+                           std::vector<Value>* vals) {
+        const Stage& stage = *region[static_cast<std::size_t>(d)];
+        Scratch::StageExec& st = sc.stages[static_cast<std::size_t>(d)];
+        auto& cur = ws.cur[static_cast<std::size_t>(d)];
+        const std::size_t nbufs = stage.buffers.size();
         std::int64_t t0 = collect ? NowNanos() : 0;
-        for (std::size_t i = 0; i < nb; ++i) {
-          if (sc.bufs[i].carried) {
+        for (std::size_t i = 0; i < nbufs; ++i) {
+          if (d == 0 && st.bufs[i].carried) {
             OrderedPiece& carried =
-                sc.carried_in[i].per_worker[static_cast<std::size_t>(cw)][cidx];
+                st.carried_in[i].per_worker[static_cast<std::size_t>(cw)][cidx];
             if (pedantic) {
               MZ_THROW_IF(!carried.piece.has_value(),
                           "pedantic: carried piece for slot " << stage.buffers[i].slot
                                                               << " range [" << b << ", " << e
                                                               << ") is empty");
             }
-            ws.cur[i] = std::move(carried.piece);
+            cur[i] = std::move(carried.piece);
+            continue;
+          }
+          if (d > 0 && st.src_depth[i] >= 0) {
+            // Fed in-flight from the in-region producer: the task's feed
+            // slot under the dynamic queue, this worker's cursor row under
+            // the static walk (the same worker ran the producer depth).
+            cur[i] = vals != nullptr
+                         ? std::move((*vals)[static_cast<std::size_t>(st.src_feed[i])])
+                         : std::move(ws.cur[static_cast<std::size_t>(st.src_depth[i])]
+                                           [static_cast<std::size_t>(st.src_buf[i])]);
+            if (pedantic) {
+              MZ_THROW_IF(!cur[i].has_value(), "pedantic: fed piece for slot "
+                                                   << stage.buffers[i].slot << " range [" << b
+                                                   << ", " << e << ") is empty");
+            }
             continue;
           }
           if (!stage.buffers[i].is_input) {
             continue;
           }
-          ws.cur[i] = sc.bufs[i].splitter->Split(sc.bufs[i].full, b, e, sc.bufs[i].params, ctx);
+          cur[i] = st.bufs[i].splitter->Split(st.bufs[i].full, b, e, st.bufs[i].params, ctx);
           if (pedantic) {
-            MZ_THROW_IF(!ws.cur[i].has_value(), "pedantic: Split returned an empty value for slot "
-                                                    << stage.buffers[i].slot << " range [" << b
-                                                    << ", " << e << ")");
+            MZ_THROW_IF(!cur[i].has_value(), "pedantic: Split returned an empty value for slot "
+                                                 << stage.buffers[i].slot << " range [" << b
+                                                 << ", " << e << ")");
           }
         }
         std::int64_t t1 = collect ? NowNanos() : 0;
@@ -757,36 +1093,92 @@ void Executor::RunStage(const Stage& stage) {
           const Node& node = graph_->nodes()[static_cast<std::size_t>(pf.node_index)];
           ws.call_args.clear();
           for (const PlannedArg& arg : pf.args) {
-            ws.call_args.push_back(&ws.cur[static_cast<std::size_t>(arg.buffer)]);
+            ws.call_args.push_back(&cur[static_cast<std::size_t>(arg.buffer)]);
           }
           if (pedantic) {
-            MZ_LOG(Trace) << "batch [" << b << "," << e << ") thread " << t << ": "
-                          << node.ann->func_name();
+            MZ_LOG(Trace) << "batch [" << b << "," << e << ") depth " << d << " thread " << t
+                          << ": " << node.ann->func_name();
           }
           Value ret = node.fn->Call(ws.call_args);
           if (pf.ret_buffer >= 0) {
-            ws.cur[static_cast<std::size_t>(pf.ret_buffer)] = std::move(ret);
+            cur[static_cast<std::size_t>(pf.ret_buffer)] = std::move(ret);
           }
         }
         std::int64_t t2 = collect ? NowNanos() : 0;
-        for (std::size_t i = 0; i < nb; ++i) {
+        for (std::size_t i = 0; i < nbufs; ++i) {
           const StageBuffer& def = stage.buffers[i];
+          if (st.feed_consumer[i] >= 0) {
+            // In-region feed: the piece stays in flight (ws.cur for the
+            // static walk, the task's feed slots for the dynamic queue). A
+            // deferred merge additionally parks a shared-holder copy.
+            if (def.deferred_merge) {
+              st.pieces[i][static_cast<std::size_t>(t)].push_back({b, e, cur[i]});
+            }
+            if (vals != nullptr) {
+              (*vals)[static_cast<std::size_t>(st.feed_id[i])] = std::move(cur[i]);
+            }
+            continue;
+          }
           if (def.is_output || (elide && def.carry_out)) {
-            sc.pieces[i][static_cast<std::size_t>(t)].push_back({b, e, ws.cur[i]});
+            st.pieces[i][static_cast<std::size_t>(t)].push_back({b, e, cur[i]});
           }
         }
         if (collect) {
           split_ns += t1 - t0;
           task_ns += t2 - t1;
+          if (d > 0) {
+            overlap_ns += t2 - t1;
+          }
+        }
+        if (d == 0) {
+          batch_runs.fetch_add(1, std::memory_order_relaxed);
         }
         ++batches;
       };
 
-      if (takes_carries) {
-        const auto& lists =
-            sc.carried_in[static_cast<std::size_t>(template_buf)].per_worker;
-        if (dynamic) {
-          // Work stealing over the flattened carried piece list.
+      if (use_queue) {
+        std::unique_lock<std::mutex> lk(qmu);
+        for (;;) {
+          qcv.wait(lk, [&] {
+            if (q_failed || q_completed == q_total) {
+              return true;
+            }
+            for (int d = D - 1; d >= 0; --d) {
+              if (!ready[static_cast<std::size_t>(d)].empty()) {
+                return true;
+              }
+            }
+            return false;
+          });
+          if (q_failed || q_completed == q_total) {
+            break;
+          }
+          int d = 0;
+          std::size_t ti = 0;
+          for (int dd = D - 1; dd >= 0; --dd) {
+            auto& bucket = ready[static_cast<std::size_t>(dd)];
+            if (!bucket.empty()) {
+              d = dd;
+              ti = bucket.back();
+              bucket.pop_back();
+              break;
+            }
+          }
+          lk.unlock();
+          const DynTask& task = dtasks[ti];
+          run_batch(d, task.b, task.e, task.cw, task.cidx, &dyn_vals[ti]);
+          lk.lock();
+          ++q_completed;
+          if (d + 1 < D) {
+            ready[static_cast<std::size_t>(d + 1)].push_back(ti);
+            qcv.notify_one();
+          } else if (q_completed == q_total) {
+            qcv.notify_all();
+          }
+        }
+      } else if (takes_carries) {
+        const auto& lists = st0.carried_in[static_cast<std::size_t>(template_buf)].per_worker;
+        if (dynamic) {  // D == 1: work stealing over the flattened piece list
           for (;;) {
             std::size_t j = piece_cursor.fetch_add(1, std::memory_order_relaxed);
             if (j >= sc.flat.size()) {
@@ -794,37 +1186,44 @@ void Executor::RunStage(const Stage& stage) {
             }
             auto [w, idx] = sc.flat[j];
             const OrderedPiece& tp = lists[static_cast<std::size_t>(w)][idx];
-            run_batch(tp.start, tp.end, w, idx);
+            run_batch(0, tp.start, tp.end, w, idx, nullptr);
           }
         } else {
           // Static: each worker consumes the pieces it produced last stage —
-          // same contiguous in-order range, same cache affinity.
+          // same contiguous in-order range, same cache affinity — walking
+          // every batch through the whole region while it is cache-hot.
           const auto& mine = lists[static_cast<std::size_t>(t)];
           for (std::size_t idx = 0; idx < mine.size(); ++idx) {
-            run_batch(mine[idx].start, mine[idx].end, t, idx);
+            for (int d = 0; d < D; ++d) {
+              run_batch(d, mine[idx].start, mine[idx].end, t, idx, nullptr);
+            }
           }
         }
       } else if (total == 0) {
         // Run one empty batch on worker 0 so produced values keep their
         // schema (e.g. an empty DataFrame with the right columns).
         if (t == 0) {
-          run_batch(0, 0, -1, 0);
+          for (int d = 0; d < D; ++d) {
+            run_batch(d, 0, 0, -1, 0, nullptr);
+          }
         }
-      } else if (dynamic) {
-        // Work stealing: claim the next unprocessed batch until drained.
+      } else if (dynamic) {  // D == 1: claim the next unprocessed batch
         for (;;) {
           std::int64_t b = cursor.fetch_add(batch, std::memory_order_relaxed);
           if (b >= total) {
             break;
           }
-          run_batch(b, std::min(total, b + batch), -1, 0);
+          run_batch(0, b, std::min(total, b + batch), -1, 0, nullptr);
         }
       } else {
-        // Static partitioning (§5.2): one contiguous range per worker.
+        // Static partitioning (§5.2): one contiguous range per worker,
+        // each batch walked depth by depth through the region.
         std::int64_t lo = std::min<std::int64_t>(total, static_cast<std::int64_t>(t) * chunk);
         std::int64_t hi = std::min<std::int64_t>(total, lo + chunk);
         for (std::int64_t b = lo; b < hi; b += batch) {
-          run_batch(b, std::min(hi, b + batch), -1, 0);
+          for (int d = 0; d < D; ++d) {
+            run_batch(d, b, std::min(hi, b + batch), -1, 0, nullptr);
+          }
         }
       }
 
@@ -833,27 +1232,31 @@ void Executor::RunStage(const Stage& stage) {
       // in-order range; dynamic mode defers to a single ordered merge.
       // Carried-out buffers skip merging entirely — their pieces pass on.
       if (!dynamic) {
-        for (std::size_t i = 0; i < nb; ++i) {
-          const StageBuffer& def = stage.buffers[i];
-          if (!def.is_output || (elide && def.carry_out)) {
-            continue;
-          }
-          std::vector<OrderedPiece>& mine = sc.pieces[i][static_cast<std::size_t>(t)];
-          if (mine.empty()) {
-            continue;
-          }
-          std::int64_t t3 = collect ? NowNanos() : 0;
-          std::vector<Value> values;
-          values.reserve(mine.size());
-          for (OrderedPiece& p : mine) {
-            values.push_back(std::move(p.piece));
-          }
-          const Splitter* ms = merge_splitter_for(i, values.front());
-          sc.partials[i][static_cast<std::size_t>(t)] =
-              ms->Merge(sc.bufs[i].full, std::move(values), merge_params_for(i));
-          mine.clear();
-          if (collect) {
-            merge_ns += NowNanos() - t3;
+        for (int d = 0; d < D; ++d) {
+          const Stage& stage = *region[static_cast<std::size_t>(d)];
+          Scratch::StageExec& st = sc.stages[static_cast<std::size_t>(d)];
+          for (std::size_t i = 0; i < stage.buffers.size(); ++i) {
+            const StageBuffer& def = stage.buffers[i];
+            if (!def.is_output || (elide && def.carry_out)) {
+              continue;
+            }
+            std::vector<OrderedPiece>& mine = st.pieces[i][static_cast<std::size_t>(t)];
+            if (mine.empty()) {
+              continue;
+            }
+            std::int64_t t3 = collect ? NowNanos() : 0;
+            std::vector<Value> values;
+            values.reserve(mine.size());
+            for (OrderedPiece& p : mine) {
+              values.push_back(std::move(p.piece));
+            }
+            const Splitter* ms = merge_splitter_for(d, i, values.front());
+            st.partials[i][static_cast<std::size_t>(t)] =
+                ms->Merge(st.bufs[i].full, std::move(values), merge_params_for(d, i));
+            mine.clear();
+            if (collect) {
+              merge_ns += NowNanos() - t3;
+            }
           }
         }
       }
@@ -862,11 +1265,21 @@ void Executor::RunStage(const Stage& stage) {
         stats_->task_ns.fetch_add(task_ns, std::memory_order_relaxed);
         stats_->merge_ns.fetch_add(merge_ns, std::memory_order_relaxed);
         stats_->batches.fetch_add(batches, std::memory_order_relaxed);
+        if (overlap_ns > 0) {
+          stats_->pipeline_overlap_ns.fetch_add(overlap_ns, std::memory_order_relaxed);
+        }
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (!first_error) {
-        first_error = std::current_exception();
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+      if (use_queue) {
+        std::lock_guard<std::mutex> qlk(qmu);
+        q_failed = true;
+        qcv.notify_all();
       }
     }
   });
@@ -875,99 +1288,17 @@ void Executor::RunStage(const Stage& stage) {
     std::rethrow_exception(first_error);
   }
 
-  // Hand carried-out buffers to their consuming stage. This is bookkeeping,
-  // not merging, so it is deliberately outside the merge timers (merge_ns
-  // must measure only actual merges — Fig. 5 stays honest as merges shrink).
-  if (elide) {
-    for (std::size_t i = 0; i < nb; ++i) {
-      const StageBuffer& def = stage.buffers[i];
-      if (!def.carry_out) {
-        continue;
-      }
-      std::int64_t piece_count = 0;
-      for (const auto& per_worker : sc.pieces[i]) {
-        piece_count += static_cast<std::int64_t>(per_worker.size());
-      }
-      stats_->boundaries_elided.fetch_add(1, std::memory_order_relaxed);
-      stats_->carry_pieces.fetch_add(piece_count, std::memory_order_relaxed);
-      if (collect) {
-        // Best-effort accounting of the merge traffic this elision avoided.
-        // Identity merges move no bytes and contribute nothing.
-        try {
-          const Value* sample = FirstPiece(sc.pieces[i]);
-          if (sample != nullptr) {
-            const Splitter* ms = merge_splitter_for(i, *sample);
-            if (!ms->traits().merge_is_identity) {
-              std::int64_t bytes = 0;
-              for (const auto& per_worker : sc.pieces[i]) {
-                for (const OrderedPiece& p : per_worker) {
-                  if (!p.piece.has_value()) {
-                    continue;
-                  }
-                  RuntimeInfo info = ms->Info(p.piece, {});
-                  bytes += info.total_elements * info.bytes_per_element;
-                }
-              }
-              stats_->bytes_merge_avoided.fetch_add(bytes, std::memory_order_relaxed);
-            }
-          }
-        } catch (const std::exception&) {
-          // Accounting only; a split type that cannot Info() its own pieces
-          // simply reports no avoided bytes.
-        }
-      }
-      MZ_CHECK_MSG(carried_.count(def.slot) == 0,
-                   "slot " << def.slot << " already has carried pieces in flight");
-      if (def.deferred_merge) {
-        // Lazy merge-on-get: the slot is pinned by a live Future, so park an
-        // ordered copy of the pieces (cheap: Values share holders) plus the
-        // merge recipe on the slot. Future::get() — or a later capture
-        // referencing the slot — merges on demand; if the Future dies
-        // unread, the merge never happens at all.
-        std::vector<OrderedPiece> ordered;
-        for (const auto& per_worker : sc.pieces[i]) {
-          ordered.insert(ordered.end(), per_worker.begin(), per_worker.end());
-        }
-        std::sort(ordered.begin(), ordered.end(),
-                  [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
-        auto state = std::make_shared<DeferredMergeState>();
-        state->pieces.reserve(ordered.size());
-        for (OrderedPiece& p : ordered) {
-          if (p.piece.has_value()) {
-            state->pieces.push_back(std::move(p.piece));
-          }
-        }
-        if (!state->pieces.empty()) {
-          state->splitter = merge_splitter_shared_for(i, state->pieces.front());
-          state->original = sc.bufs[i].full;
-          std::span<const std::int64_t> params = merge_params_for(i);
-          state->params.assign(params.begin(), params.end());
-          graph_->slot(def.slot).deferred = std::move(state);
-          stats_->deferred_merges.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-      CarriedSet set;
-      set.per_worker = std::move(sc.pieces[i]);
-      set.total = total;
-      set.chain_len = chain_in_max + 1;
-      EvalStats::MaxInto(stats_->carry_chain_len_max, set.chain_len);
-      carried_.emplace(def.slot, std::move(set));
-      // The slot is satisfied by the pieces in flight: identity streams keep
-      // their full value, owned streams are consumed wholesale by the next
-      // stage and can never be observed merged (unless a deferred merge
-      // parked them above for a lazy merge-on-get).
-      graph_->slot(def.slot).pending = false;
-    }
-  }
+  const std::int64_t flush_t0 = (collect && D > 1) ? NowNanos() : 0;
+  const std::int64_t nbatches = batch_runs.load(std::memory_order_relaxed);
 
-  // Final merges (§5.2 step 3, second level) through a parallel merge tree:
-  // grouped partial merges fan out on the pool, each buffer's root merge
-  // runs on the calling thread. Static mode merges the per-worker partials
-  // (worker order = global order); dynamic mode gathers every piece,
-  // restores batch order, and merges once. Slot bookkeeping stays outside
-  // the merge timers.
+  // Epilogue, per depth: account in-region feed boundaries, hand carried-out
+  // buffers to their (out-of-region) consuming stage, and collect merge
+  // jobs. The handoffs are bookkeeping, not merging, so they stay outside
+  // the merge timers (merge_ns must measure only actual merges — Fig. 5
+  // stays honest as merges shrink).
   struct MergeJob {
     std::size_t buf = 0;
+    int depth = 0;
     const Splitter* ms = nullptr;
     std::vector<Value> parts;
     std::span<const std::int64_t> params;
@@ -976,61 +1307,181 @@ void Executor::RunStage(const Stage& stage) {
     Value final_value;
   };
   std::vector<MergeJob> jobs;
-  for (std::size_t i = 0; i < nb; ++i) {
-    const StageBuffer& def = stage.buffers[i];
-    if (elide && def.carry_out) {
-      continue;  // handed off above
-    }
-    if (!def.is_output) {
-      // Produced-but-unobserved values: nothing merges them, but the slot
-      // must not stay pending.
-      if (!def.is_input && !def.is_broadcast) {
+  for (int d = 0; d < D; ++d) {
+    const Stage& stage = *region[static_cast<std::size_t>(d)];
+    Scratch::StageExec& st = sc.stages[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < stage.buffers.size(); ++i) {
+      const StageBuffer& def = stage.buffers[i];
+      if (st.feed_consumer[i] >= 0) {
+        // In-region feed: the boundary was elided and the pieces were
+        // consumed in flight, so only the counters (and a possible deferred
+        // merge parked from copies) remain. bytes_merge_avoided is skipped
+        // here — the pieces are gone, there is nothing left to size.
+        stats_->boundaries_elided.fetch_add(1, std::memory_order_relaxed);
+        stats_->carry_pieces.fetch_add(nbatches, std::memory_order_relaxed);
+        EvalStats::MaxInto(stats_->carry_chain_len_max, chain_in_max + 1 + d);
+        if (def.deferred_merge) {
+          std::vector<OrderedPiece> ordered;
+          for (const auto& per_worker : st.pieces[i]) {
+            ordered.insert(ordered.end(), per_worker.begin(), per_worker.end());
+          }
+          std::sort(ordered.begin(), ordered.end(), [](const OrderedPiece& a,
+                                                       const OrderedPiece& b) {
+            return a.start < b.start;
+          });
+          auto state = std::make_shared<DeferredMergeState>();
+          state->pieces.reserve(ordered.size());
+          for (OrderedPiece& p : ordered) {
+            if (p.piece.has_value()) {
+              state->pieces.push_back(std::move(p.piece));
+            }
+          }
+          if (!state->pieces.empty()) {
+            state->splitter = merge_splitter_shared_for(d, i, state->pieces.front());
+            state->original = st.bufs[i].full;
+            std::span<const std::int64_t> params = merge_params_for(d, i);
+            state->params.assign(params.begin(), params.end());
+            graph_->slot(def.slot).deferred = std::move(state);
+            stats_->deferred_merges.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
         graph_->slot(def.slot).pending = false;
+        continue;
       }
-      continue;
-    }
-    std::vector<Value> parts;
-    if (dynamic) {
-      std::vector<OrderedPiece> all;
-      for (int t = 0; t < num_threads; ++t) {
-        auto& mine = sc.pieces[i][static_cast<std::size_t>(t)];
-        all.insert(all.end(), std::make_move_iterator(mine.begin()),
-                   std::make_move_iterator(mine.end()));
-        mine.clear();
+      if (elide && def.carry_out) {
+        // Hand the pieces to the consuming stage outside this region.
+        std::int64_t piece_count = 0;
+        for (const auto& per_worker : st.pieces[i]) {
+          piece_count += static_cast<std::int64_t>(per_worker.size());
+        }
+        stats_->boundaries_elided.fetch_add(1, std::memory_order_relaxed);
+        stats_->carry_pieces.fetch_add(piece_count, std::memory_order_relaxed);
+        if (collect) {
+          // Best-effort accounting of the merge traffic this elision
+          // avoided. Identity merges move no bytes and contribute nothing.
+          try {
+            const Value* sample = FirstPiece(st.pieces[i]);
+            if (sample != nullptr) {
+              const Splitter* ms = merge_splitter_for(d, i, *sample);
+              if (!ms->traits().merge_is_identity) {
+                std::int64_t bytes = 0;
+                for (const auto& per_worker : st.pieces[i]) {
+                  for (const OrderedPiece& p : per_worker) {
+                    if (!p.piece.has_value()) {
+                      continue;
+                    }
+                    RuntimeInfo info = ms->Info(p.piece, {});
+                    bytes += info.total_elements * info.bytes_per_element;
+                  }
+                }
+                stats_->bytes_merge_avoided.fetch_add(bytes, std::memory_order_relaxed);
+              }
+            }
+          } catch (const std::exception&) {
+            // Accounting only; a split type that cannot Info() its own
+            // pieces simply reports no avoided bytes.
+          }
+        }
+        MZ_CHECK_MSG(carried_.count(def.slot) == 0,
+                     "slot " << def.slot << " already has carried pieces in flight");
+        if (def.deferred_merge) {
+          // Lazy merge-on-get: the slot is pinned by a live Future, so park
+          // an ordered copy of the pieces (cheap: Values share holders) plus
+          // the merge recipe on the slot. Future::get() — or a later capture
+          // referencing the slot — merges on demand; if the Future dies
+          // unread, the merge never happens at all.
+          std::vector<OrderedPiece> ordered;
+          for (const auto& per_worker : st.pieces[i]) {
+            ordered.insert(ordered.end(), per_worker.begin(), per_worker.end());
+          }
+          std::sort(ordered.begin(), ordered.end(), [](const OrderedPiece& a,
+                                                       const OrderedPiece& b) {
+            return a.start < b.start;
+          });
+          auto state = std::make_shared<DeferredMergeState>();
+          state->pieces.reserve(ordered.size());
+          for (OrderedPiece& p : ordered) {
+            if (p.piece.has_value()) {
+              state->pieces.push_back(std::move(p.piece));
+            }
+          }
+          if (!state->pieces.empty()) {
+            state->splitter = merge_splitter_shared_for(d, i, state->pieces.front());
+            state->original = st.bufs[i].full;
+            std::span<const std::int64_t> params = merge_params_for(d, i);
+            state->params.assign(params.begin(), params.end());
+            graph_->slot(def.slot).deferred = std::move(state);
+            stats_->deferred_merges.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        CarriedSet set;
+        set.per_worker = std::move(st.pieces[i]);
+        set.total = total;
+        set.chain_len = chain_in_max + 1 + d;
+        EvalStats::MaxInto(stats_->carry_chain_len_max, set.chain_len);
+        carried_.emplace(def.slot, std::move(set));
+        // The slot is satisfied by the pieces in flight: identity streams
+        // keep their full value, owned streams are consumed wholesale by
+        // the next stage and can never be observed merged (unless a
+        // deferred merge parked them above for a lazy merge-on-get).
+        graph_->slot(def.slot).pending = false;
+        continue;
       }
-      std::sort(all.begin(), all.end(),
-                [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
-      parts.reserve(all.size());
-      for (OrderedPiece& p : all) {
-        parts.push_back(std::move(p.piece));
+      if (!def.is_output) {
+        // Produced-but-unobserved values: nothing merges them, but the slot
+        // must not stay pending.
+        if (!def.is_input && !def.is_broadcast) {
+          graph_->slot(def.slot).pending = false;
+        }
+        continue;
       }
-    } else {
-      parts.reserve(static_cast<std::size_t>(num_threads));
-      for (int t = 0; t < num_threads; ++t) {
-        if (sc.partials[i][static_cast<std::size_t>(t)].has_value()) {
-          parts.push_back(std::move(sc.partials[i][static_cast<std::size_t>(t)]));
+      std::vector<Value> parts;
+      if (dynamic) {
+        std::vector<OrderedPiece> all;
+        for (int w = 0; w < num_threads; ++w) {
+          auto& mine = st.pieces[i][static_cast<std::size_t>(w)];
+          all.insert(all.end(), std::make_move_iterator(mine.begin()),
+                     std::make_move_iterator(mine.end()));
+          mine.clear();
+        }
+        std::sort(all.begin(), all.end(),
+                  [](const OrderedPiece& a, const OrderedPiece& b) { return a.start < b.start; });
+        parts.reserve(all.size());
+        for (OrderedPiece& p : all) {
+          parts.push_back(std::move(p.piece));
+        }
+      } else {
+        parts.reserve(static_cast<std::size_t>(num_threads));
+        for (int w = 0; w < num_threads; ++w) {
+          if (st.partials[i][static_cast<std::size_t>(w)].has_value()) {
+            parts.push_back(std::move(st.partials[i][static_cast<std::size_t>(w)]));
+          }
         }
       }
+      if (parts.empty()) {
+        // Zero-element in-place input: the original value is the result.
+        Slot& slot = graph_->slot(def.slot);
+        slot.value = st.bufs[i].full;
+        slot.pending = false;
+        continue;
+      }
+      MergeJob job;
+      job.buf = i;
+      job.depth = d;
+      job.ms = merge_splitter_for(d, i, parts.front());
+      job.params = merge_params_for(d, i);
+      job.parts = std::move(parts);
+      jobs.push_back(std::move(job));
     }
-    if (parts.empty()) {
-      // Zero-element in-place input: the original value is the result.
-      Slot& slot = graph_->slot(def.slot);
-      slot.value = sc.bufs[i].full;
-      slot.pending = false;
-      continue;
-    }
-    MergeJob job;
-    job.buf = i;
-    job.ms = merge_splitter_for(i, parts.front());
-    job.params = merge_params_for(i);
-    job.parts = std::move(parts);
-    jobs.push_back(std::move(job));
+    stats_->nodes_executed.fetch_add(static_cast<std::int64_t>(stage.funcs.size()),
+                                     std::memory_order_relaxed);
   }
 
   if (!jobs.empty()) {
-    // Plan the merge tree: each job's parts are cut into contiguous adjacent
-    // groups (order-preserving for concatenation merges); groups across all
-    // jobs form one task list the pool drains, then the roots fold the group
+    // Final merges (§5.2 step 3, second level) through a parallel merge
+    // tree: each job's parts are cut into contiguous adjacent groups
+    // (order-preserving for concatenation merges); groups across all jobs
+    // form one task list the pool drains, then the roots fold the group
     // results. Single-part jobs and 1-thread pools collapse to the direct
     // k-ary merge.
     std::size_t num_tasks = 0;
@@ -1055,7 +1506,8 @@ void Executor::RunStage(const Stage& stage) {
         group.push_back(std::move(job.parts[p]));
       }
       job.group_results[g] =
-          job.ms->Merge(sc.bufs[job.buf].full, std::move(group), job.params);
+          job.ms->Merge(sc.stages[static_cast<std::size_t>(job.depth)].bufs[job.buf].full,
+                        std::move(group), job.params);
     };
 
     if (num_threads > 1 && num_tasks > 1) {
@@ -1118,20 +1570,24 @@ void Executor::RunStage(const Stage& stage) {
         if (job.group_results.size() == 1) {
           job.final_value = std::move(job.group_results.front());
         } else {
-          job.final_value = job.ms->Merge(sc.bufs[job.buf].full,
-                                          std::move(job.group_results), job.params);
+          job.final_value =
+              job.ms->Merge(sc.stages[static_cast<std::size_t>(job.depth)].bufs[job.buf].full,
+                            std::move(job.group_results), job.params);
         }
       }
     }
     for (MergeJob& job : jobs) {
-      Slot& slot = graph_->slot(stage.buffers[job.buf].slot);
+      Slot& slot =
+          graph_->slot(region[static_cast<std::size_t>(job.depth)]->buffers[job.buf].slot);
       slot.value = std::move(job.final_value);
       slot.pending = false;
     }
   }
 
-  stats_->nodes_executed.fetch_add(static_cast<std::int64_t>(stage.funcs.size()),
-                                   std::memory_order_relaxed);
+  if (collect && D > 1) {
+    stats_->fill_flush_ns.fetch_add((fill_t1 - fill_t0) + (NowNanos() - flush_t0),
+                                    std::memory_order_relaxed);
+  }
 }
 
 }  // namespace mz

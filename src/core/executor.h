@@ -79,6 +79,13 @@ struct ExecOptions {
   // coalesces nothing but subdivides; avg×threshold < batch coalesces).
   // <= 0 disables re-batching while keeping the footprint model.
   double rebatch_threshold = 2.0;
+  // Inter-stage pipeline parallelism: execute the planner's pipelineable
+  // regions (Stage::pipeline_region) as one overlapped batch walk — batch i
+  // runs stage k while batch i-1 runs stage k+1, so downstream compute and
+  // per-worker merges drain concurrently with upstream compute. Requires
+  // elide_boundaries (regions are built from carried boundaries). Off = the
+  // ablation: every stage runs to completion before the next starts.
+  bool pipeline_stages = true;
 };
 
 class Executor {
@@ -94,8 +101,12 @@ class Executor {
   void Run(const Plan& plan);
 
   // Batch size the heuristic would choose for a given per-element footprint
-  // (exposed for tests and the Fig. 6 bench).
-  std::int64_t HeuristicBatchElems(std::int64_t sum_bytes_per_element) const;
+  // (exposed for tests and the Fig. 6 bench). `resident_bytes` is cache
+  // budget consumed by values that sit resident for the whole stage
+  // regardless of the batch size — broadcast ("_") operands such as a hash
+  // join's build side — and is subtracted from the budget before dividing.
+  std::int64_t HeuristicBatchElems(std::int64_t sum_bytes_per_element,
+                                   std::int64_t resident_bytes = 0) const;
 
  private:
   // One output piece tagged with the batch range that produced it, so
@@ -118,11 +129,18 @@ class Executor {
     int chain_len = 1;
   };
 
-  // Reusable per-run scratch (pieces/partials/per-worker cursors), so
-  // back-to-back stages stop hammering the allocator; defined in the .cc.
+  // Reusable per-run scratch (per-depth pieces/partials tables, per-worker
+  // cursors), so back-to-back stages stop hammering the allocator; defined
+  // in the .cc.
   struct Scratch;
 
-  void RunStage(const Stage& stage);
+  // Runs one pipelineable region: `stages` is a run of consecutive plan
+  // stages sharing a pipeline_region id (or a single stage — the degenerate
+  // region every stage becomes when pipelining is off or the planner found
+  // no region). Depth 0 claims carried sets / splits fresh inputs exactly
+  // like a standalone stage; deeper stages are fed in-flight pieces within
+  // one batch walk, overlapping across the batch loop.
+  void RunRegion(const std::vector<const Stage*>& stages);
   void RunSerialStage(const Stage& stage);
 
   TaskGraph* graph_;

@@ -13,7 +13,11 @@ namespace {
 // v2: per-arg-slot default-split totals probe (the planner's stage totals
 // probe reads value lengths — unbound-generic streams of different lengths
 // plan differently, so the lengths must key differently too).
-constexpr std::uint64_t kFormatVersion = 2;
+// v3: the probe hashes bytes-per-element alongside total elements (the
+// planner's footprint hints fall back to the probed width for
+// schema-dependent streams, so equal keys must imply equal hints), and
+// plans gained the pipeline-region annotation.
+constexpr std::uint64_t kFormatVersion = 3;
 // Marker hashed in place of ctor parameters when the constructor defers
 // (nullopt: a parameter depends on a still-pending value).
 constexpr std::uint64_t kDeferredCtor = 0x9e3779b97f4a7c15ull;
@@ -84,10 +88,13 @@ RangeFingerprint FingerprintRange(const TaskGraph& graph, const Registry& regist
       if (slot.value.has_value()) {
         sink.Put(static_cast<std::uint64_t>(slot.value.type().hash_code()));
         // The planner's stage totals probe (planner.cc) turns unbound-
-        // generic streams of different lengths into stage breaks, so the
-        // probed length is a planner input and must be part of the key.
-        std::optional<std::int64_t> probe = registry.ProbeTotalElements(slot.value);
-        sink.Put(probe.has_value() ? static_cast<std::uint64_t>(*probe) + 1 : 0);
+        // generic streams of different lengths into stage breaks, and its
+        // footprint hints read the probed bytes-per-element, so both probe
+        // results are planner inputs and must be part of the key.
+        std::optional<RuntimeInfo> probe = registry.ProbeRuntimeInfo(slot.value);
+        sink.Put(probe.has_value() ? static_cast<std::uint64_t>(probe->total_elements) + 1 : 0);
+        sink.Put(probe.has_value() ? static_cast<std::uint64_t>(probe->bytes_per_element) + 1
+                                   : 0);
       }
     }
     if (has_ret) {

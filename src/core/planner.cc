@@ -455,6 +455,7 @@ Plan Planner::Build(int first_node, int end_node) {
   close_stage();
   AnnotateCarries(&plan);
   AnnotateFootprints(&plan);
+  AnnotatePipeline(&plan);
 
   MZ_LOG(Debug) << "planned " << plan.stages.size() << " stage(s) for nodes [" << first_node
                 << ", " << end_node << ")";
@@ -711,21 +712,33 @@ void Planner::AnnotateCarries(Plan* plan) {
 // Per-stage footprint model: record each buffer's splitter-declared
 // bytes-per-element so the executor can size the stage's batch by the sum
 // over *all* live buffers — inputs it will Info() directly, plus produced
-// values and carried pieces it cannot. Everything here is a pure function of
-// fingerprinted planner inputs (split names, held C++ types, registry
-// version), so plan-cache templates reproduce the hints bit-identically.
+// values and carried pieces it cannot. Broadcast buffers are hinted too:
+// their full value sits resident in cache for the whole stage, so the
+// executor charges them against the batch budget as resident bytes (a wide
+// HashJoin build side must shrink the batch, not count at zero).
+//
+// Width resolution, most exact first: WidthForParams with the buffer's
+// resolved parameters (a MatrixSplit row is `cols * 8` bytes), the traits
+// constant, then — for streams whose splitter cannot know (a frame's row
+// width depends on its schema) — the bytes-per-element a probe of a
+// materialized same-class value reports. Everything here is a pure function
+// of fingerprinted planner inputs (split names, held C++ types, registry
+// version, and the per-slot Info probe the fingerprint hashes), so
+// plan-cache templates reproduce the hints bit-identically.
 void Planner::AnnotateFootprints(Plan* plan) {
-  // First pass — stream default types: an unbound generic chain's element
-  // width comes from its materialized source's C++ type; propagate it along
-  // the inference class so *produced* buffers of the chain (pending slots,
-  // nothing to inspect) still contribute their width.
+  // First pass — stream defaults: an unbound generic chain's element width
+  // comes from its materialized source; propagate both the source's default
+  // split type and its probed bytes-per-element along the inference class so
+  // *produced* buffers of the chain (pending slots, nothing to inspect)
+  // still contribute their width.
   std::unordered_map<int, InternedId> class_defaults;
+  std::unordered_map<int, std::int64_t> class_probed_bpe;
   for (Stage& stage : plan->stages) {
     if (stage.serial) {
       continue;
     }
     for (StageBuffer& buf : stage.buffers) {
-      if (buf.is_broadcast || buf.class_id < 0) {
+      if (buf.class_id < 0) {
         continue;
       }
       const Slot& slot = graph_.slot(buf.slot);
@@ -735,6 +748,10 @@ void Planner::AnnotateFootprints(Plan* plan) {
       if (auto dflt = registry_.DefaultSplitTypeFor(slot.value.type()); dflt.has_value()) {
         class_defaults.emplace(buf.class_id, *dflt);
       }
+      if (auto info = registry_.ProbeRuntimeInfo(slot.value);
+          info.has_value() && info->bytes_per_element > 0) {
+        class_probed_bpe.emplace(buf.class_id, info->bytes_per_element);
+      }
     }
   }
   for (Stage& stage : plan->stages) {
@@ -742,9 +759,6 @@ void Planner::AnnotateFootprints(Plan* plan) {
       continue;
     }
     for (StageBuffer& buf : stage.buffers) {
-      if (buf.is_broadcast) {
-        continue;
-      }
       InternedId name = buf.split_name;
       if (name == 0) {
         const Slot& slot = graph_.slot(buf.slot);
@@ -759,11 +773,137 @@ void Planner::AnnotateFootprints(Plan* plan) {
           name = it->second;
         }
       }
+      std::int64_t width = 0;
       if (name != 0) {
-        buf.elem_bytes_hint = registry_.ElementWidthForSplitType(name);
+        // Parameters resolved at plan time give the exact width; otherwise
+        // the splitters' static constant.
+        width = name == buf.split_name && !buf.params_deferred && !buf.params.empty()
+                    ? registry_.ElementWidthForSplitType(name, buf.params)
+                    : registry_.ElementWidthForSplitType(name);
       }
+      if (width == 0) {
+        // Schema-dependent streams (frames): fall back to the probed
+        // bytes-per-element of this slot's value, or of any materialized
+        // value in the same inference class. The fingerprint hashes the
+        // probe, so warm templates carry the same number.
+        const Slot& slot = graph_.slot(buf.slot);
+        if (slot.value.has_value()) {
+          if (auto info = registry_.ProbeRuntimeInfo(slot.value);
+              info.has_value() && info->bytes_per_element > 0) {
+            width = info->bytes_per_element;
+          }
+        }
+        if (width == 0 && buf.class_id >= 0) {
+          if (auto it = class_probed_bpe.find(buf.class_id); it != class_probed_bpe.end()) {
+            width = it->second;
+          }
+        }
+      }
+      buf.elem_bytes_hint = width;
     }
   }
+}
+
+// Groups maximal runs of consecutive carried stages into pipelineable
+// regions. While a region runs, batch i of stage k overlaps batch i-1 of
+// stage k+1 — partially computed streams are live across the whole region,
+// so eligibility is stricter than plain carrying. Stage s extends the
+// region ending at stage s-1 iff:
+//  1. s is non-serial and takes carries;
+//  2. every split-input buffer of s is carry_in, with its producing
+//     carry_out buffer in a stage already in the region (the executor feeds
+//     pieces depth-to-depth inside one batch walk, so any in-region
+//     producer works, including skip-level carries) — a fresh split input
+//     or an out-of-region producer would need the upstream stage complete;
+//  3. no broadcast buffer of s names a slot any in-region stage writes
+//     (mut or produced): the broadcast reads the *full* value, which is
+//     only final once the writing stage has completely finished — exactly
+//     the barrier pipelining removes.
+// Regions of length >= 2 get ids and depths; singleton runs stay unmarked
+// (pipeline_region = -1) and execute exactly as before.
+void Planner::AnnotatePipeline(Plan* plan) {
+  const int num_stages = static_cast<int>(plan->stages.size());
+  int next_region = 0;
+  int run_start = 0;
+  auto close_run = [&](int run_end) {  // [run_start, run_end)
+    if (run_end - run_start >= 2) {
+      for (int s = run_start; s < run_end; ++s) {
+        plan->stages[static_cast<std::size_t>(s)].pipeline_region = next_region;
+        plan->stages[static_cast<std::size_t>(s)].pipeline_depth = s - run_start;
+      }
+      ++next_region;
+    }
+    run_start = run_end;
+  };
+
+  auto writes_slot = [&](const Stage& st, SlotId slot) {
+    for (const StageBuffer& b : st.buffers) {
+      if (b.slot == slot && (b.is_output || (!b.is_input && !b.is_broadcast))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto carries_out_slot = [&](const Stage& st, SlotId slot) {
+    for (const StageBuffer& b : st.buffers) {
+      if (b.slot == slot && b.carry_out) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int s = 1; s < num_stages; ++s) {
+    const Stage& st = plan->stages[static_cast<std::size_t>(s)];
+    const Stage& prev = plan->stages[static_cast<std::size_t>(s - 1)];
+    bool extend = !st.serial && !prev.serial && st.takes_carries && prev.feeds_carries;
+    if (extend) {
+      for (const StageBuffer& b : st.buffers) {
+        if (b.is_input && !b.carry_in) {
+          // Fresh split input. Fine as long as no in-region stage produces
+          // the slot: the value is materialized before the region starts,
+          // and the executor splits it by the in-flight batch ranges
+          // (AnnotateCarries only mixes fresh inputs with aligned carried
+          // streams, so the ranges are positional for it too).
+          for (int p = run_start; p < s; ++p) {
+            if (writes_slot(plan->stages[static_cast<std::size_t>(p)], b.slot)) {
+              extend = false;  // produced in-region: needs that stage done
+              break;
+            }
+          }
+          if (!extend) {
+            break;
+          }
+          continue;
+        }
+        if (b.is_input && b.carry_in) {
+          bool in_region = false;
+          for (int p = run_start; p < s && !in_region; ++p) {
+            in_region = carries_out_slot(plan->stages[static_cast<std::size_t>(p)], b.slot);
+          }
+          if (!in_region) {
+            extend = false;  // carried from before the region boundary
+            break;
+          }
+        }
+        if (b.is_broadcast) {
+          for (int p = run_start; p < s; ++p) {
+            if (writes_slot(plan->stages[static_cast<std::size_t>(p)], b.slot)) {
+              extend = false;  // full-value read of an in-flight stream
+              break;
+            }
+          }
+          if (!extend) {
+            break;
+          }
+        }
+      }
+    }
+    if (!extend) {
+      close_run(s);
+    }
+  }
+  close_run(num_stages);
 }
 
 }  // namespace mz

@@ -111,6 +111,14 @@ struct Stage {
   // of this stage hands pieces to a later stage / receives carried pieces.
   bool feeds_carries = false;
   bool takes_carries = false;
+  // Inter-stage pipeline parallelism (AnnotatePipeline): consecutive stages
+  // whose every split input is carried from within the run form a
+  // *pipelineable region* — the executor may overlap them across the batch
+  // loop (batch i in stage k while batch i-1 runs stage k+1). -1 / 0 when
+  // the stage is not part of any region. Derived purely from fingerprinted
+  // planner inputs, so cached templates reproduce the schedule exactly.
+  int pipeline_region = -1;  // region id, shared by the region's stages
+  int pipeline_depth = 0;    // position within the region (0 = entry stage)
 };
 
 // A plan references its graph only through PlannedFunc::node_index and
@@ -159,8 +167,15 @@ class Planner {
   void AnnotateCarries(Plan* plan);
 
   // Post-pass: fills StageBuffer::elem_bytes_hint from splitter-declared
-  // element widths (per-stage footprint model).
+  // element widths (per-stage footprint model). Broadcast values are hinted
+  // too (they are charged as resident bytes against the batch budget), and
+  // parameterized splitters report exact widths via WidthForParams.
   void AnnotateFootprints(Plan* plan);
+
+  // Post-pass (after AnnotateCarries): groups maximal runs of consecutive
+  // carried stages into pipelineable regions, recording
+  // Stage::pipeline_{region,depth}. See the eligibility rules in planner.cc.
+  void AnnotatePipeline(Plan* plan);
 
   int ClassForConcreteExpr(const SplitExpr& expr, const Node& node);
 

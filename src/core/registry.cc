@@ -85,6 +85,20 @@ std::int64_t Registry::ElementWidthForSplitType(InternedId name) const {
   return width;
 }
 
+std::int64_t Registry::ElementWidthForSplitType(InternedId name,
+                                                std::span<const std::int64_t> params) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return 0;
+  }
+  std::int64_t width = 0;
+  for (const auto& [type, splitter] : it->second.splitters) {
+    width = std::max(width, splitter->WidthForParams(params));
+  }
+  return width;
+}
+
 std::shared_ptr<const Splitter> Registry::FindSplitterShared(InternedId name,
                                                              std::type_index type) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
@@ -100,6 +114,14 @@ std::shared_ptr<const Splitter> Registry::FindSplitterShared(InternedId name,
 }
 
 std::optional<std::int64_t> Registry::ProbeTotalElements(const Value& value) const {
+  std::optional<RuntimeInfo> info = ProbeRuntimeInfo(value);
+  if (!info.has_value()) {
+    return std::nullopt;
+  }
+  return info->total_elements;
+}
+
+std::optional<RuntimeInfo> Registry::ProbeRuntimeInfo(const Value& value) const {
   if (!value.has_value()) {
     return std::nullopt;
   }
@@ -124,7 +146,7 @@ std::optional<std::int64_t> Registry::ProbeTotalElements(const Value& value) con
   }
   try {
     std::vector<std::int64_t> params = late ? late(value) : std::vector<std::int64_t>{};
-    return splitter->Info(value, params).total_elements;
+    return splitter->Info(value, params);
   } catch (const std::exception&) {
     return std::nullopt;  // a probe is best-effort; unprobeable = unconstrained
   }

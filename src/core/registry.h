@@ -82,6 +82,13 @@ class Registry {
   // executor cannot Info() — produced values and carried pieces.
   std::int64_t ElementWidthForSplitType(InternedId name) const;
 
+  // Parameter-exact variant: asks each splitter's WidthForParams so split
+  // types whose element width depends on their parameters (MatrixSplit rows
+  // are `cols * 8` bytes) report the real footprint instead of the traits
+  // constant. Falls back to the constant when no splitter knows better.
+  std::int64_t ElementWidthForSplitType(InternedId name,
+                                        std::span<const std::int64_t> params) const;
+
   // Like FindSplitter, but returns the owning handle. Deferred merges
   // (lazy merge-on-get, task_graph.h) outlive the evaluation that resolved
   // the splitter, so they must pin it against re-registration.
@@ -94,6 +101,15 @@ class Registry {
   // fingerprint, which must hash the same probe so cached plans reproduce
   // the breaks. Must stay cheap and pure: late ctor + Info only.
   std::optional<std::int64_t> ProbeTotalElements(const Value& value) const;
+
+  // Full Info() probe under the default split type: total elements plus the
+  // exact bytes-per-element the splitter reports for *this* value. The
+  // planner's footprint model uses the width for streams whose splitter
+  // cannot derive it from parameters alone (a frame's row width depends on
+  // its schema), and the plan-cache fingerprint hashes it so equal keys
+  // imply equal footprint hints. Same purity/cheapness contract as
+  // ProbeTotalElements (which this subsumes).
+  std::optional<RuntimeInfo> ProbeRuntimeInfo(const Value& value) const;
 
   // Runs the split type's constructor; nullopt = deferred.
   std::optional<std::vector<std::int64_t>> RunCtor(InternedId name,
@@ -132,9 +148,10 @@ void RegisterTypedSplitter(Registry& registry, std::string_view name,
                            typename TypedSplitter<T>::InfoFn info,
                            typename TypedSplitter<T>::SplitFn split,
                            typename TypedSplitter<T>::MergeFn merge,
-                           SplitterTraits traits = {}) {
+                           SplitterTraits traits = {},
+                           typename TypedSplitter<T>::WidthFn width = nullptr) {
   registry.AddSplitter(name, std::type_index(typeid(T)),
-                       std::make_shared<TypedSplitter<T>>(info, split, merge, traits));
+                       std::make_shared<TypedSplitter<T>>(info, split, merge, traits, width));
 }
 
 }  // namespace mz

@@ -178,6 +178,7 @@ void Runtime::EvaluateLocked() {
   exec_opts.elide_boundaries = opts_.elide_boundaries;
   exec_opts.batch_per_stage = opts_.batch_per_stage;
   exec_opts.rebatch_threshold = opts_.rebatch_threshold;
+  exec_opts.pipeline_stages = opts_.pipeline_stages;
 
   // Admission (see admission.h): small plans stay on the calling thread —
   // or coalesce with other sessions' small plans through the BatchCollector

@@ -81,6 +81,17 @@ class Splitter {
                       std::span<const std::int64_t> params) const = 0;
 
   virtual SplitterTraits traits() const { return {}; }
+
+  // Exact per-element footprint for a stream whose split parameters are
+  // already known, for values the executor cannot Info() (produced buffers,
+  // carried pieces). The traits constant cannot express widths that depend
+  // on the parameters — a MatrixSplit row is `cols * sizeof(double)` bytes —
+  // so parameterized splitters override this. 0 = still unknown; the default
+  // falls back to the traits constant.
+  virtual std::int64_t WidthForParams(std::span<const std::int64_t> params) const {
+    (void)params;
+    return traits().element_width;
+  }
 };
 
 // Adapter for the common case: a splitter over values holding (or pointing
@@ -96,9 +107,11 @@ class TypedSplitter final : public Splitter {
   using SplitFn = Value (*)(const T&, std::int64_t, std::int64_t, std::span<const std::int64_t>,
                             const SplitContext&);
   using MergeFn = Value (*)(const Value&, std::vector<Value>, std::span<const std::int64_t>);
+  using WidthFn = std::int64_t (*)(std::span<const std::int64_t>);
 
-  TypedSplitter(InfoFn info, SplitFn split, MergeFn merge, SplitterTraits traits = {})
-      : info_(info), split_(split), merge_(merge), traits_(traits) {}
+  TypedSplitter(InfoFn info, SplitFn split, MergeFn merge, SplitterTraits traits = {},
+                WidthFn width = nullptr)
+      : info_(info), split_(split), merge_(merge), traits_(traits), width_(width) {}
 
   RuntimeInfo Info(const Value& value, std::span<const std::int64_t> params) const override {
     return info_(value.As<T>(), params);
@@ -116,11 +129,16 @@ class TypedSplitter final : public Splitter {
 
   SplitterTraits traits() const override { return traits_; }
 
+  std::int64_t WidthForParams(std::span<const std::int64_t> params) const override {
+    return width_ != nullptr ? width_(params) : traits_.element_width;
+  }
+
  private:
   InfoFn info_;
   SplitFn split_;
   MergeFn merge_;
   SplitterTraits traits_;
+  WidthFn width_;
 };
 
 }  // namespace mz

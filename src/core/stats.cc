@@ -38,7 +38,14 @@ std::string EvalStats::Snapshot::ToString() const {
     if (deferred_merges > 0) {
       os << ", deferred " << deferred_merges << " merges";
     }
+    if (carried_recuts > 0) {
+      os << ", recut " << carried_recuts << " carried sets";
+    }
     os << "]";
+  }
+  if (pipeline_regions > 0) {
+    os << " [pipelined " << pipeline_regions << " regions, overlap="
+       << Ms(pipeline_overlap_ns) << "ms fill/flush=" << Ms(fill_flush_ns) << "ms]";
   }
   if (footprint_bytes_max > 0) {
     os << " [max batch footprint " << footprint_bytes_max << " bytes]";

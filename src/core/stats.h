@@ -63,6 +63,17 @@ class EvalStats {
     std::int64_t deferred_merges = 0;
     std::int64_t carry_chain_len_max = 0;
     std::int64_t footprint_bytes_max = 0;
+    // Inter-stage pipeline parallelism (ISSUE 6): carried stage runs that
+    // executed as one overlapped region, worker time spent in downstream
+    // stages of a region (compute that PR 5 would have serialized after the
+    // upstream stage), the region prologue/epilogue time on the calling
+    // thread (the fill/flush cost overlap must amortize), and carried piece
+    // sets re-cut in place because their ranges provably tiled the stream
+    // (the coverage-aware alternative to materialize + re-split).
+    std::int64_t pipeline_regions = 0;
+    std::int64_t pipeline_overlap_ns = 0;
+    std::int64_t fill_flush_ns = 0;
+    std::int64_t carried_recuts = 0;
 
     // Total across the per-phase wall-clock counters. Split/task/merge are
     // summed across workers, so on N threads this exceeds elapsed time.
@@ -100,6 +111,10 @@ class EvalStats {
       deferred_merges += other.deferred_merges;
       carry_chain_len_max = std::max(carry_chain_len_max, other.carry_chain_len_max);
       footprint_bytes_max = std::max(footprint_bytes_max, other.footprint_bytes_max);
+      pipeline_regions += other.pipeline_regions;
+      pipeline_overlap_ns += other.pipeline_overlap_ns;
+      fill_flush_ns += other.fill_flush_ns;
+      carried_recuts += other.carried_recuts;
     }
 
     std::string ToString() const;
@@ -134,6 +149,10 @@ class EvalStats {
     s.deferred_merges = deferred_merges.load(std::memory_order_relaxed);
     s.carry_chain_len_max = carry_chain_len_max.load(std::memory_order_relaxed);
     s.footprint_bytes_max = footprint_bytes_max.load(std::memory_order_relaxed);
+    s.pipeline_regions = pipeline_regions.load(std::memory_order_relaxed);
+    s.pipeline_overlap_ns = pipeline_overlap_ns.load(std::memory_order_relaxed);
+    s.fill_flush_ns = fill_flush_ns.load(std::memory_order_relaxed);
+    s.carried_recuts = carried_recuts.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -167,6 +186,10 @@ class EvalStats {
     deferred_merges.fetch_add(s.deferred_merges, std::memory_order_relaxed);
     MaxInto(carry_chain_len_max, s.carry_chain_len_max);
     MaxInto(footprint_bytes_max, s.footprint_bytes_max);
+    pipeline_regions.fetch_add(s.pipeline_regions, std::memory_order_relaxed);
+    pipeline_overlap_ns.fetch_add(s.pipeline_overlap_ns, std::memory_order_relaxed);
+    fill_flush_ns.fetch_add(s.fill_flush_ns, std::memory_order_relaxed);
+    carried_recuts.fetch_add(s.carried_recuts, std::memory_order_relaxed);
   }
 
   // Lock-free fold of a max-aggregated counter.
@@ -205,6 +228,10 @@ class EvalStats {
     deferred_merges = 0;
     carry_chain_len_max = 0;
     footprint_bytes_max = 0;
+    pipeline_regions = 0;
+    pipeline_overlap_ns = 0;
+    fill_flush_ns = 0;
+    carried_recuts = 0;
   }
 
   std::atomic<std::int64_t> client_ns{0};
@@ -234,6 +261,10 @@ class EvalStats {
   std::atomic<std::int64_t> deferred_merges{0};
   std::atomic<std::int64_t> carry_chain_len_max{0};
   std::atomic<std::int64_t> footprint_bytes_max{0};
+  std::atomic<std::int64_t> pipeline_regions{0};
+  std::atomic<std::int64_t> pipeline_overlap_ns{0};
+  std::atomic<std::int64_t> fill_flush_ns{0};
+  std::atomic<std::int64_t> carried_recuts{0};
 };
 
 }  // namespace mz

@@ -100,18 +100,34 @@ Value GroupMerge(const Value& original, std::vector<Value> pieces,
   return Value::Make<DataFrame>(df::ReAggregate(all, params[0], params[1]));
 }
 
+// Row-split constructors: params are {total_rows} — extended with the
+// stream's exact bytes-per-row ({total_rows, bytes_per_row}) when the ctor
+// argument is the materialized container itself, so WidthForParams can
+// report real row widths (schema-dependent for frames, dtype-dependent for
+// columns) instead of a one-size constant. Everything downstream indexes
+// params[0] only, so the extra word is footprint metadata, not structure.
 std::optional<std::vector<std::int64_t>> LenCtorColumn(std::span<const Value> args) {
   MZ_CHECK_MSG(args.size() == 1, "row-split constructor expects one argument");
   if (!args[0].has_value()) {
     return std::nullopt;
   }
   if (args[0].Is<Column>()) {
-    return std::vector<std::int64_t>{args[0].As<Column>().size()};
+    const Column& col = args[0].As<Column>();
+    return std::vector<std::int64_t>{col.size(), col.BytesPerRow()};
   }
   if (args[0].Is<DataFrame>()) {
-    return std::vector<std::int64_t>{args[0].As<DataFrame>().num_rows()};
+    const DataFrame& frame = args[0].As<DataFrame>();
+    return std::vector<std::int64_t>{frame.num_rows(), frame.BytesPerRow()};
   }
   return std::vector<std::int64_t>{mz::ValueToInt64(args[0])};
+}
+
+std::int64_t SeriesWidth(std::span<const std::int64_t> params) {
+  return params.size() >= 2 ? params[1] : static_cast<std::int64_t>(sizeof(double));
+}
+
+std::int64_t FrameWidth(std::span<const std::int64_t> params) {
+  return params.size() >= 2 ? params[1] : 0;
 }
 
 const bool g_registered = [] {
@@ -155,10 +171,12 @@ void RegisterSplits() {
     mzvec::RegisterSplits();  // Reduce{Add,Max,Min} for scalar reductions
     Registry& reg = Registry::Global();
     reg.DefineSplitType("SeriesSplit", LenCtorColumn, [](const Value& v) {
-      return std::vector<std::int64_t>{v.As<Column>().size()};
+      const Column& col = v.As<Column>();
+      return std::vector<std::int64_t>{col.size(), col.BytesPerRow()};
     });
     reg.DefineSplitType("FrameSplit", LenCtorColumn, [](const Value& v) {
-      return std::vector<std::int64_t>{v.As<DataFrame>().num_rows()};
+      const DataFrame& frame = v.As<DataFrame>();
+      return std::vector<std::int64_t>{frame.num_rows(), frame.BytesPerRow()};
     });
     reg.DefineSplitType("GroupSplit",
                         [](std::span<const Value> args)
@@ -172,10 +190,10 @@ void RegisterSplits() {
 
     // Column/DataFrame slices are offset views over shared storage, so a
     // piece re-Splits with piece-local ranges at zero copy (can_subdivide —
-    // re-batching of carried row streams). SeriesSplit declares the common
-    // 8-byte (double) row for the footprint model; frame rows vary by
-    // schema, so FrameSplit leaves the width unknown and produced frames
-    // simply do not contribute to the footprint sum.
+    // re-batching of carried row streams). For the footprint model both
+    // report exact row widths through WidthForParams when their params
+    // carry one; the traits constants remain the fallback — the common
+    // 8-byte (double) row for series, unknown for schema-dependent frames.
     const mz::SplitterTraits kRowStream{.merge_is_identity = false,
                                         .merge_only = false,
                                         .element_width = sizeof(double),
@@ -185,9 +203,9 @@ void RegisterSplits() {
                                           .element_width = 0,
                                           .can_subdivide = true};
     mz::RegisterTypedSplitter<Column>(reg, "SeriesSplit", SeriesInfo, SeriesSplitFn, SeriesMerge,
-                                      kRowStream);
+                                      kRowStream, SeriesWidth);
     mz::RegisterTypedSplitter<DataFrame>(reg, "FrameSplit", FrameInfo, FrameSplitFn, FrameMerge,
-                                         kFrameStream);
+                                         kFrameStream, FrameWidth);
     mz::RegisterTypedSplitter<DataFrame>(reg, "GroupSplit", GroupInfo, GroupSplitFn, GroupMerge,
                                          mz::SplitterTraits{.merge_only = true});
     reg.SetDefaultSplitType(std::type_index(typeid(Column)), "SeriesSplit");

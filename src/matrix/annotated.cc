@@ -64,6 +64,20 @@ RuntimeInfo MatrixInfo(Matrix* const& m, std::span<const std::int64_t> params) {
   return RuntimeInfo{cols, rows * static_cast<std::int64_t>(sizeof(double))};
 }
 
+// Parameter-exact element width (splitter.h WidthForParams): a row split's
+// element is one row of `cols` doubles, a column split's one column of
+// `rows` doubles. The traits constant stays 0 — the width is unknowable
+// without the shape parameters.
+std::int64_t MatrixWidth(std::span<const std::int64_t> params) {
+  if (params.size() != 3) {
+    return 0;
+  }
+  std::int64_t rows = params[0];
+  std::int64_t cols = params[1];
+  std::int64_t axis = params[2];
+  return (axis == 0 ? cols : rows) * static_cast<std::int64_t>(sizeof(double));
+}
+
 Value MatrixSplitFn(Matrix* const& m, std::int64_t start, std::int64_t end,
                     std::span<const std::int64_t> params, const SplitContext& ctx) {
   (void)ctx;
@@ -213,7 +227,8 @@ void RegisterSplits() {
                                        mz::SplitterTraits{.merge_is_identity = true,
                                                           .merge_only = false,
                                                           .element_width = 0,
-                                                          .can_subdivide = false});
+                                                          .can_subdivide = false},
+                                       MatrixWidth);
     mz::RegisterTypedSplitter<std::vector<double>>(reg, "ReduceSplit", ReduceVecInfo,
                                                    ReduceVecSplitFn, ReduceVecMerge,
                                                    mz::SplitterTraits{.merge_only = true});

@@ -3,7 +3,9 @@
 // original arrays, verified by in-place results and exercised under ASan),
 // owned-stream subdivision and per-worker coalescing, dynamic-scheduling
 // order restoration over re-cut pieces, zero-element and single-piece edge
-// cases, multi-producer aligned carries (carry chains), the ablation knobs
+// cases, multi-producer aligned carries (carry chains), coverage-aware
+// re-cutting of dynamically-scheduled multi-producer piece sets (the
+// kRecut alternative to materialize, ISSUE 6), the ablation knobs
 // (batch_per_stage / rebatch_threshold), and warm plan-cache behavioral
 // round-trips of the per-stage batch fields.
 #include <gtest/gtest.h>
@@ -14,7 +16,9 @@
 #include "common/cpu.h"
 #include "core/client.h"
 #include "core/plan_cache.h"
+#include "core/registry.h"
 #include "core/runtime.h"
+#include "core/unpack.h"
 #include "dataframe/annotated.h"
 #include "vecmath/annotated.h"
 #include "vecmath/vecmath.h"
@@ -304,6 +308,165 @@ TEST(RebatchChains, AlignedCarriesFromTwoProducersBothElide) {
   EvalStats::Snapshot s = rt.stats().Take();
   EXPECT_EQ(s.stages, 3);
   EXPECT_EQ(s.boundaries_elided, 2) << "both producers' pieces should carry";
+}
+
+// ---- coverage-aware re-cut (dynamic multi-producer carried sets) ----
+
+// An owned vector stream: Split copies the subrange (pieces do NOT alias
+// the original, so there is no identity full value to re-slice), Merge
+// concatenates, and pieces may re-Split with piece-local ranges
+// (can_subdivide). Concrete params come from the literal `size` argument,
+// so two producer stages' streams are aligned and BOTH may carry.
+using Vec = std::vector<double>;
+
+void RegisterVecSplit() {
+  static const bool done = [] {
+    Registry& reg = Registry::Global();
+    reg.DefineSplitType(
+        "TestVecSplit",
+        [](std::span<const Value> args) -> std::optional<std::vector<std::int64_t>> {
+          if (!args[0].has_value()) {
+            return std::nullopt;  // pending; never happens for literal sizes
+          }
+          return std::vector<std::int64_t>{ValueToInt64(args[0])};
+        },
+        [](const Value& v) {
+          return std::vector<std::int64_t>{static_cast<std::int64_t>(v.As<Vec>().size())};
+        });
+    RegisterTypedSplitter<Vec>(
+        reg, "TestVecSplit",
+        [](const Vec& v, std::span<const std::int64_t> params) {
+          return RuntimeInfo{params.empty() ? static_cast<std::int64_t>(v.size()) : params[0],
+                             static_cast<std::int64_t>(sizeof(double))};
+        },
+        [](const Vec& v, std::int64_t start, std::int64_t end,
+           std::span<const std::int64_t> params, const SplitContext& ctx) {
+          (void)params;
+          (void)ctx;
+          return Value::Make<Vec>(Vec(v.begin() + start, v.begin() + end));
+        },
+        [](const Value& original, std::vector<Value> pieces,
+           std::span<const std::int64_t> params) {
+          (void)original;
+          (void)params;
+          Vec out;
+          for (Value& p : pieces) {
+            const Vec& v = p.As<Vec>();
+            out.insert(out.end(), v.begin(), v.end());
+          }
+          return Value::Make<Vec>(std::move(out));
+        },
+        SplitterTraits{.can_subdivide = true});
+    return true;
+  }();
+  (void)done;
+}
+
+// Narrow producer: one in, one out.
+const Annotated<Vec(long, const Vec&)>& VecScale() {
+  RegisterVecSplit();
+  static const Annotated<Vec(long, const Vec&)> fn(
+      [](long size, const Vec& v) {
+        Vec out(v);
+        for (long i = 0; i < size; ++i) {
+          out[static_cast<std::size_t>(i)] *= 2.0;
+        }
+        return out;
+      },
+      AnnotationBuilder("rebatch_test.vec_scale")
+          .Arg("size", Split("SizeSplit", {"size"}))
+          .Arg("v", Split("TestVecSplit", {"size"}))
+          .Returns(Split("TestVecSplit", {"size"}))
+          .Build());
+  return fn;
+}
+
+// Wide producer: three inputs live per element, so its footprint-derived
+// batch (and hence its carried piece structure) differs from VecScale's.
+const Annotated<Vec(long, const Vec&, const Vec&, const Vec&)>& VecAdd3() {
+  RegisterVecSplit();
+  static const Annotated<Vec(long, const Vec&, const Vec&, const Vec&)> fn(
+      [](long size, const Vec& a, const Vec& b, const Vec& c) {
+        Vec out(static_cast<std::size_t>(size));
+        for (long i = 0; i < size; ++i) {
+          std::size_t j = static_cast<std::size_t>(i);
+          out[j] = a[j] + b[j] + c[j];
+        }
+        return out;
+      },
+      AnnotationBuilder("rebatch_test.vec_add3")
+          .Arg("size", Split("SizeSplit", {"size"}))
+          .Arg("a", Split("TestVecSplit", {"size"}))
+          .Arg("b", Split("TestVecSplit", {"size"}))
+          .Arg("c", Split("TestVecSplit", {"size"}))
+          .Returns(Split("TestVecSplit", {"size"}))
+          .Build());
+  return fn;
+}
+
+const Annotated<Vec(long, const Vec&, const Vec&)>& VecMul2() {
+  RegisterVecSplit();
+  static const Annotated<Vec(long, const Vec&, const Vec&)> fn(
+      [](long size, const Vec& a, const Vec& b) {
+        Vec out(static_cast<std::size_t>(size));
+        for (long i = 0; i < size; ++i) {
+          std::size_t j = static_cast<std::size_t>(i);
+          out[j] = a[j] * b[j];
+        }
+        return out;
+      },
+      AnnotationBuilder("rebatch_test.vec_mul2")
+          .Arg("size", Split("SizeSplit", {"size"}))
+          .Arg("a", Split("TestVecSplit", {"size"}))
+          .Arg("b", Split("TestVecSplit", {"size"}))
+          .Returns(Split("TestVecSplit", {"size"}))
+          .Build());
+  return fn;
+}
+
+TEST(RebatchChains, DynamicMultiProducerCarriesRecutInPlace) {
+  // Two producer stages with different footprints (→ different batch sizes)
+  // emit owned piece sets whose range structures disagree; under work
+  // stealing even the per-worker assignment differs. The consumer's
+  // reconciliation used to materialize the non-template set (full merge +
+  // re-split); with coverage-aware re-cutting the pieces — which provably
+  // tile [0, n) — are re-cut in place through their own splitter.
+  const long n = std::max<long>(100000, 4 * static_cast<long>(L2CacheBytes()) / 8);
+  Vec a(static_cast<std::size_t>(n));
+  Vec b(static_cast<std::size_t>(n)), c(static_cast<std::size_t>(n)),
+      d(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    std::size_t j = static_cast<std::size_t>(i);
+    a[j] = static_cast<double>(i % 50);
+    b[j] = 1.0;
+    c[j] = 2.0;
+    d[j] = static_cast<double>(i % 7);
+  }
+
+  RuntimeOptions opts = Opts(/*threads=*/4);
+  opts.dynamic_scheduling = true;
+  Runtime rt(opts);
+  Vec got;
+  {
+    RuntimeScope scope(&rt);
+    auto p = VecScale()(n, a);  // stage 0: narrow producer
+    Tick()(1);
+    auto q = VecAdd3()(n, b, c, d);  // stage 2: wide producer
+    Tick()(2);
+    Future<Vec> r = VecMul2()(n, p, q);  // stage 4: consumes both carried sets
+    got = r.get();
+  }
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+  for (long i = 0; i < n; i += 991) {
+    std::size_t j = static_cast<std::size_t>(i);
+    double want = (2.0 * static_cast<double>(i % 50)) * (3.0 + static_cast<double>(i % 7));
+    EXPECT_DOUBLE_EQ(got[j], want) << "row " << i;
+  }
+  EvalStats::Snapshot s = rt.stats().Take();
+  // Both producers' boundaries elide, and the straggler set re-cuts instead
+  // of materializing.
+  EXPECT_GE(s.boundaries_elided, 2);
+  EXPECT_GE(s.carried_recuts, 1);
 }
 
 TEST(RebatchChains, IdentityPipelineChainsAllBoundaries) {
