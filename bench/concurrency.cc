@@ -314,6 +314,14 @@ int main() {
                 r.warm_evals_per_sec, 100.0 * hit_rate,
                 static_cast<long long>(r.stats.serial_evals),
                 static_cast<long long>(r.stats.pooled_evals));
+    const std::string cfg = "clients=" + std::to_string(clients);
+    bench::Metric("concurrency", "sweep", cfg, "cold_evals_per_sec", r.cold_evals_per_sec);
+    bench::Metric("concurrency", "sweep", cfg, "warm_evals_per_sec", r.warm_evals_per_sec);
+    bench::Metric("concurrency", "sweep", cfg, "plan_cache_hit_rate", hit_rate);
+    bench::Metric("concurrency", "sweep", cfg, "serial_evals",
+                  static_cast<double>(r.stats.serial_evals));
+    bench::Metric("concurrency", "sweep", cfg, "pooled_evals",
+                  static_cast<double>(r.stats.pooled_evals));
   }
 
   bench::Title("Capped plan cache (6 entries), skewed working set: LRU vs. FIFO");
@@ -324,9 +332,12 @@ int main() {
   std::printf("%8s %14s %12s\n", "policy", "warm hit rate", "evictions");
   for (mz::EvictionPolicy policy : {mz::EvictionPolicy::kLru, mz::EvictionPolicy::kFifo}) {
     PolicyResult r = RunCappedCache(policy, /*num_clients=*/16, n_hot);
-    std::printf("%8s %13.1f%% %12lld\n",
-                policy == mz::EvictionPolicy::kLru ? "LRU" : "FIFO", 100.0 * r.warm_hit_rate,
+    const char* name = policy == mz::EvictionPolicy::kLru ? "LRU" : "FIFO";
+    std::printf("%8s %13.1f%% %12lld\n", name, 100.0 * r.warm_hit_rate,
                 static_cast<long long>(r.evictions));
+    bench::Metric("concurrency", "capped_cache", name, "warm_hit_rate", r.warm_hit_rate);
+    bench::Metric("concurrency", "capped_cache", name, "evictions",
+                  static_cast<double>(r.evictions));
   }
 
   bench::Title("Loaded pool: small-plan throughput, fixed vs. adaptive admission");
@@ -353,6 +364,16 @@ int main() {
                 static_cast<long long>(r.stats.batched_evals),
                 static_cast<long long>(r.stats.serial_evals - small_total),
                 static_cast<double>(r.stats.admission_wait_ns) * 1e-6);
+    bench::Metric("concurrency", "loaded_pool", cfg.name, "small_cold_evals_per_sec",
+                  r.small_cold_evals_per_sec);
+    bench::Metric("concurrency", "loaded_pool", cfg.name, "small_warm_evals_per_sec",
+                  r.small_warm_evals_per_sec);
+    bench::Metric("concurrency", "loaded_pool", cfg.name, "batched_evals",
+                  static_cast<double>(r.stats.batched_evals));
+    bench::Metric("concurrency", "loaded_pool", cfg.name, "large_inline",
+                  static_cast<double>(r.stats.serial_evals - small_total));
+    bench::Metric("concurrency", "loaded_pool", cfg.name, "admission_wait_ms",
+                  static_cast<double>(r.stats.admission_wait_ns) * 1e-6);
     if (cfg.batching && r.batch_dispatches > 0) {
       bench::Note("batcher: " + std::to_string(r.batch_jobs) + " jobs in " +
                   std::to_string(r.batch_dispatches) + " dispatches");

@@ -6,7 +6,7 @@
 # against it.
 #
 # Usage:
-#   scripts/bench.sh                 # full scale → BENCH_PR6.json
+#   scripts/bench.sh                 # full scale → BENCH_PR7.json
 #   MOZART_BENCH_TAG=PR9 scripts/bench.sh
 #   MOZART_BENCH_SCALE=0.01 scripts/bench.sh        # quick pass
 #   MOZART_BENCH_LIST="table4_pipelining" scripts/bench.sh
@@ -14,11 +14,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="${MOZART_CHECK_JOBS:-$(nproc)}"
-tag="${MOZART_BENCH_TAG:-PR6}"
+tag="${MOZART_BENCH_TAG:-PR7}"
 scale="${MOZART_BENCH_SCALE:-1}"
 # The benches that currently emit Metric() lines. Binaries without metrics
 # still run fine under MOZART_BENCH_JSON; they just contribute nothing.
-benches="${MOZART_BENCH_LIST:-table4_pipelining fig5_overheads fig6_batch_size fig7_intensity}"
+benches="${MOZART_BENCH_LIST:-table4_pipelining fig5_overheads fig6_batch_size fig7_intensity stream_throughput concurrency}"
 out="BENCH_${tag}.json"
 
 cmake -B build -S . -DMZ_SANITIZE=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

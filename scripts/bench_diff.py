@@ -80,9 +80,13 @@ def main():
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
     if only_old:
-        print(f"bench_diff: {len(only_old)} metric(s) dropped in {args.new}")
+        print(f"bench_diff: {len(only_old)} metric(s) dropped in {args.new}:")
+        for bench, workload, config, metric in only_old:
+            print(f"  - {bench}/{workload}/{config}/{metric}")
     if only_new:
-        print(f"bench_diff: {len(only_new)} metric(s) new in {args.new}")
+        print(f"bench_diff: {len(only_new)} metric(s) new in {args.new}:")
+        for bench, workload, config, metric in only_new:
+            print(f"  + {bench}/{workload}/{config}/{metric}")
     print(f"bench_diff: {len(shared)} shared metrics, "
           f"{regressions} wall-time regression(s), {improvements} improvement(s) "
           f"at ±{args.threshold:.0%}")

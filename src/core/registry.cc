@@ -72,6 +72,20 @@ bool Registry::SplitTypeIsMergeOnly(InternedId name) const {
   return true;
 }
 
+bool Registry::SplitTypeSupportsIncrementalMerge(InternedId name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = types_.find(name);
+  if (it == types_.end() || it->second.splitters.empty()) {
+    return false;  // nothing registered — refuse to fold rather than double-count
+  }
+  for (const auto& [type, splitter] : it->second.splitters) {
+    if (!splitter->traits().incremental_merge) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::int64_t Registry::ElementWidthForSplitType(InternedId name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = types_.find(name);

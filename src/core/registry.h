@@ -76,6 +76,13 @@ class Registry {
   // the planner's carry-over analysis must materialize it at the boundary.
   bool SplitTypeIsMergeOnly(InternedId name) const;
 
+  // True when at least one splitter is registered under `name` and every one
+  // declares incremental_merge: a previous merge result may be folded
+  // together with new pieces (streaming accumulation, stream.h). False for
+  // unknown or splitter-less types — the conservative answer, since folding
+  // through a non-incremental merge silently double-counts.
+  bool SplitTypeSupportsIncrementalMerge(InternedId name) const;
+
   // Splitter-declared per-element footprint for streams of this split type
   // (the max element_width across the type's registered splitters; 0 when
   // unknown). Feeds the planner's per-stage footprint model for buffers the

@@ -28,6 +28,8 @@ namespace mz {
 class AdmissionGate;
 class BatchCollector;
 class PlanCache;
+class StreamSource;
+struct StreamOptions;
 
 struct RuntimeOptions {
   int num_threads = 0;              // 0 = number of logical CPUs
@@ -111,6 +113,19 @@ class Runtime {
   // Evaluates all captured-but-unexecuted nodes. Idempotent when nothing is
   // pending. Thread-compatible: capture and evaluation are serialized.
   void Evaluate();
+
+  // Streaming entry point (stream.h): windows `source` per `opts` and, for
+  // each window, invokes `body(window, firing_index)` with this runtime
+  // current, evaluates whatever the body captured, and resets the graph so
+  // per-firing state never accumulates. The body must not let Futures
+  // outlive its invocation (resolve or drop them before returning — Reset
+  // enforces this); carry results across firings through values or a
+  // StreamAccumulator instead. Equal-size windows fingerprint identically,
+  // so with a plan cache wired up every steady-state firing instantiates the
+  // first firing's template without touching the planner. Returns the number
+  // of firings. Per-firing counters: window_firings, window_lag_ns.
+  std::int64_t EvalStream(StreamSource& source, const StreamOptions& opts,
+                          const std::function<void(const Value& window, std::int64_t firing)>& body);
 
   // Drops the captured graph and all slots. Outstanding Futures must have
   // been dropped (checked). Statistics are preserved; use stats().Reset().

@@ -61,11 +61,19 @@ struct SplitContext {
 //    of the original at the corresponding global range would (positional
 //    slices of slices, cheap: pointer offsets, views, O(1) sub-slices).
 //    Enables zero-copy re-batching of carried pieces.
+//  * incremental_merge — Merge is associative *across* invocations: merging
+//    a previous Merge result together with new pieces yields the same value
+//    as one Merge over all the pieces at once. Lets streaming execution
+//    (stream.h) fold each window firing's reduction partial into a running
+//    accumulator pairwise instead of retaining every partial and re-merging
+//    from scratch. Declare it only when the merged value is a valid piece of
+//    its own merge (scalar folds, re-aggregable grouped partials).
 struct SplitterTraits {
   bool merge_is_identity = false;
   bool merge_only = false;
   std::int64_t element_width = 0;
   bool can_subdivide = false;
+  bool incremental_merge = false;
 };
 
 class Splitter {

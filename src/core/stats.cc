@@ -50,6 +50,14 @@ std::string EvalStats::Snapshot::ToString() const {
   if (footprint_bytes_max > 0) {
     os << " [max batch footprint " << footprint_bytes_max << " bytes]";
   }
+  if (window_firings > 0) {
+    os << " [stream " << window_firings << " firings, mean lag "
+       << Ms(window_lag_ns / window_firings) << "ms";
+    if (incremental_merges > 0) {
+      os << ", " << incremental_merges << " incremental merges";
+    }
+    os << "]";
+  }
   return os.str();
 }
 

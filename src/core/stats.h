@@ -74,6 +74,14 @@ class EvalStats {
     std::int64_t pipeline_overlap_ns = 0;
     std::int64_t fill_flush_ns = 0;
     std::int64_t carried_recuts = 0;
+    // Streaming/windowed execution (ISSUE 7, stream.h): window firings
+    // evaluated through Runtime::EvalStream, wall time from each window's
+    // assembly to its firing's completion (per-window latency; summed —
+    // divide by window_firings for the mean), and reduction partials folded
+    // pairwise into stream accumulators instead of re-merged from scratch.
+    std::int64_t window_firings = 0;
+    std::int64_t window_lag_ns = 0;
+    std::int64_t incremental_merges = 0;
 
     // Total across the per-phase wall-clock counters. Split/task/merge are
     // summed across workers, so on N threads this exceeds elapsed time.
@@ -115,6 +123,9 @@ class EvalStats {
       pipeline_overlap_ns += other.pipeline_overlap_ns;
       fill_flush_ns += other.fill_flush_ns;
       carried_recuts += other.carried_recuts;
+      window_firings += other.window_firings;
+      window_lag_ns += other.window_lag_ns;
+      incremental_merges += other.incremental_merges;
     }
 
     std::string ToString() const;
@@ -153,6 +164,9 @@ class EvalStats {
     s.pipeline_overlap_ns = pipeline_overlap_ns.load(std::memory_order_relaxed);
     s.fill_flush_ns = fill_flush_ns.load(std::memory_order_relaxed);
     s.carried_recuts = carried_recuts.load(std::memory_order_relaxed);
+    s.window_firings = window_firings.load(std::memory_order_relaxed);
+    s.window_lag_ns = window_lag_ns.load(std::memory_order_relaxed);
+    s.incremental_merges = incremental_merges.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -190,6 +204,9 @@ class EvalStats {
     pipeline_overlap_ns.fetch_add(s.pipeline_overlap_ns, std::memory_order_relaxed);
     fill_flush_ns.fetch_add(s.fill_flush_ns, std::memory_order_relaxed);
     carried_recuts.fetch_add(s.carried_recuts, std::memory_order_relaxed);
+    window_firings.fetch_add(s.window_firings, std::memory_order_relaxed);
+    window_lag_ns.fetch_add(s.window_lag_ns, std::memory_order_relaxed);
+    incremental_merges.fetch_add(s.incremental_merges, std::memory_order_relaxed);
   }
 
   // Lock-free fold of a max-aggregated counter.
@@ -232,6 +249,9 @@ class EvalStats {
     pipeline_overlap_ns = 0;
     fill_flush_ns = 0;
     carried_recuts = 0;
+    window_firings = 0;
+    window_lag_ns = 0;
+    incremental_merges = 0;
   }
 
   std::atomic<std::int64_t> client_ns{0};
@@ -265,6 +285,9 @@ class EvalStats {
   std::atomic<std::int64_t> pipeline_overlap_ns{0};
   std::atomic<std::int64_t> fill_flush_ns{0};
   std::atomic<std::int64_t> carried_recuts{0};
+  std::atomic<std::int64_t> window_firings{0};
+  std::atomic<std::int64_t> window_lag_ns{0};
+  std::atomic<std::int64_t> incremental_merges{0};
 };
 
 }  // namespace mz

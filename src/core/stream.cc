@@ -1,0 +1,194 @@
+#include "core/stream.h"
+
+#include <typeindex>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mz {
+
+// ---------------------------------------------------------- StreamSource ----
+
+void StreamSource::Push(Value chunk) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MZ_THROW_IF(closed_, "Push on a closed StreamSource");
+    chunks_.push_back(std::move(chunk));
+    ++pushed_;
+  }
+  cv_.notify_one();
+}
+
+void StreamSource::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool StreamSource::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::int64_t StreamSource::chunks_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+std::optional<Value> StreamSource::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !chunks_.empty() || closed_; });
+  if (chunks_.empty()) {
+    return std::nullopt;  // closed and drained
+  }
+  Value v = std::move(chunks_.front());
+  chunks_.pop_front();
+  return v;
+}
+
+// -------------------------------------------------------------- Windower ----
+
+Windower::Windower(StreamSource* source, StreamOptions opts, const Registry* registry)
+    : source_(source), opts_(opts), registry_(registry ? registry : &Registry::Global()) {
+  MZ_THROW_IF(opts_.window <= 0, "StreamOptions::window must be positive");
+  if (opts_.slide <= 0) {
+    opts_.slide = opts_.window;  // tumbling
+  }
+  MZ_THROW_IF(opts_.slide > opts_.window,
+              "StreamOptions::slide must not exceed the window (gaps would drop elements)");
+  MZ_THROW_IF(opts_.history_max != 0 && opts_.history_max < opts_.window,
+              "StreamOptions::history_max smaller than one window can never fire");
+}
+
+void Windower::BindChunkType(const Value& chunk) {
+  std::optional<InternedId> def = registry_->DefaultSplitTypeFor(chunk.type());
+  MZ_THROW_IF(!def.has_value(),
+              "stream chunk type has no default split type registered; the windower "
+              "cannot slice or merge it");
+  split_type_ = *def;
+  MZ_THROW_IF(registry_->SplitTypeIsMergeOnly(split_type_),
+              "stream chunk split type is merge-only; chunks must be positionally sliceable");
+  splitter_ = registry_->FindSplitterShared(split_type_, chunk.type());
+  MZ_THROW_IF(splitter_ == nullptr, "no splitter registered for the stream chunk type");
+  chunk_type_ = chunk.type();
+}
+
+void Windower::FillTo(std::int64_t target_end) {
+  while (end_ < target_end && !exhausted_) {
+    std::optional<Value> chunk = source_->Pop();
+    if (!chunk.has_value()) {
+      exhausted_ = true;
+      break;
+    }
+    if (!chunk_type_.has_value()) {
+      BindChunkType(*chunk);
+    } else {
+      MZ_THROW_IF(chunk->type() != *chunk_type_,
+                  "stream chunks must all hold the same C++ type");
+    }
+    std::vector<std::int64_t> params = registry_->RunLateCtor(split_type_, *chunk);
+    std::int64_t size = splitter_->Info(*chunk, params).total_elements;
+    if (size <= 0) {
+      continue;  // zero-element chunks carry no window content
+    }
+    buffer_.push_back(Buffered{std::move(*chunk), end_, size});
+    end_ += size;
+    if (opts_.history_max > 0) {
+      std::int64_t buffered = end_ - buffer_.front().start;
+      MZ_THROW_IF(buffered > opts_.history_max,
+                  "stream history exceeded history_max (" << buffered << " > "
+                                                          << opts_.history_max << " elements)");
+    }
+  }
+}
+
+std::optional<Value> Windower::Next(std::int64_t* out_elems) {
+  FillTo(win_start_ + opts_.window);
+  std::int64_t avail_end = std::min(end_, win_start_ + opts_.window);
+  if (avail_end <= win_start_) {
+    return std::nullopt;  // stream ended on a window boundary
+  }
+  if (avail_end < win_start_ + opts_.window && !opts_.flush_partial) {
+    return std::nullopt;  // under-filled tail, flushing disabled
+  }
+
+  // Assemble [win_start_, avail_end) from the overlapping buffered chunks:
+  // whole chunks pass through untouched (shared Value, zero-copy), partial
+  // overlaps go through Split with chunk-local coordinates, and multi-chunk
+  // windows are stitched with Merge (no original — windows are produced
+  // values, exactly like pipeline outputs).
+  std::vector<Value> pieces;
+  std::vector<std::int64_t> merge_params;
+  const SplitContext ctx{0, 1};
+  for (const Buffered& b : buffer_) {
+    if (b.start + b.size <= win_start_ || b.start >= avail_end) {
+      continue;
+    }
+    std::int64_t lo = std::max<std::int64_t>(0, win_start_ - b.start);
+    std::int64_t hi = std::min(b.size, avail_end - b.start);
+    std::vector<std::int64_t> params = registry_->RunLateCtor(split_type_, b.chunk);
+    if (merge_params.empty()) {
+      merge_params = params;
+    }
+    if (lo == 0 && hi == b.size) {
+      pieces.push_back(b.chunk);
+    } else {
+      pieces.push_back(splitter_->Split(b.chunk, lo, hi, params, ctx));
+    }
+  }
+  MZ_CHECK_MSG(!pieces.empty(), "window assembly found no overlapping chunks");
+  Value window = pieces.size() == 1
+                     ? std::move(pieces.front())
+                     : splitter_->Merge(Value(), std::move(pieces), merge_params);
+
+  if (out_elems != nullptr) {
+    *out_elems = avail_end - win_start_;
+  }
+  win_start_ += opts_.slide;
+  while (!buffer_.empty() && buffer_.front().start + buffer_.front().size <= win_start_) {
+    buffer_.pop_front();
+  }
+  ++windows_;
+  return window;
+}
+
+std::int64_t Windower::buffered_elems() const {
+  return buffer_.empty() ? 0 : end_ - buffer_.front().start;
+}
+
+// ----------------------------------------------------- StreamAccumulator ----
+
+StreamAccumulator::StreamAccumulator(std::string_view split_type,
+                                     std::vector<std::int64_t> params, EvalStats* stats)
+    : split_type_(InternName(split_type)), params_(std::move(params)), stats_(stats) {}
+
+void StreamAccumulator::Fold(Value partial) {
+  MZ_THROW_IF(!partial.has_value(), "Fold on an empty partial");
+  if (!acc_.has_value()) {
+    const Registry& reg = Registry::Global();
+    MZ_THROW_IF(!reg.SplitTypeSupportsIncrementalMerge(split_type_),
+                "split type '" << InternedName(split_type_)
+                               << "' does not declare incremental_merge; its partials "
+                                  "cannot be folded across firings");
+    splitter_ = reg.FindSplitterShared(split_type_, partial.type());
+    MZ_THROW_IF(splitter_ == nullptr,
+                "no splitter for the accumulated type under split type '"
+                    << InternedName(split_type_) << "'");
+    acc_ = std::move(partial);
+    ++folds_;
+    return;
+  }
+  std::vector<Value> pieces;
+  pieces.reserve(2);
+  pieces.push_back(std::move(acc_));
+  pieces.push_back(std::move(partial));
+  acc_ = splitter_->Merge(Value(), std::move(pieces), params_);
+  ++folds_;
+  if (stats_ != nullptr) {
+    stats_->incremental_merges.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mz

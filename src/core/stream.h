@@ -1,0 +1,165 @@
+// Streaming/windowed execution (ROADMAP item 2): unbounded inputs for the
+// split-annotation runtime.
+//
+// A StreamSource is a thread-safe FIFO of *chunks* — ordinary Values of any
+// chunk type whose C++ type has a default split type registered (Column,
+// DataFrame, std::vector<double>, ...). Producers Push() chunks as they
+// arrive and Close() at end of stream; the Windower drains the source and
+// assembles fixed-size element windows by slicing buffered chunks through
+// the chunk type's own splitter (Split for the partial overlaps, Merge to
+// stitch cross-chunk windows together). A window is therefore just another
+// Value of the chunk type, and a window *firing* is an ordinary evaluation:
+// Runtime::EvalStream hands each window to a user body that captures wrapped
+// calls, evaluates the captured graph (hitting the plan cache in steady
+// state — equal-size windows fingerprint identically), and resets the graph
+// so per-firing state never accumulates.
+//
+// Window semantics: tumbling (slide == window, the default when slide is 0)
+// or sliding (slide < window; consumed chunks are retained until they fall
+// entirely behind the next window start, so history stays bounded by
+// window - slide plus one chunk of slack). history_max caps the buffered
+// element count — a slow consumer or an over-wide window throws instead of
+// buffering without bound. At source end, a partially filled window is
+// flushed (flush_partial, default on); note the final partial window has a
+// different element total, so it fingerprints as a different plan — steady
+// state is `plan_cache_hits == firings - 1` only when the stream length is
+// an exact multiple of the window.
+//
+// Incremental merge: reduction split types (ReduceAdd/Max/Min, GroupSplit)
+// produce one partial per firing. Because their Merge is associative
+// *across* invocations (SplitterTraits::incremental_merge, checked through
+// Registry::SplitTypeSupportsIncrementalMerge), a StreamAccumulator folds
+// each firing's result into a running value pairwise instead of keeping
+// every partial and re-merging from scratch — O(1) state per stream, counted
+// in EvalStats::incremental_merges.
+#ifndef MOZART_CORE_STREAM_H_
+#define MOZART_CORE_STREAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <typeindex>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/splitter.h"
+#include "core/stats.h"
+#include "core/value.h"
+
+namespace mz {
+
+struct StreamOptions {
+  std::int64_t window = 0;       // elements per firing; must be > 0
+  std::int64_t slide = 0;        // elements advanced per firing; 0 = window (tumbling)
+  std::int64_t history_max = 0;  // max buffered elements; 0 = unbounded
+  bool flush_partial = true;     // fire the final under-filled window(s) at Close()
+};
+
+// Thread-safe chunk queue: many producers, one windowing consumer. Chunks
+// are opaque Values; element counts and slicing are derived from the chunk
+// type's default split type at consumption time.
+class StreamSource {
+ public:
+  StreamSource() = default;
+  StreamSource(const StreamSource&) = delete;
+  StreamSource& operator=(const StreamSource&) = delete;
+
+  // Enqueues one chunk. Throws after Close().
+  void Push(Value chunk);
+
+  // Marks end of stream; wakes any blocked Pop(). Idempotent.
+  void Close();
+
+  bool closed() const;
+  std::int64_t chunks_pushed() const;
+
+  // Consumer side: blocks until a chunk is available or the source is
+  // closed and drained; nullopt = end of stream.
+  std::optional<Value> Pop();
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Value> chunks_;
+  bool closed_ = false;
+  std::int64_t pushed_ = 0;
+};
+
+// Assembles element windows over a chunk stream. Single-consumer; drives
+// StreamSource::Pop and buffers just enough chunk history to cover the
+// current window (plus the sliding-window tail).
+class Windower {
+ public:
+  // `registry` may be null: the global registry is used.
+  Windower(StreamSource* source, StreamOptions opts, const Registry* registry);
+
+  // Blocks until the next window can be assembled (or the stream ends).
+  // Returns the window as a Value of the chunk type; nullopt = no further
+  // windows. `out_elems`, when non-null, receives the window's element
+  // count (smaller than opts.window only for a source-end partial flush).
+  std::optional<Value> Next(std::int64_t* out_elems = nullptr);
+
+  std::int64_t buffered_elems() const;
+  std::int64_t windows_assembled() const { return windows_; }
+
+ private:
+  struct Buffered {
+    Value chunk;
+    std::int64_t start = 0;  // global element offset of the chunk's first row
+    std::int64_t size = 0;
+  };
+
+  // Pops chunks until the buffer covers `target_end` or the source ends.
+  void FillTo(std::int64_t target_end);
+  // Resolves (and caches) the splitter machinery from the first chunk.
+  void BindChunkType(const Value& chunk);
+
+  StreamSource* source_;
+  StreamOptions opts_;
+  const Registry* registry_;
+  std::deque<Buffered> buffer_;
+  std::int64_t win_start_ = 0;  // global offset of the next window
+  std::int64_t end_ = 0;        // global offset past the last buffered element
+  std::int64_t windows_ = 0;
+  bool exhausted_ = false;
+  InternedId split_type_{};  // default split type of the chunk C++ type
+  std::shared_ptr<const Splitter> splitter_;  // pinned against re-registration
+  std::optional<std::type_index> chunk_type_;
+};
+
+// Folds one reduction partial per firing into a running value through the
+// split type's Merge. Requires the split type to declare
+// SplitterTraits::incremental_merge (checked on first Fold).
+class StreamAccumulator {
+ public:
+  // `params` are the split type's merge parameters (e.g. GroupSplit's
+  // (num_keys, op)); empty for the scalar reductions. `stats`, when
+  // non-null, counts each pairwise fold in incremental_merges.
+  explicit StreamAccumulator(std::string_view split_type,
+                             std::vector<std::int64_t> params = {}, EvalStats* stats = nullptr);
+
+  // Folds a firing's partial into the accumulator: the first call adopts
+  // the value, every later call merges {running, partial} pairwise.
+  void Fold(Value partial);
+
+  bool has_value() const { return acc_.has_value(); }
+  const Value& value() const { return acc_; }
+  // Number of Fold() calls; pairwise merges performed is folds() - 1.
+  std::int64_t folds() const { return folds_; }
+
+ private:
+  InternedId split_type_;
+  std::vector<std::int64_t> params_;
+  EvalStats* stats_;
+  std::shared_ptr<const Splitter> splitter_;
+  Value acc_;
+  std::int64_t folds_ = 0;
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_STREAM_H_

@@ -206,8 +206,13 @@ void RegisterSplits() {
                                       kRowStream, SeriesWidth);
     mz::RegisterTypedSplitter<DataFrame>(reg, "FrameSplit", FrameInfo, FrameSplitFn, FrameMerge,
                                          kFrameStream, FrameWidth);
+    // GroupMerge (concat + ReAggregate) is associative across invocations —
+    // every aggregation op folds commutatively, kMean included because
+    // GroupByAgg emits sum and count partials — so grouped partials may
+    // accumulate firing-by-firing in a stream (incremental_merge).
     mz::RegisterTypedSplitter<DataFrame>(reg, "GroupSplit", GroupInfo, GroupSplitFn, GroupMerge,
-                                         mz::SplitterTraits{.merge_only = true});
+                                         mz::SplitterTraits{.merge_only = true,
+                                                            .incremental_merge = true});
     reg.SetDefaultSplitType(std::type_index(typeid(Column)), "SeriesSplit");
     reg.SetDefaultSplitType(std::type_index(typeid(DataFrame)), "FrameSplit");
     return true;

@@ -113,6 +113,49 @@ Value ReduceMinMerge(const Value& original, std::vector<Value> pieces,
   return ReduceMergeWith(std::move(pieces), [](double a, double b) { return a < b ? a : b; });
 }
 
+// ---- VecSplit: owned double chunks (streaming windows) ----
+//
+// Raw double* arrays cannot be stream chunks — a chunk must own its memory
+// so the windower can buffer it past the producer's stack frame. VecSplit
+// makes std::vector<double> a first-class stream of doubles: Split copies
+// the subrange (pieces own their elements), Merge concatenates. Registered
+// as the default split type for std::vector<double>, which is what lets the
+// windower (core/stream.h) slice and stitch buffered vector chunks; stream
+// bodies unpack the window vector and call the raw-pointer mzvec surface on
+// its data().
+
+using Vec = std::vector<double>;
+
+RuntimeInfo VecInfo(const Vec& v, std::span<const std::int64_t> params) {
+  (void)params;
+  return RuntimeInfo{static_cast<std::int64_t>(v.size()),
+                     static_cast<std::int64_t>(sizeof(double))};
+}
+
+Value VecSplitFn(const Vec& v, std::int64_t start, std::int64_t end,
+                 std::span<const std::int64_t> params, const SplitContext& ctx) {
+  (void)params;
+  (void)ctx;
+  return Value::Make<Vec>(Vec(v.begin() + start, v.begin() + end));
+}
+
+Value VecMerge(const Value& original, std::vector<Value> pieces,
+               std::span<const std::int64_t> params) {
+  (void)original;
+  (void)params;
+  std::size_t total = 0;
+  for (const Value& p : pieces) {
+    total += p.As<Vec>().size();
+  }
+  Vec out;
+  out.reserve(total);
+  for (Value& p : pieces) {
+    const Vec& v = p.As<Vec>();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return Value::Make<Vec>(std::move(out));
+}
+
 // Split-type constructor shared by SizeSplit and ArraySplit: params = (n),
 // taken from the `size` argument.
 std::optional<std::vector<std::int64_t>> LengthCtor(std::span<const Value> args) {
@@ -190,6 +233,9 @@ void RegisterSplits() {
     Registry& reg = Registry::Global();
     reg.DefineSplitType("SizeSplit", LengthCtor, nullptr);
     reg.DefineSplitType("ArraySplit", LengthCtor, nullptr);
+    reg.DefineSplitType("VecSplit", LengthCtor, [](const Value& v) {
+      return std::vector<std::int64_t>{static_cast<std::int64_t>(v.As<Vec>().size())};
+    });
     reg.DefineSplitType("ReduceAdd", nullptr, nullptr);
     reg.DefineSplitType("ReduceMax", nullptr, nullptr);
     reg.DefineSplitType("ReduceMin", nullptr, nullptr);
@@ -209,7 +255,20 @@ void RegisterSplits() {
                                            .merge_only = false,
                                            .element_width = sizeof(double),
                                            .can_subdivide = true};
-    const mz::SplitterTraits kMergeOnly{.merge_is_identity = false, .merge_only = true};
+    // The scalar reductions fold commutatively, so a previous merge result
+    // is itself a valid piece of the next merge — streams may accumulate
+    // them firing by firing (incremental_merge, core/stream.h).
+    const mz::SplitterTraits kMergeOnly{.merge_is_identity = false,
+                                        .merge_only = true,
+                                        .element_width = 0,
+                                        .can_subdivide = false,
+                                        .incremental_merge = true};
+    // Owned chunks: pieces are vectors themselves, so piece-local re-splits
+    // are exact (can_subdivide) and Merge really concatenates.
+    const mz::SplitterTraits kOwnedVec{.merge_is_identity = false,
+                                       .merge_only = false,
+                                       .element_width = sizeof(double),
+                                       .can_subdivide = true};
     mz::RegisterTypedSplitter<long>(reg, "SizeSplit", SizeInfo, SizeSplitFn, SizeMerge,
                                     kInPlaceSize);
     mz::RegisterTypedSplitter<double*>(reg, "ArraySplit", ArrayInfo<double*>,
@@ -217,6 +276,8 @@ void RegisterSplits() {
     mz::RegisterTypedSplitter<const double*>(reg, "ArraySplit", ArrayInfo<const double*>,
                                              ArraySplitFn<const double*>, ArrayMerge,
                                              kInPlaceArray);
+    mz::RegisterTypedSplitter<Vec>(reg, "VecSplit", VecInfo, VecSplitFn, VecMerge, kOwnedVec);
+    reg.SetDefaultSplitType(std::type_index(typeid(Vec)), "VecSplit");
     mz::RegisterTypedSplitter<double>(reg, "ReduceAdd", ReduceInfo, ReduceSplitFn, ReduceAddMerge,
                                       kMergeOnly);
     mz::RegisterTypedSplitter<double>(reg, "ReduceMax", ReduceInfo, ReduceSplitFn, ReduceMaxMerge,
