@@ -1,0 +1,355 @@
+// Closed-loop serving load generator: adversarial multi-tenant traffic over
+// one ServingContext (ISSUE 8). Three experiments, each an ablation pair so
+// the new policy and its baseline land in the same BENCH json:
+//
+//  1. Fairness under a chatty neighbor — 4 chatty tenants x 3 connections
+//     each vs. 12 sparse single-connection tenants, every connection a
+//     closed loop of pooled-class plans with a zipf-skewed size mix, all
+//     contending for ONE admission token for a fixed wall duration.
+//     Sessions churn (a fresh Session every few requests), so hundreds of
+//     sessions pass through the context per run. Reported: Jain's fairness
+//     index over per-TENANT completions, plus per-class p50/p95/p99 of
+//     request latency and of per-request admission wait. DRR should hold
+//     Jain near 1.0 (each tenant is one rotation slot, however many
+//     connections it opens); the FIFO ablation serves per *connection*, so
+//     chatty tenants earn ~3x and Jain drops toward 0.75.
+//
+//  2. Lone client vs. the batch window — an OPEN arrival process (the
+//     client paces submissions with exponential think time, independent of
+//     completions) against a 400 us coalescing window. With the fixed
+//     window every evaluation is a rider-less leader sleeping out the full
+//     window; the arrival-rate-adaptive window predicts no rider and
+//     collapses the wait. Reported: per-eval latency percentiles and the
+//     total adapted window the leaders actually chose.
+//
+//  3. Plan-cache byte budget, allocator-true vs. structural-estimate
+//     accounting — a stream of distinct plan templates against one byte
+//     budget. True accounting charges what the entries really allocate
+//     (capacity slack, allocator rounding, string buffers), so fewer stay
+//     resident; the estimate ablation undercharges and overpacks the same
+//     budget. Reported: resident entries/bytes and evictions per policy.
+//
+// Methodology note (also in ARCHITECTURE.md): experiment 1 is CLOSED-loop —
+// every connection always has a request in flight, so completions measure
+// each tenant's *share* of a saturated resource, which is what a fairness
+// index needs. Experiment 2 is OPEN-loop — arrivals are paced externally,
+// so latency includes the queueing a real lone client would see, which is
+// what a window-policy comparison needs. Wall-clock columns are noisy on
+// single-core CI (ROADMAP); read shares, routing counts, and ratios.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/client.h"
+#include "core/session.h"
+#include "vecmath/annotated.h"
+
+namespace {
+
+void Pipeline(long n, const double* a, const double* b, double* out) {
+  mzvec::Log1p(n, a, out);
+  mzvec::Add(n, out, b, out);
+  mzvec::Div(n, out, b, out);
+}
+
+double Pct(std::vector<double> v, double p) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const auto idx = std::min(v.size() - 1, static_cast<std::size_t>(p / 100.0 *
+                                                                   static_cast<double>(v.size())));
+  return v[idx];
+}
+
+double Jain(const std::vector<double>& x) {
+  double sum = 0.0, sumsq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sumsq += v * v;
+  }
+  if (sumsq <= 0.0) {
+    return 0.0;
+  }
+  return sum * sum / (static_cast<double>(x.size()) * sumsq);
+}
+
+// ------------------------------------------- 1. fairness under a neighbor ----
+
+struct ClassSamples {
+  std::vector<double> lat_ms;   // end-to-end per-request latency
+  std::vector<double> wait_ms;  // per-request admission wait (stats delta)
+};
+
+struct FairnessResult {
+  double jain = 0.0;
+  ClassSamples chatty, sparse;
+  long sessions_created = 0;
+};
+
+FairnessResult RunFairness(bool drr, long n_base, long run_ms) {
+  constexpr int kChattyTenants = 4, kConnsPerChatty = 3, kSparseTenants = 12;
+  constexpr int kTenants = kChattyTenants + kSparseTenants;
+  constexpr int kEvalsPerSession = 8;  // session churn: fresh Session after this many
+
+  mz::ServingOptions serving;
+  serving.pool_threads = 4;
+  serving.max_pool_sessions = 1;  // one token: admission order IS the schedule
+  serving.serial_cutoff_elems = 256;  // every request in this mix is pooled-class
+  serving.fair_admission = drr;
+  mz::ServingContext ctx(serving);
+
+  std::vector<std::atomic<std::int64_t>> per_tenant(kTenants);
+  std::atomic<long> sessions{0};
+  std::mutex merge_mu;
+  FairnessResult res;
+
+  const std::int64_t deadline = mz::NowNanos() + run_ms * 1'000'000;
+
+  auto connection = [&](int tenant, int conn, bool chatty) {
+    std::mt19937 rng(static_cast<unsigned>(tenant * 131 + conn + 7));
+    // Zipf-skewed plan mix: sizes n, 2n, 4n, 8n with weight 1/k^1.2.
+    std::discrete_distribution<int> zipf(
+        {1.0, std::pow(2.0, -1.2), std::pow(3.0, -1.2), std::pow(4.0, -1.2)});
+    const std::size_t cap = static_cast<std::size_t>(8 * n_base);
+    std::vector<double> a(cap, 1.5), b(cap, 2.5), out(cap);
+    ClassSamples local;
+
+    while (mz::NowNanos() < deadline) {
+      mz::SessionOptions opts;
+      opts.serving = &ctx;
+      // All of a tenant's connections share one admission identity: under
+      // DRR they jointly earn one rotation slot's worth of admissions.
+      opts.admission_session = static_cast<std::uint64_t>(tenant + 1);
+      mz::Session session(opts);
+      sessions.fetch_add(1, std::memory_order_relaxed);
+      mz::Session::Scope scope(session);
+      for (int e = 0; e < kEvalsPerSession && mz::NowNanos() < deadline; ++e) {
+        const long n = n_base << zipf(rng);
+        const std::int64_t w0 =
+            session.stats().admission_wait_ns.load(std::memory_order_relaxed);
+        const std::int64_t t0 = mz::NowNanos();
+        Pipeline(n, a.data(), b.data(), out.data());
+        session.Evaluate();
+        session.Reset();
+        const std::int64_t t1 = mz::NowNanos();
+        const std::int64_t w1 =
+            session.stats().admission_wait_ns.load(std::memory_order_relaxed);
+        local.lat_ms.push_back(static_cast<double>(t1 - t0) * 1e-6);
+        local.wait_ms.push_back(static_cast<double>(w1 - w0) * 1e-6);
+        per_tenant[static_cast<std::size_t>(tenant)].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mu);
+    ClassSamples& cls = chatty ? res.chatty : res.sparse;
+    cls.lat_ms.insert(cls.lat_ms.end(), local.lat_ms.begin(), local.lat_ms.end());
+    cls.wait_ms.insert(cls.wait_ms.end(), local.wait_ms.begin(), local.wait_ms.end());
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kChattyTenants; ++t) {
+    for (int c = 0; c < kConnsPerChatty; ++c) {
+      threads.emplace_back(connection, t, c, /*chatty=*/true);
+    }
+  }
+  for (int t = kChattyTenants; t < kTenants; ++t) {
+    threads.emplace_back(connection, t, 0, /*chatty=*/false);
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+
+  std::vector<double> completions(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    completions[static_cast<std::size_t>(t)] =
+        static_cast<double>(per_tenant[static_cast<std::size_t>(t)].load());
+  }
+  res.jain = Jain(completions);
+  res.sessions_created = sessions.load();
+  return res;
+}
+
+// --------------------------------------- 2. lone client vs. batch window ----
+
+struct LoneClientResult {
+  std::vector<double> lat_us;
+  std::int64_t adapted_window_us = 0;
+  std::int64_t dispatches = 0;
+};
+
+LoneClientResult RunLoneClient(bool adaptive, long n, int evals) {
+  mz::ServingOptions serving;
+  serving.pool_threads = 2;
+  serving.max_pool_sessions = 2;
+  serving.serial_cutoff_elems = 1 << 20;  // inline-class: everything rides the batcher
+  serving.batch_window_us = 400;
+  serving.batch_max_plans = 8;
+  serving.adaptive_batch_window = adaptive;
+  mz::ServingContext ctx(serving);
+
+  LoneClientResult res;
+  {
+    const std::size_t size = static_cast<std::size_t>(n);
+    std::vector<double> a(size, 1.5), b(size, 2.5), out(size);
+    mz::SessionOptions opts;
+    opts.serving = &ctx;
+    mz::Session session(opts);
+    mz::Session::Scope scope(session);
+    // Open arrival process: exponential think time (mean 1.5 ms) between
+    // submissions, independent of completions — the smoothed inter-arrival
+    // gap sits well past the 400 us window, so no rider is ever predicted.
+    std::mt19937 rng(42);
+    std::exponential_distribution<double> think(1.0 / 1500.0);  // mean, us
+    for (int e = 0; e < evals; ++e) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<std::int64_t>(think(rng))));
+      const std::int64_t t0 = mz::NowNanos();
+      Pipeline(n, a.data(), b.data(), out.data());
+      session.Evaluate();
+      session.Reset();
+      res.lat_us.push_back(static_cast<double>(mz::NowNanos() - t0) * 1e-3);
+    }
+    res.dispatches = ctx.batcher()->dispatches();
+  }
+  res.adapted_window_us = ctx.AggregateStats().batch_window_adapted_us;
+  return res;
+}
+
+// ------------------------- 3. cache byte budget, true vs. estimate bytes ----
+
+struct CacheAccountingResult {
+  std::size_t resident_entries = 0;
+  std::size_t charged_bytes = 0;
+  std::int64_t evictions = 0;
+};
+
+CacheAccountingResult RunCacheAccounting(bool true_bytes, int templates, long n_base) {
+  mz::ServingOptions serving;
+  serving.pool_threads = 2;
+  serving.max_pool_sessions = 2;
+  serving.serial_cutoff_elems = 1 << 20;  // inline: planning cost is the workload
+  serving.plan_cache_entries = 1 << 14;   // entry cap out of the way
+  serving.plan_cache_bytes = 64 * 1024;   // the contended budget
+  serving.plan_cache_true_bytes = true_bytes;
+  mz::ServingContext ctx(serving);
+
+  {
+    const std::size_t cap = static_cast<std::size_t>(n_base + templates);
+    std::vector<double> a(cap, 1.5), b(cap, 2.5), out(cap);
+    mz::SessionOptions opts;
+    opts.serving = &ctx;
+    mz::Session session(opts);
+    mz::Session::Scope scope(session);
+    for (int k = 0; k < templates; ++k) {
+      // Each size is a distinct plan key: a steady stream of new templates
+      // pushing against the byte budget.
+      Pipeline(n_base + k, a.data(), b.data(), out.data());
+      session.Evaluate();
+      session.Reset();
+    }
+  }
+
+  CacheAccountingResult res;
+  res.resident_entries = ctx.plan_cache().size();
+  res.charged_bytes = ctx.plan_cache().bytes();
+  res.evictions = ctx.plan_cache().evictions();
+  return res;
+}
+
+void EmitClass(const std::string& config, const char* cls, const ClassSamples& s) {
+  std::printf("  %-6s %-6s  %8zu reqs   lat p50/p95/p99 %8.3f %8.3f %8.3f ms   "
+              "wait p50/p95/p99 %8.3f %8.3f %8.3f ms\n",
+              config.c_str(), cls, s.lat_ms.size(), Pct(s.lat_ms, 50), Pct(s.lat_ms, 95),
+              Pct(s.lat_ms, 99), Pct(s.wait_ms, 50), Pct(s.wait_ms, 95), Pct(s.wait_ms, 99));
+  bench::Metric("loadgen_serving", "fairness", config, std::string(cls) + "_completions",
+                static_cast<double>(s.lat_ms.size()));
+  bench::Metric("loadgen_serving", "fairness", config, std::string(cls) + "_p50_ms",
+                Pct(s.lat_ms, 50));
+  bench::Metric("loadgen_serving", "fairness", config, std::string(cls) + "_p95_ms",
+                Pct(s.lat_ms, 95));
+  bench::Metric("loadgen_serving", "fairness", config, std::string(cls) + "_p99_ms",
+                Pct(s.lat_ms, 99));
+  bench::Metric("loadgen_serving", "fairness", config, std::string(cls) + "_wait_p50_ms",
+                Pct(s.wait_ms, 50));
+  bench::Metric("loadgen_serving", "fairness", config, std::string(cls) + "_wait_p95_ms",
+                Pct(s.wait_ms, 95));
+  bench::Metric("loadgen_serving", "fairness", config, std::string(cls) + "_wait_p99_ms",
+                Pct(s.wait_ms, 99));
+}
+
+}  // namespace
+
+int main() {
+  mzvec::EnsureRegistered();
+
+  bench::Title("Fairness: 4 chatty tenants (3 connections each) vs. 12 sparse tenants, "
+               "one admission token");
+  const long n_fair = std::max<long>(4096, bench::Scaled(16384));
+  const long run_ms = std::max<long>(30, bench::Scaled(400));
+  bench::Note("closed loop for " + std::to_string(run_ms) + " ms; zipf sizes " +
+              std::to_string(n_fair) + "..." + std::to_string(8 * n_fair) +
+              "; Jain index over per-tenant completions (16 tenants; FIFO floor with this "
+              "mix is (4*3+12)^2 / (16*(4*9+12)) = 0.75)");
+  for (bool drr : {true, false}) {
+    const std::string config = drr ? "drr" : "fifo";
+    FairnessResult r = RunFairness(drr, n_fair, run_ms);
+    std::printf("  %-6s Jain over tenants %.3f   (%ld sessions churned)\n", config.c_str(),
+                r.jain, r.sessions_created);
+    EmitClass(config, "chatty", r.chatty);
+    EmitClass(config, "sparse", r.sparse);
+    bench::Metric("loadgen_serving", "fairness", config, "jain_tenant_index", r.jain);
+    bench::Metric("loadgen_serving", "fairness", config, "sessions",
+                  static_cast<double>(r.sessions_created));
+  }
+
+  bench::Title("Lone client vs. a 400 us batch window, open arrivals (mean 1.5 ms apart)");
+  const int evals = static_cast<int>(std::max<long>(20, bench::Scaled(300)));
+  bench::Note(std::to_string(evals) + " evaluations of a 1024-elem inline-class plan; the "
+              "fixed window sleeps 400 us per rider-less leader, the adaptive window "
+              "predicts no rider and skips the wait");
+  for (bool adaptive : {false, true}) {
+    const std::string config = adaptive ? "adaptive_window" : "fixed_window";
+    // n deliberately NOT scaled: must stay inline-class at every bench scale.
+    LoneClientResult r = RunLoneClient(adaptive, /*n=*/1024, evals);
+    std::printf("  %-16s lat p50/p95/p99 %8.1f %8.1f %8.1f us   adapted window total %lld us"
+                "   %lld dispatches\n",
+                config.c_str(), Pct(r.lat_us, 50), Pct(r.lat_us, 95), Pct(r.lat_us, 99),
+                static_cast<long long>(r.adapted_window_us),
+                static_cast<long long>(r.dispatches));
+    bench::Metric("loadgen_serving", "lone_client", config, "p50_us", Pct(r.lat_us, 50));
+    bench::Metric("loadgen_serving", "lone_client", config, "p95_us", Pct(r.lat_us, 95));
+    bench::Metric("loadgen_serving", "lone_client", config, "p99_us", Pct(r.lat_us, 99));
+    bench::Metric("loadgen_serving", "lone_client", config, "adapted_window_us",
+                  static_cast<double>(r.adapted_window_us));
+  }
+
+  bench::Title("Plan-cache byte budget (64 KiB): allocator-true vs. estimated accounting");
+  const int templates = static_cast<int>(std::max<long>(64, bench::Scaled(192)));
+  bench::Note(std::to_string(templates) + " distinct plan templates inserted; true "
+              "accounting charges real heap footprints (capacity slack, allocator "
+              "rounding), so the same budget holds fewer entries honestly");
+  for (bool true_bytes : {true, false}) {
+    const std::string config = true_bytes ? "true_bytes" : "estimate";
+    CacheAccountingResult r = RunCacheAccounting(true_bytes, templates, /*n_base=*/2048);
+    std::printf("  %-10s %6zu resident entries, %8zu charged bytes, %6lld evictions\n",
+                config.c_str(), r.resident_entries, r.charged_bytes,
+                static_cast<long long>(r.evictions));
+    bench::Metric("loadgen_serving", "cache_accounting", config, "resident_entries",
+                  static_cast<double>(r.resident_entries));
+    bench::Metric("loadgen_serving", "cache_accounting", config, "charged_bytes",
+                  static_cast<double>(r.charged_bytes));
+    bench::Metric("loadgen_serving", "cache_accounting", config, "evictions",
+                  static_cast<double>(r.evictions));
+  }
+  return 0;
+}

@@ -2,11 +2,16 @@
 """Compare two BENCH_*.json files and flag wall-time regressions.
 
 Usage:
-  scripts/bench_diff.py OLD.json NEW.json [--threshold 0.20] [--all]
+  scripts/bench_diff.py OLD.json NEW.json [NEW2.json ...] [--threshold 0.20] [--all]
 
 Matches metrics on (bench, workload, config, metric) and reports the ratio
 new/old. Only wall-time metrics (metric == "seconds") count toward the
 regression verdict; counter metrics are shown with --all for context.
+
+When more than one NEW file is given (repeat runs — see MOZART_BENCH_REPEATS
+in scripts/bench.sh), each metric's NEW value is the per-metric median
+across the files: median-of-3 filters the one-off scheduler hiccups that
+dominate single-core CI wall times.
 
 Advisory by design: the exit code is 0 unless the inputs are unusable —
 single-core CI wall times are too noisy to gate on (ROADMAP). Use the
@@ -14,6 +19,7 @@ printed REGRESSION lines in review instead.
 """
 import argparse
 import json
+import statistics
 import sys
 
 
@@ -30,10 +36,24 @@ def load(path):
     return doc, metrics
 
 
+def load_median(paths):
+    """Loads every path and medians each metric across the files that have it."""
+    docs, per_file = [], []
+    for p in paths:
+        doc, metrics = load(p)
+        docs.append(doc)
+        per_file.append(metrics)
+    merged = {}
+    for key in {k for metrics in per_file for k in metrics}:
+        merged[key] = statistics.median(m[key] for m in per_file if key in m)
+    return docs[0], merged
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("old")
-    ap.add_argument("new")
+    ap.add_argument("new", nargs="+",
+                    help="one or more NEW files; >1 compares per-metric medians")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="flag wall-time ratios above 1+threshold (default 0.20)")
     ap.add_argument("--all", action="store_true",
@@ -41,10 +61,12 @@ def main():
     args = ap.parse_args()
 
     old_doc, old = load(args.old)
-    new_doc, new = load(args.new)
+    new_doc, new = load_median(args.new)
 
+    new_desc = args.new[0] if len(args.new) == 1 else \
+        f"median of {len(args.new)} runs ({', '.join(args.new)})"
     print(f"bench_diff: {args.old} (tag {old_doc.get('tag')}, scale {old_doc.get('scale')}) "
-          f"vs {args.new} (tag {new_doc.get('tag')}, scale {new_doc.get('scale')})")
+          f"vs {new_desc} (tag {new_doc.get('tag')}, scale {new_doc.get('scale')})")
     if old_doc.get("scale") != new_doc.get("scale"):
         print("bench_diff: WARNING: scales differ; ratios are not comparable")
 
@@ -80,7 +102,7 @@ def main():
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
     if only_old:
-        print(f"bench_diff: {len(only_old)} metric(s) dropped in {args.new}:")
+        print(f"bench_diff: {len(only_old)} metric(s) dropped in {new_desc}:")
         for bench, workload, config, metric in only_old:
             print(f"  - {bench}/{workload}/{config}/{metric}")
     if only_new:

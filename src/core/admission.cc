@@ -5,16 +5,18 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "core/splitter.h"
 
 namespace mz {
 
 namespace {
 
-AdmissionOptions FixedOptions(int tokens) {
+AdmissionOptions FixedOptions(int tokens, bool fair) {
   AdmissionOptions opts;
   opts.min_tokens = std::max(1, tokens);
   opts.max_tokens = opts.min_tokens;
+  opts.fair = fair;
   return opts;
 }
 
@@ -25,12 +27,14 @@ AdmissionOptions Sanitize(AdmissionOptions opts) {
   opts.max_cutoff_elems = std::max(opts.base_cutoff_elems, opts.max_cutoff_elems);
   opts.ewma_alpha = std::clamp(opts.ewma_alpha, 1e-3, 1.0);
   opts.congested_depth = std::max(1e-3, opts.congested_depth);
+  opts.decay_half_life_us = std::max(0.0, opts.decay_half_life_us);
   return opts;
 }
 
 }  // namespace
 
-AdmissionGate::AdmissionGate(int tokens) : adaptive_(false), opts_(FixedOptions(tokens)) {
+AdmissionGate::AdmissionGate(int tokens, bool fair)
+    : adaptive_(false), opts_(FixedOptions(tokens, fair)) {
   effective_tokens_ = opts_.max_tokens;
   effective_cutoff_ = 0;  // unused: cutoff_elems returns the fallback
 }
@@ -41,28 +45,114 @@ AdmissionGate::AdmissionGate(const AdmissionOptions& opts)
   effective_cutoff_ = opts_.base_cutoff_elems;
 }
 
-AdmissionGate::Ticket AdmissionGate::Acquire() {
+AdmissionGate::~AdmissionGate() = default;
+
+bool AdmissionGate::HasWaitersLocked() const {
+  return opts_.fair ? !rr_.empty() : !fifo_.empty();
+}
+
+AdmissionGate::Ticket AdmissionGate::Acquire(std::uint64_t session, int weight) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return in_use_ < effective_tokens_; });
-  ++in_use_;
-  return Ticket(this);
+  // Fast path: a free token and nobody queued ahead. Never barge past
+  // waiters — that is exactly the unfairness the scheduler exists to stop.
+  if (!HasWaitersLocked() && in_use_ < effective_tokens_) {
+    ++in_use_;
+    return Ticket(this, session);
+  }
+  Waiter self;
+  if (opts_.fair) {
+    auto [it, inserted] = queues_.try_emplace(session);
+    SessionQueue& q = it->second;
+    q.weight = std::max(1, weight);
+    q.waiters.push_back(&self);
+    if (inserted) {
+      rr_.push_back(session);
+    }
+  } else {
+    fifo_.push_back(&self);
+  }
+  ++waiting_;
+  // A token may be free (e.g. the budget grew between the release that
+  // drained the queue and this enqueue); let the scheduler hand it out in
+  // policy order rather than waiting for the next release.
+  if (ScheduleLocked()) {
+    cv_.notify_all();
+  }
+  cv_.wait(lock, [&self] { return self.admitted; });
+  return Ticket(this, session);
+}
+
+bool AdmissionGate::ScheduleLocked() {
+  bool admitted_any = false;
+  if (opts_.fair) {
+    while (in_use_ < effective_tokens_ && !rr_.empty()) {
+      const std::uint64_t sid = rr_.front();
+      auto it = queues_.find(sid);
+      MZ_CHECK_MSG(it != queues_.end(), "AdmissionGate: rotation names an absent session");
+      SessionQueue& q = it->second;
+      // Earn a turn's worth of service on entering the front. Tokens usually
+      // free one at a time, so a turn spans several ScheduleLocked calls; the
+      // leftover deficit (>= 1) marks a turn in progress and must not be
+      // topped up again, or weights would stop mattering.
+      if (q.deficit < 1.0) {
+        q.deficit += q.weight;
+      }
+      while (!q.waiters.empty() && q.deficit >= 1.0 && in_use_ < effective_tokens_) {
+        q.waiters.front()->admitted = true;
+        q.waiters.pop_front();
+        q.deficit -= 1.0;
+        ++in_use_;
+        --waiting_;
+        admitted_any = true;
+      }
+      if (q.waiters.empty()) {
+        rr_.pop_front();
+        queues_.erase(it);  // deficit does not persist across idle periods
+      } else if (q.deficit < 1.0) {
+        rr_.pop_front();
+        rr_.push_back(sid);  // turn spent, still backlogged: next round
+      }
+      // else: tokens ran out mid-turn; the outer condition exits and the
+      // session resumes its turn at the front on the next release.
+    }
+  } else {
+    while (in_use_ < effective_tokens_ && !fifo_.empty()) {
+      fifo_.front()->admitted = true;
+      fifo_.pop_front();
+      ++in_use_;
+      --waiting_;
+      admitted_any = true;
+    }
+  }
+  return admitted_any;
 }
 
 void AdmissionGate::Observe(std::size_t queue_depth) {
+  ObserveAtNanos(queue_depth, NowNanos());
+}
+
+void AdmissionGate::ObserveAtNanos(std::size_t queue_depth, std::int64_t now_ns) {
   if (!adaptive_) {
     return;
   }
-  bool grew = false;
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (opts_.decay_half_life_us > 0.0 && last_observe_ns_ != 0 && now_ns > last_observe_ns_) {
+      const double elapsed_us = static_cast<double>(now_ns - last_observe_ns_) * 1e-3;
+      ewma_depth_ *= std::exp2(-elapsed_us / opts_.decay_half_life_us);
+    }
+    last_observe_ns_ = now_ns;
     ewma_depth_ = opts_.ewma_alpha * static_cast<double>(queue_depth) +
                   (1.0 - opts_.ewma_alpha) * ewma_depth_;
     const int before = effective_tokens_;
     RecomputeLocked();
-    grew = effective_tokens_ > before;
+    if (effective_tokens_ > before) {
+      wake = ScheduleLocked();  // a larger budget may admit blocked acquirers
+    }
   }
-  if (grew) {
-    cv_.notify_all();  // a larger budget may admit blocked acquirers
+  if (wake) {
+    cv_.notify_all();
   }
 }
 
@@ -101,13 +191,22 @@ int AdmissionGate::in_use() const {
   return in_use_;
 }
 
+int AdmissionGate::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
 void AdmissionGate::ReleaseToken() {
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     MZ_CHECK_MSG(in_use_ > 0, "AdmissionGate: release without acquire");
     --in_use_;
+    wake = ScheduleLocked();
   }
-  cv_.notify_one();
+  if (wake) {
+    cv_.notify_all();
+  }
 }
 
 void AdmissionGate::Ticket::Release() {
@@ -117,15 +216,21 @@ void AdmissionGate::Ticket::Release() {
   }
 }
 
-std::int64_t EstimatePlanElems(const Plan& plan, const TaskGraph& graph,
-                               const Registry& registry) {
-  constexpr std::int64_t kUnknown = std::numeric_limits<std::int64_t>::max();
-  std::int64_t max_elems = 0;
+PlanSizeEstimate EstimatePlanSize(const Plan& plan, const TaskGraph& graph,
+                                  const Registry& registry) {
+  PlanSizeEstimate est;
+  // Running bounds over every sized input of *any* stage (serial included):
+  // a later stage whose split inputs are all produced by this plan inherits
+  // these, since element-wise pipelines cannot grow their data past what
+  // entered the plan.
+  std::int64_t inherit_elems = 0;
+  std::int64_t inherit_bytes = 0;
+  bool anything_sized = false;
   for (const Stage& stage : plan.stages) {
-    if (stage.serial) {
-      continue;
-    }
+    std::int64_t stage_elems = 0;
+    std::int64_t stage_width = 0;  // widest sized input, bytes per element
     bool sized = false;
+    bool pending_input = false;
     for (const StageBuffer& def : stage.buffers) {
       if (!def.is_input) {
         continue;
@@ -139,6 +244,10 @@ std::int64_t EstimatePlanElems(const Plan& plan, const TaskGraph& graph,
       }
       const Slot& slot = graph.slot(def.slot);
       if (!slot.value.has_value()) {
+        // Produced by an earlier stage of this same plan (e.g. a
+        // Future-chained pipeline or the steady-state EvalStream shape):
+        // nothing to measure yet, but the producer's inputs bound it.
+        pending_input = true;
         continue;
       }
       try {
@@ -158,18 +267,44 @@ std::int64_t EstimatePlanElems(const Plan& plan, const TaskGraph& graph,
         if (splitter == nullptr) {
           continue;
         }
-        max_elems = std::max(max_elems, splitter->Info(slot.value, params).total_elements);
+        const RuntimeInfo info = splitter->Info(slot.value, params);
+        stage_elems = std::max(stage_elems, info.total_elements);
+        std::int64_t width = info.bytes_per_element;
+        if (width <= 0) {
+          // Arithmetic splits (SizeSplit) expose no width; the planner's
+          // footprint annotation may still know it.
+          width = def.elem_bytes_hint > 0 ? def.elem_bytes_hint : kNominalElemBytes;
+        }
+        stage_width = std::max(stage_width, width);
         sized = true;
-        break;  // one sized input bounds the stage; all inputs must agree
       } catch (...) {
-        // Sizing is best-effort; leave the stage unsized and fall through.
+        // Sizing is best-effort; leave this input unsized and fall through.
       }
     }
-    if (!sized) {
-      return kUnknown;  // cannot bound this stage's work before execution
+    if (sized) {
+      const std::int64_t stage_bytes = stage_elems * std::max(stage_width, kNominalElemBytes);
+      inherit_elems = std::max(inherit_elems, stage_elems);
+      inherit_bytes = std::max(inherit_bytes, stage_bytes);
+      anything_sized = true;
+      if (!stage.serial) {
+        est.elems = std::max(est.elems, stage_elems);
+        est.bytes = std::max(est.bytes, stage_bytes);
+      }
+    } else if (pending_input && anything_sized) {
+      if (!stage.serial) {
+        est.elems = std::max(est.elems, inherit_elems);
+        est.bytes = std::max(est.bytes, inherit_bytes);
+      }
+    } else if (!stage.serial) {
+      // A parallel stage with no sizable input and no sized ancestor:
+      // cannot bound this plan's work before execution.
+      est.elems = std::numeric_limits<std::int64_t>::max();
+      est.bytes = std::numeric_limits<std::int64_t>::max();
+      est.sized = false;
+      return est;
     }
   }
-  return max_elems;
+  return est;
 }
 
 }  // namespace mz

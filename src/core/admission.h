@@ -23,22 +23,45 @@
 //    max_cutoff_elems — under load, progressively larger plans run on their
 //    caller instead of queuing behind someone else's full-width stages.
 //
+// Observations decay toward zero between samples (half-life
+// decay_half_life_us), so a congestion burst's shrunk budget does not
+// persist while the pool sits idle: the next Observe after a quiet period
+// sees a discounted EWMA, whatever the sampling cadence was.
+//
 // Both responses are monotone in the smoothed depth and clamped to their
 // configured ranges; min_tokens >= 1 guarantees large plans always admit
 // eventually (no starvation). Tickets are RAII. Budget shrink never revokes
 // held tickets — it only delays new admissions until the pool drains.
+//
+// Contended tokens are granted by per-session weighted deficit round-robin
+// (fair = true, the default): each Acquire names a session id, waiters queue
+// per session, and free tokens rotate across the sessions that have waiters,
+// each session earning `weight` admissions per round. A sparse session's
+// wait is therefore bounded by (sessions_waiting × hold time), independent
+// of how deep a chatty neighbor's backlog is. fair = false is the ablation:
+// one strict arrival-order FIFO queue, where a flood of waiters from one
+// session delays everyone queued behind it proportionally to the backlog.
 #ifndef MOZART_CORE_ADMISSION_H_
 #define MOZART_CORE_ADMISSION_H_
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <list>
 #include <mutex>
+#include <unordered_map>
 
 #include "core/planner.h"
 #include "core/registry.h"
 #include "core/task_graph.h"
 
 namespace mz {
+
+// Element width assumed when a plan's inputs expose element counts but no
+// byte width (SizeSplit-style arithmetic splits). Also the unit converting a
+// serial_cutoff_elems knob into the byte cutoff the admission decision uses,
+// so "4096 elements" keeps meaning "one 32 KiB double/int64 stream".
+inline constexpr std::int64_t kNominalElemBytes = 8;
 
 // Tuning for the adaptive mode. Zeros mean "derive": the serving layer
 // (session.h) fills base/max cutoffs from its serial_cutoff_elems and
@@ -54,12 +77,22 @@ struct AdmissionOptions {
   // Smoothed queue depth treated as full congestion: at or beyond it the
   // token budget sits at min_tokens and the cutoff at max_cutoff_elems.
   double congested_depth = 16.0;
+  // Half-life (µs) of the queue-depth EWMA between observations: the stored
+  // depth is scaled by 2^(-elapsed/half_life) before each new sample folds
+  // in. 0 disables decay (the pre-decay ablation: a burst's shrunk budget
+  // persists until fresh observations wash it out).
+  double decay_half_life_us = 2000.0;
+  // Per-session weighted deficit-round-robin admission of contended tokens.
+  // false = strict arrival-order FIFO (the fairness ablation).
+  bool fair = true;
 };
 
 class AdmissionGate {
  public:
-  explicit AdmissionGate(int tokens);  // fixed budget, no adaptation
+  // Fixed budget, no adaptation; fair = false selects the FIFO ablation.
+  explicit AdmissionGate(int tokens, bool fair = true);
   explicit AdmissionGate(const AdmissionOptions& opts);
+  ~AdmissionGate();
 
   AdmissionGate(const AdmissionGate&) = delete;
   AdmissionGate& operator=(const AdmissionGate&) = delete;
@@ -69,11 +102,14 @@ class AdmissionGate {
    public:
     Ticket() = default;
     ~Ticket() { Release(); }
-    Ticket(Ticket&& other) noexcept : gate_(other.gate_) { other.gate_ = nullptr; }
+    Ticket(Ticket&& other) noexcept : gate_(other.gate_), session_(other.session_) {
+      other.gate_ = nullptr;
+    }
     Ticket& operator=(Ticket&& other) noexcept {
       if (this != &other) {
         Release();
         gate_ = other.gate_;
+        session_ = other.session_;
         other.gate_ = nullptr;
       }
       return *this;
@@ -82,26 +118,38 @@ class AdmissionGate {
     Ticket& operator=(const Ticket&) = delete;
 
     bool held() const { return gate_ != nullptr; }
+    std::uint64_t session() const { return session_; }
     void Release();
 
    private:
     friend class AdmissionGate;
-    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    Ticket(AdmissionGate* gate, std::uint64_t session) : gate_(gate), session_(session) {}
     AdmissionGate* gate_ = nullptr;
+    std::uint64_t session_ = 0;
   };
 
-  // Blocks until a token is free under the current effective budget.
-  Ticket Acquire();
+  // Blocks until the scheduler grants this session a token under the current
+  // effective budget. `session` groups waiters for round-robin (0 = the
+  // anonymous session, still one group); `weight` is admissions earned per
+  // round while backlogged (clamped to >= 1, latest call wins).
+  Ticket Acquire(std::uint64_t session = 0, int weight = 1);
 
   // Feeds one queue-depth sample into the EWMA and recomputes the effective
   // budget and cutoff. No-op in fixed mode. Wakes waiters if the budget grew.
   void Observe(std::size_t queue_depth);
+
+  // Observe with an explicit timestamp for the decay term (tests).
+  void ObserveAtNanos(std::size_t queue_depth, std::int64_t now_ns);
 
   bool adaptive() const { return adaptive_; }
 
   // Current effective token budget (fixed mode: the constructor argument).
   int tokens() const;
   int in_use() const;
+
+  // Waiters currently blocked in Acquire (introspection; tests use it to
+  // sequence deterministic contention).
+  int waiting() const;
 
   // Current inline-vs-pooled cutoff; fixed mode returns `fallback` (the
   // runtime's static serial_cutoff_elems).
@@ -112,25 +160,62 @@ class AdmissionGate {
   const AdmissionOptions& options() const { return opts_; }
 
  private:
+  // A blocked Acquire, stack-allocated by its own thread. The scheduler
+  // flips `admitted` (and accounts the token) under mu_; the waiter just
+  // sleeps on its predicate.
+  struct Waiter {
+    bool admitted = false;
+  };
+  struct SessionQueue {
+    std::deque<Waiter*> waiters;
+    double deficit = 0.0;  // admissions owed; reset when the queue empties
+    int weight = 1;
+  };
+
   void ReleaseToken();
-  void RecomputeLocked();  // effective budget/cutoff from ewma_depth_
+  void RecomputeLocked();   // effective budget/cutoff from ewma_depth_
+  bool ScheduleLocked();    // grants free tokens to waiters; true if any
+  bool HasWaitersLocked() const;
 
   const bool adaptive_;
   const AdmissionOptions opts_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   int in_use_ = 0;
+  int waiting_ = 0;
   double ewma_depth_ = 0.0;
+  std::int64_t last_observe_ns_ = 0;
   int effective_tokens_;
   std::int64_t effective_cutoff_;
+  // fair mode: session queues plus the round-robin rotation of sessions that
+  // currently have waiters (a session id is in rr_ iff it is in queues_).
+  std::unordered_map<std::uint64_t, SessionQueue> queues_;
+  std::list<std::uint64_t> rr_;
+  // ablation mode: strict arrival order.
+  std::deque<Waiter*> fifo_;
 };
 
-// Cheap upper-bound estimate of a plan's parallel work, in elements: the
-// maximum split-input element count across non-serial stages (via the
-// splitters' Info). Returns 0 for all-serial plans and INT64_MAX when an
-// input cannot be sized before execution (conservative: treat as large).
-std::int64_t EstimatePlanElems(const Plan& plan, const TaskGraph& graph,
-                               const Registry& registry);
+// What EstimatePlanSize could learn about a plan's parallel work before
+// executing it. `elems` is the maximum split-input element count across
+// non-serial stages; `bytes` is the same maximum weighted by each stage's
+// widest sized input (kNominalElemBytes floor), which is the unit the
+// inline/pooled decision and the plan-cache budget share. sized = false
+// means some stage's work could not be bounded (conservative: treat as
+// large); all-serial plans are sized with zeros.
+struct PlanSizeEstimate {
+  std::int64_t elems = 0;
+  std::int64_t bytes = 0;
+  bool sized = true;
+};
+
+// Cheap upper-bound estimate of a plan's parallel work. Sizes each
+// non-serial stage from its split inputs (via the splitters' Info); a stage
+// whose only split inputs are produced by earlier stages of the same plan
+// (pending slots with no value yet — the steady-state EvalStream shape)
+// inherits the running maximum instead of poisoning the estimate, since a
+// plan's intermediates are bounded by its inputs for element-wise stages.
+PlanSizeEstimate EstimatePlanSize(const Plan& plan, const TaskGraph& graph,
+                                  const Registry& registry);
 
 }  // namespace mz
 

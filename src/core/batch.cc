@@ -5,6 +5,8 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/timer.h"
+#include "core/stats.h"
 
 namespace mz {
 
@@ -13,9 +15,25 @@ BatchCollector::BatchCollector(ThreadPool* pool, BatchOptions opts)
         BatchOptions o = opts;
         o.window_us = std::max<std::int64_t>(0, o.window_us);
         o.max_batch = std::max(1, o.max_batch);
+        o.arrival_ewma_alpha = std::clamp(o.arrival_ewma_alpha, 1e-3, 1.0);
         return o;
       }()) {
   MZ_CHECK_MSG(pool_ != nullptr, "BatchCollector needs a pool");
+}
+
+std::int64_t BatchCollector::EffectiveWindowUsLocked() const {
+  if (!opts_.adaptive_window) {
+    return opts_.window_us;
+  }
+  // No gap history yet, or arrivals are (smoothed) farther apart than the
+  // window: no rider is predicted to show up in time — don't wait for one.
+  if (ewma_gap_us_ < 0.0 || ewma_gap_us_ >= static_cast<double>(opts_.window_us)) {
+    return 0;
+  }
+  // A rider is predicted within ~ewma_gap; wait two gaps (jitter slack) but
+  // never longer than the configured window.
+  const auto predicted = static_cast<std::int64_t>(2.0 * ewma_gap_us_) + 1;
+  return std::min<std::int64_t>(opts_.window_us, predicted);
 }
 
 BatchCollector::~BatchCollector() {
@@ -25,12 +43,28 @@ BatchCollector::~BatchCollector() {
   Flush();
 }
 
-void BatchCollector::Run(std::function<void()> fn) {
+void BatchCollector::Run(std::function<void()> fn, EvalStats* stats) {
   Job job;
   job.fn = &fn;
 
   std::unique_lock<std::mutex> lock(mu_);
   ++jobs_;
+  if (opts_.adaptive_window) {
+    const std::int64_t now_ns = NowNanos();
+    if (last_arrival_ns_ > 0 && now_ns > last_arrival_ns_) {
+      // Cap one long idle gap at a few windows so the EWMA recovers within a
+      // handful of arrivals when a burst starts (an uncapped overnight gap
+      // would pin the prediction at "no riders" through the whole burst).
+      const double gap_us =
+          std::min(static_cast<double>(now_ns - last_arrival_ns_) * 1e-3,
+                   8.0 * static_cast<double>(opts_.window_us));
+      ewma_gap_us_ = ewma_gap_us_ < 0.0
+                         ? gap_us
+                         : opts_.arrival_ewma_alpha * gap_us +
+                               (1.0 - opts_.arrival_ewma_alpha) * ewma_gap_us_;
+    }
+    last_arrival_ns_ = now_ns;
+  }
   bool leader = false;
   if (open_ == nullptr || open_->closed) {
     open_ = std::make_shared<Batch>();
@@ -46,8 +80,17 @@ void BatchCollector::Run(std::function<void()> fn) {
   }
 
   if (leader) {
-    cv_open_.wait_for(lock, std::chrono::microseconds(opts_.window_us),
-                      [&] { return batch->closed; });
+    const std::int64_t window_us = EffectiveWindowUsLocked();
+    if (opts_.adaptive_window) {
+      adapted_window_us_total_ += window_us;
+      if (stats != nullptr) {
+        stats->batch_window_adapted_us.fetch_add(window_us, std::memory_order_relaxed);
+      }
+    }
+    if (window_us > 0 && !batch->closed) {
+      cv_open_.wait_for(lock, std::chrono::microseconds(window_us),
+                        [&] { return batch->closed; });
+    }
     batch->closed = true;  // timeout path: close against late riders
     if (open_ == batch) {
       open_.reset();
@@ -128,6 +171,16 @@ std::int64_t BatchCollector::coalesced_jobs() const {
 int BatchCollector::max_batch_seen() const {
   std::lock_guard<std::mutex> lock(mu_);
   return max_batch_seen_;
+}
+
+double BatchCollector::ewma_gap_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_gap_us_;
+}
+
+std::int64_t BatchCollector::adapted_window_us_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return adapted_window_us_total_;
 }
 
 }  // namespace mz

@@ -39,9 +39,19 @@
 
 namespace mz {
 
+class EvalStats;
+
 struct BatchOptions {
   std::int64_t window_us = 200;  // how long a leader waits for riders
   int max_batch = 8;             // close the window early at this many jobs
+  // Arrival-rate-adaptive window: track the inter-arrival gap EWMA and have
+  // each leader wait only as long as that gap predicts a rider could
+  // actually show up — a lone client's window shrinks to zero instead of
+  // paying window_us per evaluation, while bursty traffic keeps (up to) the
+  // full window. false = fixed window (the pre-adaptive ablation).
+  bool adaptive_window = false;
+  // EWMA weight of one new inter-arrival gap, in (0, 1].
+  double arrival_ewma_alpha = 0.25;
 };
 
 class BatchCollector {
@@ -56,8 +66,10 @@ class BatchCollector {
   // dispatch. Blocks until the job has run; rethrows anything it threw.
   // `job` must not block (in particular: must not re-enter the collector or
   // wait on admission) — batches are only deadlock-free because every job
-  // runs to completion on whatever thread claims it.
-  void Run(std::function<void()> job);
+  // runs to completion on whatever thread claims it. When `stats` is given
+  // and this call leads a batch under the adaptive window, the effective
+  // window it chose is added to stats->batch_window_adapted_us.
+  void Run(std::function<void()> job, EvalStats* stats = nullptr);
 
   // Closes the currently open window (if any) so its leader dispatches
   // immediately instead of sleeping out the remaining window. Does not wait
@@ -71,6 +83,8 @@ class BatchCollector {
   std::int64_t dispatches() const;     // batches dispatched
   std::int64_t coalesced_jobs() const; // jobs that rode in a batch of >= 2
   int max_batch_seen() const;
+  double ewma_gap_us() const;          // smoothed inter-arrival gap (-1 until 2 arrivals)
+  std::int64_t adapted_window_us_total() const;  // sum of adaptive leader windows
 
  private:
   struct Job {
@@ -84,6 +98,7 @@ class BatchCollector {
   };
 
   void Dispatch(Batch& batch);  // runs without mu_
+  std::int64_t EffectiveWindowUsLocked() const;
 
   ThreadPool* pool_;
   const BatchOptions opts_;
@@ -97,6 +112,10 @@ class BatchCollector {
   std::int64_t dispatches_ = 0;
   std::int64_t coalesced_jobs_ = 0;
   int max_batch_seen_ = 0;
+  // Adaptive-window state: arrival times feed the gap EWMA.
+  std::int64_t last_arrival_ns_ = 0;
+  double ewma_gap_us_ = -1.0;  // < 0 until two arrivals have been seen
+  std::int64_t adapted_window_us_total_ = 0;
 };
 
 }  // namespace mz

@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <iterator>
+#include <string>
 
 #include "common/check.h"
+
+#if defined(__GLIBC__) && __has_include(<malloc.h>)
+#include <malloc.h>
+#define MZ_HAVE_MALLOC_USABLE_SIZE 1
+#endif
 
 namespace mz {
 namespace {
@@ -40,6 +46,54 @@ struct WordSink {
     h = (h ^ Mix(w)) * 0x100000001b3ull;
   }
 };
+
+// --- allocator-true accounting helpers (CountPlanHeapBytes) ---
+
+// What the allocator actually carved out for the block at `p`. The fallback
+// (requested size) is used where the platform has no introspection hook.
+std::size_t HeapBlockBytes(const void* p, std::size_t requested) {
+  if (p == nullptr || requested == 0) {
+    return 0;
+  }
+#ifdef MZ_HAVE_MALLOC_USABLE_SIZE
+  return ::malloc_usable_size(const_cast<void*>(p));
+#else
+  return requested;
+#endif
+}
+
+template <typename T>
+std::size_t VecHeapBytes(const std::vector<T>& v) {
+  return v.capacity() == 0 ? 0 : HeapBlockBytes(v.data(), v.capacity() * sizeof(T));
+}
+
+std::size_t StringHeapBytes(const std::string& s) {
+  // SSO storage lives inside the string object itself — no heap block.
+  const void* data = s.data();
+  if (data >= static_cast<const void*>(&s) && data < static_cast<const void*>(&s + 1)) {
+    return 0;
+  }
+  return HeapBlockBytes(data, s.capacity() + 1);
+}
+
+std::size_t EstimateBytesFromWords(std::size_t num_words, const Plan& plan_template) {
+  // Fixed bookkeeping: Entry, recency node, bucket slot, pin vector header.
+  std::size_t b = 160;
+  b += num_words * sizeof(std::uint64_t);
+  for (const Stage& stage : plan_template.stages) {
+    b += sizeof(Stage);
+    for (const StageBuffer& buf : stage.buffers) {
+      b += sizeof(StageBuffer);
+      b += buf.params.size() * sizeof(std::int64_t);
+      b += buf.debug_type.size();
+    }
+    for (const PlannedFunc& fn : stage.funcs) {
+      b += sizeof(PlannedFunc);
+      b += fn.args.size() * sizeof(PlannedArg);
+    }
+  }
+  return b;
+}
 
 }  // namespace
 
@@ -243,12 +297,17 @@ void PlanCache::EvictWhileOverBudget(std::uint64_t keep_seq, PlanCacheInsertOutc
   }
 }
 
+std::size_t PlanCache::BytesForEntry(const Entry& entry) const {
+  if (opts_.accounting == CacheAccounting::kEstimate) {
+    return EstimateBytesFromWords(entry.words.size(), *entry.tmpl);
+  }
+  return CountPlanHeapBytes(entry.words, *entry.tmpl, entry.pins);
+}
+
 PlanCacheInsertOutcome PlanCache::Insert(const PlanKey& key, Plan plan_template,
                                          std::vector<std::shared_ptr<const void>> pins) {
-  const std::size_t entry_bytes = EstimatePlanBytes(key, plan_template);
   auto tmpl = std::make_shared<const Plan>(std::move(plan_template));
   PlanCacheInsertOutcome outcome;
-  outcome.inserted_bytes = entry_bytes;
 
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Entry>& chain = buckets_[key.hash];
@@ -256,11 +315,15 @@ PlanCacheInsertOutcome PlanCache::Insert(const PlanKey& key, Plan plan_template,
   bool refreshed = false;
   for (Entry& entry : chain) {
     if (entry.words == key.words) {
+      entry.tmpl = std::move(tmpl);
+      entry.pins = std::move(pins);
+      // Account the entry as stored — true accounting must measure the
+      // containers that actually stay resident, not the caller's copies.
+      const std::size_t entry_bytes = BytesForEntry(entry);
       bytes_ += entry_bytes;
       bytes_ -= entry.bytes;
       entry.bytes = entry_bytes;
-      entry.tmpl = std::move(tmpl);
-      entry.pins = std::move(pins);
+      outcome.inserted_bytes = entry_bytes;
       if (opts_.policy == EvictionPolicy::kLru) {
         order_.splice(order_.end(), order_, entry.order_it);  // a refresh is a touch
       }
@@ -272,12 +335,16 @@ PlanCacheInsertOutcome PlanCache::Insert(const PlanKey& key, Plan plan_template,
   if (!refreshed) {
     seq = next_seq_++;
     order_.emplace_back(key.hash, seq);
-    chain.push_back(Entry{seq, key.words, std::move(tmpl), std::move(pins), entry_bytes,
+    chain.push_back(Entry{seq, key.words, std::move(tmpl), std::move(pins), 0,
                           std::prev(order_.end())});
+    Entry& entry = chain.back();
+    entry.bytes = BytesForEntry(entry);
+    outcome.inserted_bytes = entry.bytes;
     ++count_;
-    bytes_ += entry_bytes;
+    bytes_ += entry.bytes;
   }
   EvictWhileOverBudget(seq, &outcome);
+  outcome.resident_bytes = bytes_;
   return outcome;
 }
 
@@ -320,19 +387,32 @@ std::int64_t PlanCache::evicted_bytes() const {
 }
 
 std::size_t EstimatePlanBytes(const PlanKey& key, const Plan& plan_template) {
-  // Fixed bookkeeping: Entry, recency node, bucket slot, pin vector header.
-  std::size_t b = 160;
-  b += key.words.size() * sizeof(std::uint64_t);
+  return EstimateBytesFromWords(key.words.size(), plan_template);
+}
+
+std::size_t CountPlanHeapBytes(const std::vector<std::uint64_t>& key_words,
+                               const Plan& plan_template,
+                               const std::vector<std::shared_ptr<const void>>& pins) {
+  // Fixed bookkeeping the entry occupies outside its own heap blocks: the
+  // Entry slot in its bucket chain, the recency-list node, and the shared
+  // Plan's control block + object (one make_shared allocation). The pinned
+  // annotations/functions themselves are shared with the live registry and
+  // are NOT charged — only the pin vector that references them is.
+  std::size_t b = sizeof(std::uint64_t) * 2 + 4 * sizeof(void*);  // recency node
+  b += 64;                                                        // Entry + chain slot share
+  b += sizeof(Plan) + 4 * sizeof(void*);                          // make_shared block
+  b += VecHeapBytes(key_words);
+  b += VecHeapBytes(pins);
+  b += VecHeapBytes(plan_template.stages);
   for (const Stage& stage : plan_template.stages) {
-    b += sizeof(Stage);
+    b += VecHeapBytes(stage.buffers);
+    b += VecHeapBytes(stage.funcs);
     for (const StageBuffer& buf : stage.buffers) {
-      b += sizeof(StageBuffer);
-      b += buf.params.size() * sizeof(std::int64_t);
-      b += buf.debug_type.size();
+      b += VecHeapBytes(buf.params);
+      b += StringHeapBytes(buf.debug_type);
     }
     for (const PlannedFunc& fn : stage.funcs) {
-      b += sizeof(PlannedFunc);
-      b += fn.args.size() * sizeof(PlannedArg);
+      b += VecHeapBytes(fn.args);
     }
   }
   return b;

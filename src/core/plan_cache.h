@@ -26,8 +26,13 @@
 // be recycled while the entry lives.
 //
 // The cache is bounded two ways: an entry count and a byte budget over each
-// template's estimated footprint (EstimatePlanBytes — deterministic, so
-// tests can model the accounting exactly). Eviction is by recency: lookups
+// resident entry's footprint. The budget's accounting unit is selectable:
+// allocator-true (CountPlanHeapBytes — measures the actual heap blocks
+// behind the stored entry, malloc_usable_size where the platform has it, so
+// the budget honestly bounds memory when thousands of templates are
+// resident) or the deterministic structural estimate (EstimatePlanBytes —
+// platform-independent, so tests can model the accounting exactly; also the
+// pre-true-accounting ablation). Eviction is by recency: lookups
 // promote the entry to most-recently-used, and the victim is always the
 // least-recently-used entry. Serving working sets are skewed — a few hot
 // pipelines plus a stream of one-offs — and LRU keeps the hot templates
@@ -104,19 +109,35 @@ Plan InstantiatePlan(const Plan& tmpl, std::span<const SlotId> canon_slots, int 
 // the byte budget and its tests agree on.
 std::size_t EstimatePlanBytes(const PlanKey& key, const Plan& plan_template);
 
+// Allocator-true footprint of one resident entry: walks every heap block the
+// stored key words, template, and pins own and sums what the allocator
+// actually carved out for them (malloc_usable_size under glibc — which sees
+// capacity slack AND size-class rounding — capacity arithmetic elsewhere),
+// plus fixed bookkeeping for the Entry/recency/bucket nodes. This is what
+// the byte budget charges under CacheAccounting::kTrueBytes.
+std::size_t CountPlanHeapBytes(const std::vector<std::uint64_t>& key_words,
+                               const Plan& plan_template,
+                               const std::vector<std::shared_ptr<const void>>& pins);
+
 enum class EvictionPolicy {
   kLru,   // lookups promote; victim = least recently used
   kFifo,  // pure insertion order; lookups do not promote
 };
 
+enum class CacheAccounting {
+  kTrueBytes,  // CountPlanHeapBytes of the entry as stored (default)
+  kEstimate,   // deterministic EstimatePlanBytes (ablation / exact-model tests)
+};
+
 struct PlanCacheOptions {
   std::size_t max_entries = 1024;
-  // Byte budget over EstimatePlanBytes of resident entries; 0 = no byte
-  // bound (entry count only). The entry just inserted is never its own
+  // Byte budget over the accounted footprint of resident entries; 0 = no
+  // byte bound (entry count only). The entry just inserted is never its own
   // victim, so one template larger than the whole budget stays resident
   // alone rather than thrashing.
   std::size_t max_bytes = 0;
   EvictionPolicy policy = EvictionPolicy::kLru;
+  CacheAccounting accounting = CacheAccounting::kTrueBytes;
 };
 
 // What one Insert displaced; the runtime folds this into EvalStats so
@@ -126,6 +147,9 @@ struct PlanCacheInsertOutcome {
   std::size_t inserted_bytes = 0;
   std::size_t evicted_entries = 0;
   std::size_t evicted_bytes = 0;
+  // Accounted bytes resident after this insert's evictions settled (the
+  // whole cache, not this entry). Feeds EvalStats::plan_cache_true_bytes.
+  std::size_t resident_bytes = 0;
 };
 
 class PlanCache {
@@ -152,7 +176,7 @@ class PlanCache {
 
   const PlanCacheOptions& options() const { return opts_; }
   std::size_t size() const;
-  std::size_t bytes() const;  // EstimatePlanBytes sum over resident entries
+  std::size_t bytes() const;  // accounted footprint sum over resident entries
   std::int64_t hits() const;
   std::int64_t misses() const;
   std::int64_t evictions() const;
@@ -172,6 +196,9 @@ class PlanCache {
   // Requires mu_. Evicts from the recency front until budgets hold; never
   // evicts the entry with seq == keep_seq (the one just inserted).
   void EvictWhileOverBudget(std::uint64_t keep_seq, PlanCacheInsertOutcome* outcome);
+
+  // Accounted footprint of one entry as stored, per opts_.accounting.
+  std::size_t BytesForEntry(const Entry& entry) const;
 
   mutable std::mutex mu_;
   const PlanCacheOptions opts_;

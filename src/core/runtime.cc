@@ -164,6 +164,8 @@ void Runtime::EvaluateLocked() {
               static_cast<std::int64_t>(outcome.evicted_entries), std::memory_order_relaxed);
           stats_.plan_cache_bytes_evicted.fetch_add(
               static_cast<std::int64_t>(outcome.evicted_bytes), std::memory_order_relaxed);
+          EvalStats::MaxInto(stats_.plan_cache_true_bytes,
+                             static_cast<std::int64_t>(outcome.resident_bytes));
         }
       }
     }
@@ -193,22 +195,28 @@ void Runtime::EvaluateLocked() {
     ThreadPool* exec_pool = pool_;
     AdmissionGate::Ticket ticket;
     bool batched = false;
+    bool pooled = false;
     if (gate != nullptr || opts_.serial_cutoff_elems > 0) {
       const std::int64_t cutoff =
           gate != nullptr ? gate->cutoff_elems(opts_.serial_cutoff_elems)
                           : opts_.serial_cutoff_elems;
-      std::int64_t est = EstimatePlanElems(plan, graph_, *registry_);
-      if (est <= cutoff) {
+      // One size model for both consumers of plan size: the inline/pooled
+      // decision here compares the same bytes-denominated estimate the
+      // cache budget charges, with the elems cutoff converted at the
+      // nominal stream width (8-byte doubles/int64s keep their meaning).
+      const PlanSizeEstimate est = EstimatePlanSize(plan, graph_, *registry_);
+      if (est.sized && est.bytes <= cutoff * kNominalElemBytes) {
         exec_pool = SerialPool();
         batched = opts_.batcher != nullptr;
         stats_.serial_evals.fetch_add(1, std::memory_order_relaxed);
       } else if (gate != nullptr) {
         std::int64_t t0 = opts_.collect_stats ? NowNanos() : 0;
-        ticket = gate->Acquire();
+        ticket = gate->Acquire(opts_.admission_session, opts_.admission_weight);
         if (opts_.collect_stats) {
           stats_.admission_wait_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
         }
         stats_.pooled_evals.fetch_add(1, std::memory_order_relaxed);
+        pooled = true;
       }
     }
     if (batched) {
@@ -216,13 +224,23 @@ void Runtime::EvaluateLocked() {
       // the whole plan serially on whichever worker claims it; the caller
       // blocks in Run until its results are visible (batch.h).
       stats_.batched_evals.fetch_add(1, std::memory_order_relaxed);
-      opts_.batcher->Run([&] {
-        Executor executor(&graph_, registry_, exec_pool, exec_opts, &stats_);
-        executor.Run(plan);
-      });
+      opts_.batcher->Run(
+          [&] {
+            Executor executor(&graph_, registry_, exec_pool, exec_opts, &stats_);
+            executor.Run(plan);
+          },
+          &stats_);
     } else {
       Executor executor(&graph_, registry_, exec_pool, exec_opts, &stats_);
       executor.Run(plan);
+    }
+    // Re-observe as pooled work retires, not just as it arrives: an
+    // entry-only EWMA would hold a burst's shrunk budget / raised cutoff
+    // for as long as the pool afterwards sat idle (no evaluations = no
+    // samples). Paired with the gate's time-decay, the budget recovers
+    // with the drain instead of freezing at the burst's peak.
+    if (pooled && gate->adaptive()) {
+      gate->Observe(pool_->queue_depth());
     }
   }
 

@@ -72,6 +72,12 @@ struct RuntimeOptions {
   PlanCache* plan_cache = nullptr;
   // Token gate bounding concurrent use of the shared pool.
   AdmissionGate* admission = nullptr;
+  // Identity this runtime's Acquire calls present to the gate's per-session
+  // round-robin (admission.h): sessions sharing an id share one rotation
+  // slot (a multi-connection tenant), id 0 is the shared anonymous slot.
+  // Weight = admissions earned per rotation round while backlogged.
+  std::uint64_t admission_session = 0;
+  int admission_weight = 1;
   // Plans whose estimated parallel work is at or below this many elements
   // run inline on the calling thread instead of fanning out (only applies
   // when an admission gate is configured or the cutoff is > 0). An adaptive

@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/cpu.h"
 
@@ -24,10 +25,11 @@ ServingContext::ServingContext(ServingOptions opts) : opts_(opts) {
     if (tuning.max_cutoff_elems <= 0) {
       tuning.max_cutoff_elems = 16 * tuning.base_cutoff_elems;
     }
+    tuning.fair = opts_.fair_admission;
     opts_.admission_tuning = tuning;
     admission_ = std::make_unique<AdmissionGate>(tuning);
   } else {
-    admission_ = std::make_unique<AdmissionGate>(tokens);
+    admission_ = std::make_unique<AdmissionGate>(tokens, opts_.fair_admission);
   }
 
   if (opts_.plan_cache != nullptr) {
@@ -37,6 +39,8 @@ ServingContext::ServingContext(ServingOptions opts) : opts_(opts) {
         .max_entries = opts_.plan_cache_entries,
         .max_bytes = opts_.plan_cache_bytes,
         .policy = opts_.plan_cache_policy,
+        .accounting = opts_.plan_cache_true_bytes ? CacheAccounting::kTrueBytes
+                                                  : CacheAccounting::kEstimate,
     });
     plan_cache_ = owned_plan_cache_.get();
   }
@@ -44,7 +48,8 @@ ServingContext::ServingContext(ServingOptions opts) : opts_(opts) {
   if (opts_.batch_window_us > 0) {
     batcher_ = std::make_unique<BatchCollector>(
         pool_.get(), BatchOptions{.window_us = opts_.batch_window_us,
-                                  .max_batch = opts_.batch_max_plans});
+                                  .max_batch = opts_.batch_max_plans,
+                                  .adaptive_window = opts_.adaptive_batch_window});
   }
 }
 
@@ -112,6 +117,14 @@ Session::Session(SessionOptions opts)
   rt_opts.admission = &serving_->admission();
   rt_opts.serial_cutoff_elems = serving_->options().serial_cutoff_elems;
   rt_opts.batcher = serving_->batcher();
+  // Every session presents an admission identity; ids never repeat within a
+  // process, so an auto-assigned session can't collide with a tenant id a
+  // server handed out from the same counter's range by accident.
+  static std::atomic<std::uint64_t> next_session_id{1};
+  rt_opts.admission_session = opts.admission_session != 0
+                                  ? opts.admission_session
+                                  : next_session_id.fetch_add(1, std::memory_order_relaxed);
+  rt_opts.admission_weight = std::max(1, opts.admission_weight);
   runtime_ = std::make_unique<Runtime>(rt_opts);
   serving_->Register(this);
 }

@@ -57,10 +57,23 @@ struct ServingOptions {
   bool adaptive_admission = false;
   AdmissionOptions admission_tuning{.max_tokens = 0, .base_cutoff_elems = 0,
                                     .max_cutoff_elems = 0};
+  // Per-session weighted deficit-round-robin for contended admission tokens
+  // (admission.h): a sparse session's wait stays bounded no matter how deep
+  // a chatty neighbor's backlog is. false = the strict-FIFO ablation, where
+  // one session's flood delays everyone queued behind it.
+  bool fair_admission = true;
   // Cross-session micro-batching (batch.h): > 0 coalesces inline-class plans
   // arriving within this window into one pool dispatch.
   std::int64_t batch_window_us = 0;
   int batch_max_plans = 8;
+  // Arrival-rate-adaptive batching window (batch.h): leaders wait only as
+  // long as the inter-arrival EWMA predicts a rider, so a lone client stops
+  // paying batch_window_us per evaluation. false = fixed-window ablation.
+  bool adaptive_batch_window = true;
+  // Charge the owned plan cache's byte budget with allocator-true entry
+  // footprints (plan_cache.h CountPlanHeapBytes). false = the structural-
+  // estimate ablation. Ignored when `plan_cache` overrides the cache.
+  bool plan_cache_true_bytes = true;
 };
 
 class Session;
@@ -122,6 +135,12 @@ struct SessionOptions {
   // num_threads is ignored (the pool is shared).
   RuntimeOptions runtime;
   ServingContext* serving = nullptr;  // null = ServingContext::Default()
+  // Identity for the gate's per-session round-robin. 0 = auto-assign a
+  // fresh id (each Session is its own rotation slot); a server modeling
+  // multi-connection tenants passes one shared id per tenant so all of a
+  // tenant's connections together earn one slot's worth of admissions.
+  std::uint64_t admission_session = 0;
+  int admission_weight = 1;
 };
 
 // One client's handle on the runtime. Cheap to construct; owns an isolated

@@ -82,6 +82,13 @@ class EvalStats {
     std::int64_t window_firings = 0;
     std::int64_t window_lag_ns = 0;
     std::int64_t incremental_merges = 0;
+    // Serving hardening (ISSUE 8): total effective window chosen by adaptive
+    // BatchCollector leaders (µs — compare against dispatches × window_us to
+    // see what lone clients stopped paying), and the largest allocator-true
+    // plan-cache residency this session's inserts observed (bytes; max-
+    // aggregated like footprint_bytes_max).
+    std::int64_t batch_window_adapted_us = 0;
+    std::int64_t plan_cache_true_bytes = 0;
 
     // Total across the per-phase wall-clock counters. Split/task/merge are
     // summed across workers, so on N threads this exceeds elapsed time.
@@ -126,6 +133,8 @@ class EvalStats {
       window_firings += other.window_firings;
       window_lag_ns += other.window_lag_ns;
       incremental_merges += other.incremental_merges;
+      batch_window_adapted_us += other.batch_window_adapted_us;
+      plan_cache_true_bytes = std::max(plan_cache_true_bytes, other.plan_cache_true_bytes);
     }
 
     std::string ToString() const;
@@ -167,6 +176,8 @@ class EvalStats {
     s.window_firings = window_firings.load(std::memory_order_relaxed);
     s.window_lag_ns = window_lag_ns.load(std::memory_order_relaxed);
     s.incremental_merges = incremental_merges.load(std::memory_order_relaxed);
+    s.batch_window_adapted_us = batch_window_adapted_us.load(std::memory_order_relaxed);
+    s.plan_cache_true_bytes = plan_cache_true_bytes.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -207,6 +218,8 @@ class EvalStats {
     window_firings.fetch_add(s.window_firings, std::memory_order_relaxed);
     window_lag_ns.fetch_add(s.window_lag_ns, std::memory_order_relaxed);
     incremental_merges.fetch_add(s.incremental_merges, std::memory_order_relaxed);
+    batch_window_adapted_us.fetch_add(s.batch_window_adapted_us, std::memory_order_relaxed);
+    MaxInto(plan_cache_true_bytes, s.plan_cache_true_bytes);
   }
 
   // Lock-free fold of a max-aggregated counter.
@@ -252,6 +265,8 @@ class EvalStats {
     window_firings = 0;
     window_lag_ns = 0;
     incremental_merges = 0;
+    batch_window_adapted_us = 0;
+    plan_cache_true_bytes = 0;
   }
 
   std::atomic<std::int64_t> client_ns{0};
@@ -288,6 +303,8 @@ class EvalStats {
   std::atomic<std::int64_t> window_firings{0};
   std::atomic<std::int64_t> window_lag_ns{0};
   std::atomic<std::int64_t> incremental_merges{0};
+  std::atomic<std::int64_t> batch_window_adapted_us{0};
+  std::atomic<std::int64_t> plan_cache_true_bytes{0};
 };
 
 }  // namespace mz

@@ -17,6 +17,7 @@
 
 #include "core/client.h"
 #include "core/session.h"
+#include "core/stats.h"
 #include "vecmath/annotated.h"
 #include "vecmath/vecmath.h"
 
@@ -114,6 +115,43 @@ TEST(BatchCollectorTest, ExceptionReachesItsSubmitterOnly) {
   EXPECT_TRUE(bad_threw.load());
 }
 
+// ---- arrival-rate-adaptive window ----
+
+TEST(BatchCollectorTest, AdaptiveLoneLeaderSkipsTheForeverWindow) {
+  ThreadPool pool(2);
+  BatchCollector collector(
+      &pool, BatchOptions{.window_us = kForeverUs, .max_batch = 8, .adaptive_window = true});
+  bool ran = false;
+  // No gap history: no rider is predicted, so the leader must not sleep out
+  // the 60 s window. Returning at all is the assertion.
+  collector.Run([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(collector.jobs(), 1);
+  EXPECT_EQ(collector.dispatches(), 1);
+  EXPECT_EQ(collector.adapted_window_us_total(), 0);
+  EXPECT_EQ(collector.ewma_gap_us(), -1.0);  // one arrival: still no gap
+}
+
+TEST(BatchCollectorTest, AdaptiveWindowIsBoundedByArrivalPrediction) {
+  ThreadPool pool(2);
+  BatchCollector collector(
+      &pool, BatchOptions{.window_us = 1000, .max_batch = 8, .adaptive_window = true});
+  EvalStats stats;
+  constexpr int kJobs = 16;
+  int ran = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    collector.Run([&] { ++ran; }, &stats);
+  }
+  EXPECT_EQ(ran, kJobs);
+  EXPECT_GE(collector.ewma_gap_us(), 0.0);  // gap history accumulated
+  // Every leader's effective window is capped by the configured one, and the
+  // first leader (no history) pays zero — strictly less than the fixed-window
+  // total no matter how the arrival gaps smoothed out.
+  EXPECT_LT(collector.adapted_window_us_total(), kJobs * 1000);
+  // The per-leader choice is also exported through EvalStats.
+  EXPECT_EQ(stats.batch_window_adapted_us.load(), collector.adapted_window_us_total());
+}
+
 // ---- end-to-end through sessions ----
 
 std::vector<double> Expected(long n, const std::vector<double>& a, const std::vector<double>& b) {
@@ -196,9 +234,13 @@ TEST(BatchCollectorSessionTest, SessionTeardownFlushesTheOpenWindow) {
   // The window closes only on flush (or after 60 s): a leader evaluating
   // alone would sleep the full window unless teardown of another session
   // nudges the collector.
+  // adaptive_batch_window off: an adaptive leader with no predicted rider
+  // skips the window entirely, and this test is about flushing a leader that
+  // is actually waiting in one.
   ServingContext ctx(ServingOptions{
       .pool_threads = 2, .max_pool_sessions = 2, .serial_cutoff_elems = 4096,
-      .batch_window_us = kForeverUs, .batch_max_plans = 8});
+      .batch_window_us = kForeverUs, .batch_max_plans = 8,
+      .adaptive_batch_window = false});
 
   const long n = 256;
   std::atomic<bool> done{false};

@@ -9,6 +9,12 @@
 //   * a full-fingerprint mismatch (same 64-bit hash, different words) never
 //     serves a cached plan — collisions chain, they do not alias;
 //   * hit/miss counters agree with the model after every interleaving.
+//
+// The model-equality batteries pin CacheAccounting::kEstimate: the reference
+// model reproduces the deterministic structural estimate, which is exactly
+// what that accounting mode exists for. The allocator-true default is
+// covered separately below by outcome-arithmetic invariants (true footprints
+// are platform-dependent, so those tests assert conservation, not values).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -179,7 +185,8 @@ void RunRandomizedTrace(const PropertyConfig& cfg, std::uint32_t seed) {
 TEST(PlanCacheLruPropertyTest, EntryCappedLruMatchesModel) {
   PropertyConfig cfg{"entry-capped LRU",
                      PlanCacheOptions{.max_entries = 8, .max_bytes = 0,
-                                      .policy = EvictionPolicy::kLru},
+                                      .policy = EvictionPolicy::kLru,
+                                      .accounting = CacheAccounting::kEstimate},
                      /*universe=*/24, /*hash_buckets=*/5};
   for (std::uint32_t seed : {1u, 2u, 3u}) {
     RunRandomizedTrace(cfg, seed);
@@ -191,7 +198,8 @@ TEST(PlanCacheLruPropertyTest, ByteCappedLruMatchesModel) {
   // holds only a handful of entries, so eviction runs constantly.
   PropertyConfig cfg{"byte-capped LRU",
                      PlanCacheOptions{.max_entries = 1024, .max_bytes = 6 * 1024,
-                                      .policy = EvictionPolicy::kLru},
+                                      .policy = EvictionPolicy::kLru,
+                                      .accounting = CacheAccounting::kEstimate},
                      /*universe=*/24, /*hash_buckets=*/5};
   for (std::uint32_t seed : {7u, 8u, 9u}) {
     RunRandomizedTrace(cfg, seed);
@@ -201,7 +209,8 @@ TEST(PlanCacheLruPropertyTest, ByteCappedLruMatchesModel) {
 TEST(PlanCacheLruPropertyTest, DualCapMatchesModel) {
   PropertyConfig cfg{"entry+byte-capped LRU",
                      PlanCacheOptions{.max_entries = 6, .max_bytes = 8 * 1024,
-                                      .policy = EvictionPolicy::kLru},
+                                      .policy = EvictionPolicy::kLru,
+                                      .accounting = CacheAccounting::kEstimate},
                      /*universe=*/32, /*hash_buckets=*/4};
   for (std::uint32_t seed : {11u, 12u, 13u}) {
     RunRandomizedTrace(cfg, seed);
@@ -211,7 +220,8 @@ TEST(PlanCacheLruPropertyTest, DualCapMatchesModel) {
 TEST(PlanCacheLruPropertyTest, FifoPolicyMatchesModel) {
   PropertyConfig cfg{"entry-capped FIFO",
                      PlanCacheOptions{.max_entries = 8, .max_bytes = 0,
-                                      .policy = EvictionPolicy::kFifo},
+                                      .policy = EvictionPolicy::kFifo,
+                                      .accounting = CacheAccounting::kEstimate},
                      /*universe=*/24, /*hash_buckets=*/5};
   for (std::uint32_t seed : {21u, 22u, 23u}) {
     RunRandomizedTrace(cfg, seed);
@@ -248,7 +258,8 @@ TEST(PlanCacheLruTest, ByteBudgetEvictsByRecency) {
   // Each entry estimates identically; find that size, then build a budget
   // that fits exactly two entries.
   const std::size_t one = EstimatePlanBytes(KeyFor(0, 8), PayloadPlan(4));
-  PlanCache cache(PlanCacheOptions{.max_entries = 100, .max_bytes = 2 * one});
+  PlanCache cache(PlanCacheOptions{.max_entries = 100, .max_bytes = 2 * one,
+                                   .accounting = CacheAccounting::kEstimate});
   cache.Insert(KeyFor(0, 8), PayloadPlan(4), {});
   cache.Insert(KeyFor(1, 8), PayloadPlan(4), {});
   EXPECT_EQ(cache.bytes(), 2 * one);
@@ -264,7 +275,8 @@ TEST(PlanCacheLruTest, ByteBudgetEvictsByRecency) {
 
 TEST(PlanCacheLruTest, OversizedEntryStaysResidentAlone) {
   const std::size_t small = EstimatePlanBytes(KeyFor(0, 8), PayloadPlan(1));
-  PlanCache cache(PlanCacheOptions{.max_entries = 100, .max_bytes = small});
+  PlanCache cache(PlanCacheOptions{.max_entries = 100, .max_bytes = small,
+                                   .accounting = CacheAccounting::kEstimate});
   cache.Insert(KeyFor(0, 8), PayloadPlan(1), {});
   EXPECT_EQ(cache.size(), 1u);
   // A template bigger than the whole budget evicts everyone else but is
@@ -290,6 +302,90 @@ TEST(PlanCacheLruTest, CollisionNeverAliasesAcrossEviction) {
   EXPECT_EQ(cache.Lookup(b)->stages.size(), 2u);
   ASSERT_NE(cache.Lookup(c), nullptr);
   EXPECT_EQ(cache.Lookup(c)->stages.size(), 3u);
+}
+
+// ---- allocator-true accounting (CacheAccounting::kTrueBytes, the default) ----
+// True footprints depend on the platform allocator, so these assert
+// conservation laws over Insert outcomes rather than exact byte values.
+
+// A plan whose containers carry real heap payload (params, debug strings).
+Plan HeapyPlan(int stages, int params_per_buf) {
+  Plan p;
+  p.stages.resize(static_cast<std::size_t>(stages));
+  for (Stage& s : p.stages) {
+    s.buffers.resize(2);
+    for (StageBuffer& b : s.buffers) {
+      b.params.assign(static_cast<std::size_t>(params_per_buf), 7);
+      b.debug_type = "a debug type name long enough to defeat the SSO buffer";
+    }
+    s.funcs.resize(1);
+    s.funcs[0].args.resize(2);
+  }
+  return p;
+}
+
+TEST(PlanCacheTrueBytesTest, OutcomeArithmeticConservesResidency) {
+  PlanCache cache(PlanCacheOptions{.max_entries = 64});
+  ASSERT_EQ(cache.options().accounting, CacheAccounting::kTrueBytes);
+  std::size_t sum = 0;
+  std::vector<std::size_t> per_entry(12, 0);
+  for (int id = 0; id < 12; ++id) {
+    PlanCacheInsertOutcome out =
+        cache.Insert(KeyFor(id, 4), HeapyPlan(1 + id % 3, 4 * (1 + id % 5)), {});
+    EXPECT_GT(out.inserted_bytes, 0u);
+    EXPECT_EQ(out.evicted_entries, 0u);  // 12 entries fit in 64 slots
+    per_entry[static_cast<std::size_t>(id)] = out.inserted_bytes;
+    sum += out.inserted_bytes;
+    // The outcome's residency is the cache's, taken under the insert lock,
+    // and residency is exactly the sum of what the inserts reported.
+    EXPECT_EQ(out.resident_bytes, cache.bytes());
+    EXPECT_EQ(cache.bytes(), sum);
+  }
+  // A refresh swaps one entry's footprint: out with what its original
+  // insert reported, in with what the refresh reports. No eviction counters
+  // move.
+  PlanCacheInsertOutcome refresh = cache.Insert(KeyFor(3, 4), HeapyPlan(3, 40), {});
+  EXPECT_EQ(refresh.evicted_entries, 0u);
+  EXPECT_EQ(cache.bytes(), sum - per_entry[3] + refresh.inserted_bytes);
+  EXPECT_EQ(refresh.resident_bytes, cache.bytes());
+}
+
+TEST(PlanCacheTrueBytesTest, ByteBudgetHoldsUnderTrueAccounting) {
+  // Size the budget from a probe insert so the test is allocator-portable:
+  // it must hold ~3 entries' true footprint, then never exceed the budget
+  // while more than one entry is resident.
+  PlanCache probe(PlanCacheOptions{.max_entries = 4});
+  const std::size_t one = probe.Insert(KeyFor(0, 4), HeapyPlan(2, 8), {}).inserted_bytes;
+  ASSERT_GT(one, 0u);
+  PlanCache cache(PlanCacheOptions{.max_entries = 100, .max_bytes = 3 * one + one / 2});
+  for (int id = 0; id < 20; ++id) {
+    cache.Insert(KeyFor(id, 4), HeapyPlan(2, 8), {});
+    if (cache.size() > 1) {
+      EXPECT_LE(cache.bytes(), 3 * one + one / 2) << "id " << id;
+    }
+  }
+  EXPECT_GT(cache.evictions(), 0);
+  EXPECT_LE(cache.size(), 3u + 1u);
+}
+
+TEST(PlanCacheTrueBytesTest, CapacitySlackIsChargedOnlyByTrueAccounting) {
+  // Two structurally identical plans, one carrying reserved-but-unused
+  // vector capacity. The structural estimate cannot tell them apart; the
+  // allocator walk must charge the slack.
+  Plan lean = HeapyPlan(1, 4);
+  Plan padded = HeapyPlan(1, 4);
+  padded.stages.reserve(64);            // survives the move into the cache
+  padded.stages[0].buffers[0].params.reserve(512);
+  const PlanKey k0 = KeyFor(0, 4);
+  const PlanKey k1 = KeyFor(1, 4);
+  EXPECT_EQ(EstimatePlanBytes(k0, lean), EstimatePlanBytes(k1, padded));
+  EXPECT_GT(CountPlanHeapBytes(k1.words, padded, {}),
+            CountPlanHeapBytes(k0.words, lean, {}));
+
+  PlanCache cache(PlanCacheOptions{.max_entries = 8});
+  const std::size_t lean_bytes = cache.Insert(k0, std::move(lean), {}).inserted_bytes;
+  const std::size_t padded_bytes = cache.Insert(k1, std::move(padded), {}).inserted_bytes;
+  EXPECT_GT(padded_bytes, lean_bytes);
 }
 
 TEST(PlanCacheLruTest, ClearResetsResidencyButKeepsCumulativeCounters) {
