@@ -29,6 +29,19 @@
 //     resident; the estimate ablation undercharges and overpacks the same
 //     budget. Reported: resident entries/bytes and evictions per policy.
 //
+//  4. Deadline-bearing clients, shedding on vs. off (ISSUE 9) — 12 closed-
+//     loop clients with a per-request deadline hammer ONE admission token
+//     with pooled-class plans, offered load ~12x capacity. With shedding ON
+//     every request carries a CancelToken: the gate rejects up front
+//     (OverloadError + retry_after_us, which the client sleeps on) when the
+//     hold-time EWMA predicts the deadline cannot be met, and queued or
+//     running requests that outlive the deadline abort. OFF is the ablation:
+//     no token, every request queues and runs to completion ~12 service
+//     times later. Reported: goodput (deadline-MET completions per second),
+//     shed/abort rates, and latency percentiles of the served requests —
+//     shedding should hold served p99 near the deadline while the ablation's
+//     p99 grows with the whole queue.
+//
 // Methodology note (also in ARCHITECTURE.md): experiment 1 is CLOSED-loop —
 // every connection always has a request in flight, so completions measure
 // each tenant's *share* of a saturated resource, which is what a fairness
@@ -266,6 +279,91 @@ CacheAccountingResult RunCacheAccounting(bool true_bytes, int templates, long n_
   return res;
 }
 
+// ---------------------------- 4. deadline clients, shedding on vs. off ----
+
+struct SheddingResult {
+  std::vector<double> served_ms;  // latency of requests that completed
+  std::int64_t met = 0;           // completions within the deadline
+  std::int64_t attempts = 0;
+  std::int64_t shed = 0;     // OverloadError: rejected before any queueing
+  std::int64_t aborted = 0;  // DeadlineError / CancelledError after admission
+  double wall_s = 0.0;
+};
+
+SheddingResult RunShedding(bool shedding, long n, long deadline_us, long run_ms) {
+  constexpr int kClients = 12;
+
+  mz::ServingOptions serving;
+  serving.pool_threads = 4;
+  serving.max_pool_sessions = 1;  // one token: offered load is ~12x capacity
+  serving.serial_cutoff_elems = 256;  // pooled-class only
+  mz::ServingContext ctx(serving);
+
+  std::mutex merge_mu;
+  SheddingResult res;
+  const std::int64_t t_start = mz::NowNanos();
+  const std::int64_t t_end = t_start + run_ms * 1'000'000;
+
+  auto client = [&](int id) {
+    const std::size_t size = static_cast<std::size_t>(n);
+    std::vector<double> a(size, 1.5 + id), b(size, 2.5), out(size);
+    mz::SessionOptions opts;
+    opts.serving = &ctx;
+    mz::Session session(opts);
+    mz::Session::Scope scope(session);
+    SheddingResult local;
+
+    while (mz::NowNanos() < t_end) {
+      ++local.attempts;
+      const std::int64_t t0 = mz::NowNanos();
+      Pipeline(n, a.data(), b.data(), out.data());
+      try {
+        if (shedding) {
+          mz::CancelSource src;
+          src.SetDeadlineNanos(t0 + deadline_us * 1000);
+          mz::EvalOptions eo;
+          eo.cancel = src.token();
+          session.Evaluate(eo);
+        } else {
+          session.Evaluate();
+        }
+        session.Reset();
+        const double lat_ms = static_cast<double>(mz::NowNanos() - t0) * 1e-6;
+        local.served_ms.push_back(lat_ms);
+        if (lat_ms * 1000.0 <= static_cast<double>(deadline_us)) {
+          ++local.met;
+        }
+      } catch (const mz::OverloadError& e) {
+        ++local.shed;
+        session.Reset();
+        // The structured backpressure hint in action: pace the retry.
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min<std::int64_t>(e.retry_after_us, 1000)));
+      } catch (const mz::CancelledError&) {  // DeadlineError included
+        ++local.aborted;
+        session.Reset();
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mu);
+    res.served_ms.insert(res.served_ms.end(), local.served_ms.begin(), local.served_ms.end());
+    res.met += local.met;
+    res.attempts += local.attempts;
+    res.shed += local.shed;
+    res.aborted += local.aborted;
+  };
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back(client, c);
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  res.wall_s = static_cast<double>(mz::NowNanos() - t_start) * 1e-9;
+  return res;
+}
+
 void EmitClass(const std::string& config, const char* cls, const ClassSamples& s) {
   std::printf("  %-6s %-6s  %8zu reqs   lat p50/p95/p99 %8.3f %8.3f %8.3f ms   "
               "wait p50/p95/p99 %8.3f %8.3f %8.3f ms\n",
@@ -350,6 +448,39 @@ int main() {
                   static_cast<double>(r.charged_bytes));
     bench::Metric("loadgen_serving", "cache_accounting", config, "evictions",
                   static_cast<double>(r.evictions));
+  }
+
+  bench::Title("Deadline-bearing clients at ~12x overload: load shedding on vs. off");
+  const long n_shed = std::max<long>(32768, bench::Scaled(131072));
+  const long shed_run_ms = std::max<long>(50, bench::Scaled(400));
+  const long deadline_us = 2000;
+  bench::Note("12 closed-loop clients, one admission token, " + std::to_string(n_shed) +
+              "-elem pooled plans, " + std::to_string(deadline_us) +
+              " us deadlines for " + std::to_string(shed_run_ms) +
+              " ms; goodput counts only deadline-met completions. Shedding rejects "
+              "infeasible requests up front (clients pace retries on retry_after_us); "
+              "the ablation queues everything and serves most of it late");
+  for (bool shedding : {false, true}) {
+    const std::string config = shedding ? "shedding_on" : "shedding_off";
+    SheddingResult r = RunShedding(shedding, n_shed, deadline_us, shed_run_ms);
+    const double goodput = static_cast<double>(r.met) / std::max(r.wall_s, 1e-9);
+    const double shed_rate =
+        static_cast<double>(r.shed) / std::max<double>(1.0, static_cast<double>(r.attempts));
+    std::printf("  %-12s goodput %8.1f met/s   served p50/p99 %8.3f %8.3f ms   "
+                "shed %5.1f%%   aborted %lld / %lld attempts\n",
+                config.c_str(), goodput, Pct(r.served_ms, 50), Pct(r.served_ms, 99),
+                100.0 * shed_rate, static_cast<long long>(r.aborted),
+                static_cast<long long>(r.attempts));
+    bench::Metric("loadgen_serving", "deadline_shedding", config, "goodput_met_per_s", goodput);
+    bench::Metric("loadgen_serving", "deadline_shedding", config, "served_p50_ms",
+                  Pct(r.served_ms, 50));
+    bench::Metric("loadgen_serving", "deadline_shedding", config, "served_p99_ms",
+                  Pct(r.served_ms, 99));
+    bench::Metric("loadgen_serving", "deadline_shedding", config, "shed_rate", shed_rate);
+    bench::Metric("loadgen_serving", "deadline_shedding", config, "aborted",
+                  static_cast<double>(r.aborted));
+    bench::Metric("loadgen_serving", "deadline_shedding", config, "attempts",
+                  static_cast<double>(r.attempts));
   }
   return 0;
 }

@@ -1,0 +1,147 @@
+// Per-request deadlines and cooperative cancellation.
+//
+// A CancelSource owns one request's lifecycle state (an explicit Cancel()
+// flag plus an optional absolute deadline); CancelTokens are cheap copyable
+// views of it that the serving layers thread down through admission, the
+// batch collector, the executor, and streaming. Cancellation is strictly
+// cooperative: holders poll `stop_requested()` at natural boundaries
+// (admission waits, batch/stage boundaries, between stream firings) and
+// unwind by throwing — nothing is ever interrupted mid-kernel, so user
+// buffers a stage already wrote stay in a re-runnable state (elementwise
+// stages overwrite on retry).
+//
+// Three structured error types make the outcome machine-readable:
+//  * CancelledError  — the client called CancelSource::Cancel().
+//  * DeadlineError   — the request's deadline passed (a subtype of
+//    cancellation: both mean "stop working on this request").
+//  * OverloadError   — the request was never started: admission predicted
+//    the deadline cannot be met at the current backlog (load shedding), or a
+//    per-tenant rate quota was exhausted. Carries retry_after_us, the
+//    backpressure hint clients use to pace retries.
+#ifndef MOZART_COMMON_CANCEL_H_
+#define MOZART_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace mz {
+
+// Thrown when a request is cancelled via CancelSource::Cancel().
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+// Thrown when a request's deadline passes before (or during) execution.
+class DeadlineError : public CancelledError {
+ public:
+  explicit DeadlineError(const std::string& what) : CancelledError(what) {}
+};
+
+// Thrown when a request is rejected up front instead of queued: the gate's
+// backlog already exceeds the deadline (kBacklog) or the tenant's rate
+// quota is exhausted (kQuota). retry_after_us is the server's estimate of
+// when a retry could succeed — the structured backpressure signal.
+class OverloadError : public Error {
+ public:
+  enum class Kind { kBacklog, kQuota };
+
+  OverloadError(const std::string& what, Kind k, std::int64_t retry_us)
+      : Error(what), kind(k), retry_after_us(retry_us) {}
+
+  Kind kind;
+  std::int64_t retry_after_us;
+};
+
+class CancelToken;
+
+// Owner side of one request's cancellation state.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<State>()) {}
+
+  // Requests cooperative cancellation. Idempotent, thread-safe; holders
+  // observe it at their next boundary check.
+  void Cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+
+  // Absolute deadline on the NowNanos() (steady) clock; 0 clears it.
+  void SetDeadlineNanos(std::int64_t deadline_ns) {
+    state_->deadline_ns.store(deadline_ns, std::memory_order_relaxed);
+  }
+  // Convenience: deadline `us` microseconds from now.
+  void SetDeadlineAfterMicros(std::int64_t us) { SetDeadlineNanos(NowNanos() + us * 1000); }
+
+  CancelToken token() const;
+
+ private:
+  friend class CancelToken;
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::int64_t> deadline_ns{0};  // 0 = none
+  };
+  std::shared_ptr<State> state_;
+};
+
+// Read-only view. A default-constructed token is inert: never cancelled, no
+// deadline, and every check short-circuits on a null pointer — threading a
+// token through a layer costs nothing for requests that don't use one.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  bool has_state() const { return state_ != nullptr; }
+  bool cancelled() const {
+    return state_ != nullptr && state_->cancelled.load(std::memory_order_relaxed);
+  }
+  // 0 = no deadline.
+  std::int64_t deadline_ns() const {
+    return state_ != nullptr ? state_->deadline_ns.load(std::memory_order_relaxed) : 0;
+  }
+  bool expired(std::int64_t now_ns) const {
+    const std::int64_t d = deadline_ns();
+    return d > 0 && now_ns >= d;
+  }
+  // True once the holder should stop working on this request. Reads the
+  // clock only when a deadline is actually set.
+  bool stop_requested() const {
+    if (state_ == nullptr) {
+      return false;
+    }
+    if (state_->cancelled.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    const std::int64_t d = state_->deadline_ns.load(std::memory_order_relaxed);
+    return d > 0 && NowNanos() >= d;
+  }
+
+  // Boundary check: throws CancelledError / DeadlineError with `where` in
+  // the message. No-op for inert tokens.
+  void ThrowIfStopped(const char* where) const {
+    if (state_ == nullptr) {
+      return;
+    }
+    if (state_->cancelled.load(std::memory_order_relaxed)) {
+      throw CancelledError(std::string("request cancelled at ") + where);
+    }
+    const std::int64_t d = state_->deadline_ns.load(std::memory_order_relaxed);
+    if (d > 0 && NowNanos() >= d) {
+      throw DeadlineError(std::string("deadline exceeded at ") + where);
+    }
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<CancelSource::State> state) : state_(std::move(state)) {}
+  std::shared_ptr<CancelSource::State> state_;
+};
+
+inline CancelToken CancelSource::token() const { return CancelToken(state_); }
+
+}  // namespace mz
+
+#endif  // MOZART_COMMON_CANCEL_H_

@@ -1,0 +1,92 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mz {
+namespace {
+
+// SplitMix64: decorrelates (seed, site-hash, index) into an iid-looking
+// 64-bit draw. Chosen over a stateful RNG so the decision for hit k of a
+// site is a pure function — no cross-thread RNG state to race on.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashSite(const char* site) {
+  // FNV-1a over the site name.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const FaultConfig& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cfg_ = cfg;
+  site_hits_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() { enabled_.store(false, std::memory_order_relaxed); }
+
+void FaultInjector::Hit(const char* site) {
+  bool do_throw = false;
+  bool do_delay = false;
+  std::int64_t delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_.load(std::memory_order_relaxed)) {
+      return;  // raced with Disarm; injection is best-effort off
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t index = site_hits_[site]++;
+    if (!cfg_.only_site.empty() && cfg_.only_site != site) {
+      return;
+    }
+    if (cfg_.max_fires >= 0 && fires_.load(std::memory_order_relaxed) >= cfg_.max_fires) {
+      return;
+    }
+    const std::uint64_t draw =
+        Mix(cfg_.seed ^ Mix(HashSite(site) + static_cast<std::uint64_t>(index)));
+    // Split one draw into two uniform [0,1) coordinates.
+    const double u_throw = static_cast<double>(draw >> 40) / static_cast<double>(1 << 24);
+    const double u_delay =
+        static_cast<double>((draw >> 16) & 0xffffffULL) / static_cast<double>(1 << 24);
+    if (u_throw < cfg_.p_throw) {
+      do_throw = true;
+    } else if (u_delay < cfg_.p_delay) {
+      do_delay = true;
+      delay_us = cfg_.delay_us;
+    }
+    if (do_throw || do_delay) {
+      fires_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (do_delay && delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  if (do_throw) {
+    throw FaultInjected(std::string("injected fault at site ") + site);
+  }
+}
+
+std::vector<std::pair<std::string, std::int64_t>> FaultInjector::sites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {site_hits_.begin(), site_hits_.end()};
+}
+
+}  // namespace mz

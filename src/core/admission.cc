@@ -1,10 +1,12 @@
 #include "core/admission.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/timer.h"
 #include "core/splitter.h"
 
@@ -51,13 +53,40 @@ bool AdmissionGate::HasWaitersLocked() const {
   return opts_.fair ? !rr_.empty() : !fifo_.empty();
 }
 
-AdmissionGate::Ticket AdmissionGate::Acquire(std::uint64_t session, int weight) {
+AdmissionGate::Ticket AdmissionGate::Acquire(std::uint64_t session, int weight,
+                                             const CancelToken& cancel) {
+  MZ_FAULT("admission.acquire");
+  const std::int64_t deadline_ns = cancel.deadline_ns();
   std::unique_lock<std::mutex> lock(mu_);
   // Fast path: a free token and nobody queued ahead. Never barge past
   // waiters — that is exactly the unfairness the scheduler exists to stop.
   if (!HasWaitersLocked() && in_use_ < effective_tokens_) {
     ++in_use_;
-    return Ticket(this, session);
+    return Ticket(this, session, NowNanos());
+  }
+  if (cancel.has_state()) {
+    const std::int64_t now = NowNanos();
+    if (cancel.cancelled()) {
+      throw CancelledError("request cancelled before admission");
+    }
+    if (deadline_ns > 0 && now >= deadline_ns) {
+      throw DeadlineError("deadline expired before admission");
+    }
+    // Load shedding: when hold-time history predicts the backlog alone
+    // outlasts the deadline, reject now — queueing would only convert a
+    // prompt, structured rejection into a deadline miss discovered late.
+    if (deadline_ns > 0) {
+      const std::int64_t est = EstimatedWaitNanosLocked();
+      if (est > 0 && now + est > deadline_ns) {
+        throw OverloadError(
+            (internal::MessageStream()
+             << "admission backlog (" << waiting_ << " waiting, " << in_use_ << "/"
+             << effective_tokens_ << " tokens held) exceeds request deadline; predicted wait "
+             << est / 1000 << "us")
+                .str(),
+            OverloadError::Kind::kBacklog, est / 1000);
+      }
+    }
   }
   Waiter self;
   if (opts_.fair) {
@@ -78,8 +107,131 @@ AdmissionGate::Ticket AdmissionGate::Acquire(std::uint64_t session, int weight) 
   if (ScheduleLocked()) {
     cv_.notify_all();
   }
-  cv_.wait(lock, [&self] { return self.admitted; });
-  return Ticket(this, session);
+  if (!cancel.has_state()) {
+    cv_.wait(lock, [&self] { return self.admitted; });
+    return Ticket(this, session, NowNanos());
+  }
+  // Timed/cancellable wait. Grants and withdrawals both happen under mu_,
+  // and `admitted` is re-checked before withdrawing, so a granted token can
+  // never be abandoned (the leak the chaos battery asserts against).
+  // Cancel() has no condition variable to poke, so the wait wakes every few
+  // ms to observe it; the deadline bounds the wait exactly.
+  constexpr std::int64_t kCancelPollNs = 5'000'000;
+  while (!self.admitted) {
+    const std::int64_t now = NowNanos();
+    const bool cancelled = cancel.cancelled();
+    if (cancelled || (deadline_ns > 0 && now >= deadline_ns)) {
+      RemoveWaiterLocked(session, &self);
+      --waiting_;
+      if (cancelled) {
+        throw CancelledError("request cancelled while waiting for admission");
+      }
+      throw DeadlineError("deadline expired while waiting for admission");
+    }
+    std::int64_t wake_ns = now + kCancelPollNs;
+    if (deadline_ns > 0) {
+      wake_ns = std::min(wake_ns, deadline_ns);
+    }
+    cv_.wait_for(lock, std::chrono::nanoseconds(wake_ns - now),
+                 [&self] { return self.admitted; });
+  }
+  return Ticket(this, session, NowNanos());
+}
+
+void AdmissionGate::RemoveWaiterLocked(std::uint64_t session, Waiter* waiter) {
+  if (opts_.fair) {
+    auto it = queues_.find(session);
+    MZ_CHECK_MSG(it != queues_.end(), "AdmissionGate: withdrawing from an absent session queue");
+    auto& dq = it->second.waiters;
+    auto pos = std::find(dq.begin(), dq.end(), waiter);
+    MZ_CHECK_MSG(pos != dq.end(), "AdmissionGate: withdrawing waiter not in its queue");
+    dq.erase(pos);
+    if (dq.empty()) {
+      queues_.erase(it);
+      auto rpos = std::find(rr_.begin(), rr_.end(), session);
+      MZ_CHECK_MSG(rpos != rr_.end(), "AdmissionGate: queued session missing from rotation");
+      rr_.erase(rpos);
+    }
+  } else {
+    auto pos = std::find(fifo_.begin(), fifo_.end(), waiter);
+    MZ_CHECK_MSG(pos != fifo_.end(), "AdmissionGate: withdrawing waiter not in FIFO");
+    fifo_.erase(pos);
+  }
+}
+
+std::int64_t AdmissionGate::EstimatedWaitNanosLocked() const {
+  if (ewma_hold_ns_ <= 0.0) {
+    return 0;  // no hold history yet: cannot predict
+  }
+  const int tokens = std::max(1, effective_tokens_);
+  // Everyone ahead (queued waiters plus current holders) retires `tokens`
+  // at a time, one smoothed hold apart.
+  const double rounds =
+      std::ceil(static_cast<double>(waiting_ + in_use_) / static_cast<double>(tokens));
+  return static_cast<std::int64_t>(rounds * ewma_hold_ns_);
+}
+
+std::int64_t AdmissionGate::EstimatedWaitNanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EstimatedWaitNanosLocked();
+}
+
+std::int64_t AdmissionGate::ewma_hold_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(ewma_hold_ns_);
+}
+
+void AdmissionGate::SetQuota(std::uint64_t session, double evals_per_sec, double burst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QuotaBucket& b = quotas_[session];
+  b.rate = std::max(0.0, evals_per_sec);
+  b.burst = burst > 0.0 ? burst : std::max(1.0, b.rate * 0.25);
+  if (b.refs == 0) {
+    b.tokens = b.burst;  // fresh bucket starts full
+    b.last_refill_ns = NowNanos();
+  }
+  b.tokens = std::min(b.tokens, b.burst);
+  ++b.refs;
+}
+
+void AdmissionGate::DropQuota(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = quotas_.find(session);
+  if (it == quotas_.end()) {
+    return;
+  }
+  if (--it->second.refs <= 0) {
+    quotas_.erase(it);
+  }
+}
+
+void AdmissionGate::ChargeQuota(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = quotas_.find(session);
+  if (it == quotas_.end()) {
+    return;  // no quota installed for this tenant
+  }
+  QuotaBucket& b = it->second;
+  const std::int64_t now = NowNanos();
+  if (b.rate > 0.0 && now > b.last_refill_ns) {
+    b.tokens = std::min(b.burst,
+                        b.tokens + static_cast<double>(now - b.last_refill_ns) * 1e-9 * b.rate);
+  }
+  b.last_refill_ns = now;
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    return;
+  }
+  // Empty (or zero-rate) bucket: reject with the time until one token
+  // accrues — the same structured backpressure signal shedding uses.
+  const std::int64_t retry_us =
+      b.rate > 0.0 ? static_cast<std::int64_t>(std::ceil((1.0 - b.tokens) / b.rate * 1e6))
+                   : std::numeric_limits<std::int64_t>::max();
+  throw OverloadError((internal::MessageStream() << "tenant " << session
+                                                 << " rate quota exhausted (" << b.rate
+                                                 << " evals/s, burst " << b.burst << ")")
+                          .str(),
+                      OverloadError::Kind::kQuota, retry_us);
 }
 
 bool AdmissionGate::ScheduleLocked() {
@@ -196,12 +348,17 @@ int AdmissionGate::waiting() const {
   return waiting_;
 }
 
-void AdmissionGate::ReleaseToken() {
+void AdmissionGate::ReleaseToken(std::int64_t grant_ns) {
   bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     MZ_CHECK_MSG(in_use_ > 0, "AdmissionGate: release without acquire");
     --in_use_;
+    // Hold-time EWMA feeds the shedding prediction; reuse the depth EWMA's
+    // alpha so one knob tunes both smoothers.
+    const std::int64_t held_ns = std::max<std::int64_t>(0, NowNanos() - grant_ns);
+    ewma_hold_ns_ = opts_.ewma_alpha * static_cast<double>(held_ns) +
+                    (1.0 - opts_.ewma_alpha) * ewma_hold_ns_;
     wake = ScheduleLocked();
   }
   if (wake) {
@@ -211,7 +368,7 @@ void AdmissionGate::ReleaseToken() {
 
 void AdmissionGate::Ticket::Release() {
   if (gate_ != nullptr) {
-    gate_->ReleaseToken();
+    gate_->ReleaseToken(grant_ns_);
     gate_ = nullptr;
   }
 }

@@ -41,6 +41,26 @@
 // of how deep a chatty neighbor's backlog is. fair = false is the ablation:
 // one strict arrival-order FIFO queue, where a flood of waiters from one
 // session delays everyone queued behind it proportionally to the backlog.
+//
+// Deadlines and backpressure (cancel.h): an Acquire carrying a CancelToken
+// participates in three further policies.
+//
+//  * Load shedding: token hold times feed an EWMA; when the predicted wait
+//    (backlog rounds × smoothed hold) already overshoots the request's
+//    deadline, Acquire throws OverloadError{retry_after_us} immediately
+//    instead of queueing — the structured backpressure signal. No hold
+//    history = no prediction = no shedding (the request queues with a timed
+//    wait instead).
+//  * Timed waits: a queued waiter that reaches its deadline (or observes
+//    Cancel()) removes itself from its queue and throws; the DRR rotation
+//    and waiting() introspection stay exact, and "granted concurrently with
+//    giving up" is impossible — grants and give-ups serialize on the gate
+//    mutex, and the waiter re-checks `admitted` before withdrawing.
+//  * Per-tenant rate quotas: SetQuota installs a token bucket per session
+//    id; ChargeQuota debits one evaluation and throws
+//    OverloadError{retry_after_us} when the bucket is empty. Buckets are
+//    refcounted by SetQuota/DropQuota so multi-connection tenants sharing
+//    an id share one bucket.
 #ifndef MOZART_CORE_ADMISSION_H_
 #define MOZART_CORE_ADMISSION_H_
 
@@ -51,6 +71,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/cancel.h"
 #include "core/planner.h"
 #include "core/registry.h"
 #include "core/task_graph.h"
@@ -102,7 +123,8 @@ class AdmissionGate {
    public:
     Ticket() = default;
     ~Ticket() { Release(); }
-    Ticket(Ticket&& other) noexcept : gate_(other.gate_), session_(other.session_) {
+    Ticket(Ticket&& other) noexcept
+        : gate_(other.gate_), session_(other.session_), grant_ns_(other.grant_ns_) {
       other.gate_ = nullptr;
     }
     Ticket& operator=(Ticket&& other) noexcept {
@@ -110,6 +132,7 @@ class AdmissionGate {
         Release();
         gate_ = other.gate_;
         session_ = other.session_;
+        grant_ns_ = other.grant_ns_;
         other.gate_ = nullptr;
       }
       return *this;
@@ -123,16 +146,36 @@ class AdmissionGate {
 
    private:
     friend class AdmissionGate;
-    Ticket(AdmissionGate* gate, std::uint64_t session) : gate_(gate), session_(session) {}
+    Ticket(AdmissionGate* gate, std::uint64_t session, std::int64_t grant_ns)
+        : gate_(gate), session_(session), grant_ns_(grant_ns) {}
     AdmissionGate* gate_ = nullptr;
     std::uint64_t session_ = 0;
+    std::int64_t grant_ns_ = 0;  // when the token was granted (hold-time EWMA)
   };
 
   // Blocks until the scheduler grants this session a token under the current
   // effective budget. `session` groups waiters for round-robin (0 = the
   // anonymous session, still one group); `weight` is admissions earned per
   // round while backlogged (clamped to >= 1, latest call wins).
-  Ticket Acquire(std::uint64_t session = 0, int weight = 1);
+  //
+  // A non-inert `cancel` adds the deadline policies (header comment): may
+  // throw OverloadError (predicted wait exceeds the deadline — load shed,
+  // nothing was queued), DeadlineError (deadline passed before or while
+  // queued), or CancelledError (Cancel() observed while queued; polled every
+  // few ms, since cancellation has no condition variable to poke). On any
+  // throw the waiter has fully withdrawn: no token held, no queue entry
+  // left, waiting() exact.
+  Ticket Acquire(std::uint64_t session = 0, int weight = 1, const CancelToken& cancel = {});
+
+  // Per-tenant token-bucket rate quota, keyed like Acquire's `session`.
+  // SetQuota installs/overwrites the bucket (burst <= 0 derives a small
+  // burst from the rate) and takes a reference; DropQuota releases one —
+  // the bucket disappears with its last reference. ChargeQuota debits one
+  // evaluation, throwing OverloadError{retry_after_us} when the bucket is
+  // empty; sessions with no bucket installed are never charged.
+  void SetQuota(std::uint64_t session, double evals_per_sec, double burst = 0.0);
+  void DropQuota(std::uint64_t session);
+  void ChargeQuota(std::uint64_t session);
 
   // Feeds one queue-depth sample into the EWMA and recomputes the effective
   // budget and cutoff. No-op in fixed mode. Wakes waiters if the budget grew.
@@ -150,6 +193,12 @@ class AdmissionGate {
   // Waiters currently blocked in Acquire (introspection; tests use it to
   // sequence deterministic contention).
   int waiting() const;
+
+  // Smoothed token hold time (ns; 0 until the first release) and the wait
+  // the shedding policy would currently predict for a new arrival (0 when
+  // it cannot predict). Introspection for tests and the loadgen.
+  std::int64_t ewma_hold_ns() const;
+  std::int64_t EstimatedWaitNanos() const;
 
   // Current inline-vs-pooled cutoff; fixed mode returns `fallback` (the
   // runtime's static serial_cutoff_elems).
@@ -172,10 +221,22 @@ class AdmissionGate {
     int weight = 1;
   };
 
-  void ReleaseToken();
+  struct QuotaBucket {
+    double rate = 0.0;   // evals per second
+    double burst = 1.0;  // bucket capacity
+    double tokens = 0.0;
+    std::int64_t last_refill_ns = 0;
+    int refs = 0;
+  };
+
+  void ReleaseToken(std::int64_t grant_ns);
   void RecomputeLocked();   // effective budget/cutoff from ewma_depth_
   bool ScheduleLocked();    // grants free tokens to waiters; true if any
   bool HasWaitersLocked() const;
+  // Withdraws a not-yet-admitted waiter (timed-out or cancelled) from its
+  // session queue / the FIFO, keeping the DRR rotation consistent.
+  void RemoveWaiterLocked(std::uint64_t session, Waiter* waiter);
+  std::int64_t EstimatedWaitNanosLocked() const;
 
   const bool adaptive_;
   const AdmissionOptions opts_;
@@ -193,6 +254,11 @@ class AdmissionGate {
   std::list<std::uint64_t> rr_;
   // ablation mode: strict arrival order.
   std::deque<Waiter*> fifo_;
+  // Smoothed token hold time feeding the shedding prediction (same alpha as
+  // the depth EWMA); 0 until the first release.
+  double ewma_hold_ns_ = 0.0;
+  // Per-tenant rate-quota buckets (see SetQuota).
+  std::unordered_map<std::uint64_t, QuotaBucket> quotas_;
 };
 
 // What EstimatePlanSize could learn about a plan's parallel work before

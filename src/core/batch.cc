@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/timer.h"
 #include "core/stats.h"
 
@@ -43,11 +44,23 @@ BatchCollector::~BatchCollector() {
   Flush();
 }
 
-void BatchCollector::Run(std::function<void()> fn, EvalStats* stats) {
+void BatchCollector::Run(std::function<void()> fn, EvalStats* stats, std::int64_t deadline_ns) {
   Job job;
   job.fn = &fn;
 
   std::unique_lock<std::mutex> lock(mu_);
+  // A deadline that would expire inside the open batch's window must not
+  // ride (it would sleep out the leader's wait and miss) — run it solo on
+  // the caller right away. Checked before this job joins any batch, so the
+  // bypass never strands a leader or reorders a batch's job list.
+  if (deadline_ns > 0 && open_ != nullptr && !open_->closed &&
+      open_->dispatch_by_ns > deadline_ns) {
+    ++jobs_;
+    ++deadline_bypasses_;
+    lock.unlock();
+    fn();  // solo: exactly the unbatched inline path; exceptions propagate
+    return;
+  }
   ++jobs_;
   if (opts_.adaptive_window) {
     const std::int64_t now_ns = NowNanos();
@@ -80,7 +93,15 @@ void BatchCollector::Run(std::function<void()> fn, EvalStats* stats) {
   }
 
   if (leader) {
-    const std::int64_t window_us = EffectiveWindowUsLocked();
+    std::int64_t window_us = EffectiveWindowUsLocked();
+    if (deadline_ns > 0) {
+      // A leader never sleeps past its own deadline: clamp the window to
+      // the time remaining (a sub-window margin is pointless — the job
+      // itself still has to run).
+      const std::int64_t remaining_us = (deadline_ns - NowNanos()) / 1000;
+      window_us = std::clamp<std::int64_t>(remaining_us, 0, window_us);
+    }
+    batch->dispatch_by_ns = NowNanos() + window_us * 1000;
     if (opts_.adaptive_window) {
       adapted_window_us_total_ += window_us;
       if (stats != nullptr) {
@@ -102,8 +123,26 @@ void BatchCollector::Run(std::function<void()> fn, EvalStats* stats) {
     }
     ++dispatches_;
     lock.unlock();
-    Dispatch(*batch);
+    // Scope-guarded dispatch: if Dispatch itself throws (pool submission
+    // failure, injected fault) the batch must STILL be marked done and its
+    // followers woken — an unwinding leader that left done=false would
+    // strand every follower in cv_done_ forever. Jobs the dispatch never
+    // reached inherit the dispatch error so no follower returns as if its
+    // job had run.
+    std::exception_ptr dispatch_error;
+    try {
+      Dispatch(*batch);
+    } catch (...) {
+      dispatch_error = std::current_exception();
+    }
     lock.lock();
+    if (dispatch_error) {
+      for (Job* j : batch->jobs) {
+        if (!j->ran && !j->error) {
+          j->error = dispatch_error;
+        }
+      }
+    }
     batch->done = true;
     cv_done_.notify_all();
   } else {
@@ -117,7 +156,9 @@ void BatchCollector::Run(std::function<void()> fn, EvalStats* stats) {
 }
 
 void BatchCollector::Dispatch(Batch& batch) {
+  MZ_FAULT("batch.dispatch");
   auto run_one = [](Job* job) {
+    job->ran = true;
     try {
       (*job->fn)();
     } catch (...) {
@@ -181,6 +222,11 @@ double BatchCollector::ewma_gap_us() const {
 std::int64_t BatchCollector::adapted_window_us_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return adapted_window_us_total_;
+}
+
+std::int64_t BatchCollector::deadline_bypasses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadline_bypasses_;
 }
 
 }  // namespace mz

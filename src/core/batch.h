@@ -69,7 +69,15 @@ class BatchCollector {
   // runs to completion on whatever thread claims it. When `stats` is given
   // and this call leads a batch under the adaptive window, the effective
   // window it chose is added to stats->batch_window_adapted_us.
-  void Run(std::function<void()> job, EvalStats* stats = nullptr);
+  //
+  // `deadline_ns` (NowNanos clock, 0 = none) keeps deadline-bearing jobs
+  // out of windows they cannot afford: a leader clamps its window so it
+  // never sleeps past its own deadline, and a would-be rider whose deadline
+  // falls inside the open batch's predicted dispatch time skips the batch
+  // and runs solo on the caller immediately (counted in
+  // deadline_bypasses()) instead of missing its deadline waiting for the
+  // window to close.
+  void Run(std::function<void()> job, EvalStats* stats = nullptr, std::int64_t deadline_ns = 0);
 
   // Closes the currently open window (if any) so its leader dispatches
   // immediately instead of sleeping out the remaining window. Does not wait
@@ -85,16 +93,22 @@ class BatchCollector {
   int max_batch_seen() const;
   double ewma_gap_us() const;          // smoothed inter-arrival gap (-1 until 2 arrivals)
   std::int64_t adapted_window_us_total() const;  // sum of adaptive leader windows
+  std::int64_t deadline_bypasses() const;  // jobs that skipped a batch for their deadline
 
  private:
   struct Job {
     std::function<void()>* fn = nullptr;
     std::exception_ptr error;
+    bool ran = false;  // claimed by a dispatch worker (dispatch-failure guard)
   };
   struct Batch {
     std::vector<Job*> jobs;
     bool closed = false;  // no further riders may join
     bool done = false;    // dispatch finished; results visible
+    // Leader's predicted dispatch time (arrival + effective window, ns);
+    // riders with earlier deadlines bypass the batch. Set once by the
+    // leader under mu_ before any rider can observe the batch.
+    std::int64_t dispatch_by_ns = 0;
   };
 
   void Dispatch(Batch& batch);  // runs without mu_
@@ -116,6 +130,7 @@ class BatchCollector {
   std::int64_t last_arrival_ns_ = 0;
   double ewma_gap_us_ = -1.0;  // < 0 until two arrivals have been seen
   std::int64_t adapted_window_us_total_ = 0;
+  std::int64_t deadline_bypasses_ = 0;
 };
 
 }  // namespace mz

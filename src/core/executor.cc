@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/timer.h"
 
@@ -134,6 +135,7 @@ void Executor::Run(const Plan& plan) {
   const std::size_t n = plan.stages.size();
   std::size_t s = 0;
   while (s < n) {
+    opts_.cancel.ThrowIfStopped("stage boundary");
     const Stage& stage = plan.stages[s];
     if (stage.serial) {
       RunSerialStage(stage);
@@ -171,6 +173,7 @@ void Executor::Run(const Plan& plan) {
 void Executor::RunSerialStage(const Stage& stage) {
   ScopedAccumTimer timer(opts_.collect_stats ? &stats_->task_ns : nullptr);
   for (const PlannedFunc& pf : stage.funcs) {
+    opts_.cancel.ThrowIfStopped("serial stage");
     const Node& node = graph_->nodes()[static_cast<std::size_t>(pf.node_index)];
     std::vector<Value*> args;
     args.reserve(pf.args.size());
@@ -1045,6 +1048,11 @@ void Executor::RunRegion(const std::vector<const Stage*>& region) {
       // static walk, where feed values stay in this worker's ws.cur).
       auto run_batch = [&](int d, std::int64_t b, std::int64_t e, int cw, std::size_t cidx,
                            std::vector<Value>* vals) {
+        // Batch-boundary cancellation point: a stop thrown here rides the
+        // worker catch-all below — first_error capture plus dynamic-queue
+        // poisoning — so both schedules unwind through the PR 6 machinery.
+        opts_.cancel.ThrowIfStopped("batch boundary");
+        MZ_FAULT("exec.batch");
         const Stage& stage = *region[static_cast<std::size_t>(d)];
         Scratch::StageExec& st = sc.stages[static_cast<std::size_t>(d)];
         auto& cur = ws.cur[static_cast<std::size_t>(d)];
@@ -1081,6 +1089,7 @@ void Executor::RunRegion(const std::vector<const Stage*>& region) {
           if (!stage.buffers[i].is_input) {
             continue;
           }
+          MZ_FAULT("exec.split");
           cur[i] = st.bufs[i].splitter->Split(st.bufs[i].full, b, e, st.bufs[i].params, ctx);
           if (pedantic) {
             MZ_THROW_IF(!cur[i].has_value(), "pedantic: Split returned an empty value for slot "
@@ -1499,6 +1508,8 @@ void Executor::RunRegion(const std::vector<const Stage*>& region) {
     }
 
     auto merge_group = [&](MergeJob& job, std::size_t g) {
+      opts_.cancel.ThrowIfStopped("merge");
+      MZ_FAULT("exec.merge");
       auto [gb, ge] = job.groups[g];
       std::vector<Value> group;
       group.reserve(ge - gb);

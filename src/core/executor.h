@@ -43,6 +43,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "core/planner.h"
 #include "core/registry.h"
@@ -86,6 +87,13 @@ struct ExecOptions {
   // elide_boundaries (regions are built from carried boundaries). Off = the
   // ablation: every stage runs to completion before the next starts.
   bool pipeline_stages = true;
+  // Cooperative cancellation (cancel.h): checked at stage boundaries, at
+  // every batch a worker claims, and before each merge group. A stop
+  // unwinds through the worker error path (first-exception capture plus
+  // dynamic-queue poisoning), so static and dynamic schedules both abandon
+  // the plan promptly and the throw surfaces on the calling thread. Inert
+  // by default: checks cost one null test.
+  CancelToken cancel;
 };
 
 class Executor {

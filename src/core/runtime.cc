@@ -1,6 +1,7 @@
 #include "core/runtime.h"
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/admission.h"
@@ -33,9 +34,17 @@ Runtime::Runtime(RuntimeOptions opts) : opts_(opts), registry_(&Registry::Global
     owned_pool_ = std::make_unique<ThreadPool>(threads);
     pool_ = owned_pool_.get();
   }
+  if (opts_.admission != nullptr && opts_.quota_evals_per_sec > 0.0) {
+    opts_.admission->SetQuota(opts_.admission_session, opts_.quota_evals_per_sec);
+    quota_installed_ = true;
+  }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (quota_installed_) {
+    opts_.admission->DropQuota(opts_.admission_session);
+  }
+}
 
 ThreadPool* Runtime::SerialPool() {
   if (serial_pool_ == nullptr) {
@@ -110,16 +119,45 @@ SlotId Runtime::RegisterNode(std::shared_ptr<const Annotation> ann,
 
 void Runtime::Evaluate() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  EvaluateLocked();
+  EvaluateLocked(EvalOptions{});
 }
 
-void Runtime::EvaluateLocked() {
+void Runtime::Evaluate(const EvalOptions& eval_opts) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  EvaluateLocked(eval_opts);
+}
+
+void Runtime::EvaluateLocked(const EvalOptions& eval_opts) {
+  // Count request-lifecycle outcomes here, at the one choke point every
+  // evaluation passes, instead of at each throw site. Rethrows unchanged:
+  // the structured error IS the client-visible backpressure signal.
+  try {
+    EvaluateLockedImpl(eval_opts);
+  } catch (const OverloadError& e) {
+    auto& counter =
+        e.kind == OverloadError::Kind::kQuota ? stats_.quota_rejects : stats_.shed_evals;
+    counter.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  } catch (const DeadlineError&) {
+    stats_.deadline_evals.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  } catch (const CancelledError&) {
+    stats_.cancelled_evals.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+void Runtime::EvaluateLockedImpl(const EvalOptions& eval_opts) {
   int first = graph_.first_unexecuted();
   int end = graph_.num_nodes();
   if (first == end) {
     return;
   }
   MZ_THROW_IF(evaluating_, "re-entrant evaluation");
+  // Checked before any state transition: a request cancelled (or already
+  // past its deadline) on arrival leaves the pending range untouched, so a
+  // later Evaluate — or Reset — sees the graph exactly as captured.
+  eval_opts.cancel.ThrowIfStopped("evaluate");
   evaluating_ = true;
   struct ClearFlag {
     bool* flag;
@@ -139,6 +177,7 @@ void Runtime::EvaluateLocked() {
     bool cached = false;
     RangeFingerprint fp;
     if (opts_.plan_cache != nullptr) {
+      MZ_FAULT("plan_cache.lookup");
       fp = FingerprintRange(graph_, *registry_, first, end, opts_.pipeline);
       if (std::shared_ptr<const Plan> tmpl = opts_.plan_cache->Lookup(fp.key)) {
         plan = InstantiatePlan(*tmpl, fp.canon_slots, first);
@@ -182,6 +221,7 @@ void Runtime::EvaluateLocked() {
   exec_opts.batch_per_stage = opts_.batch_per_stage;
   exec_opts.rebatch_threshold = opts_.rebatch_threshold;
   exec_opts.pipeline_stages = opts_.pipeline_stages;
+  exec_opts.cancel = eval_opts.cancel;
 
   // Admission (see admission.h): small plans stay on the calling thread —
   // or coalesce with other sessions' small plans through the BatchCollector
@@ -189,6 +229,13 @@ void Runtime::EvaluateLocked() {
   // is fed the pool's queue depth and supplies a congestion-scaled cutoff.
   {
     AdmissionGate* gate = opts_.admission;
+    if (gate != nullptr) {
+      // Quota is charged before the inline/pooled split so every eval class
+      // counts against the session's rate, and before any queueing so a
+      // throttled session never occupies gate state. Throws OverloadError
+      // (kQuota) with the refill time when the bucket is empty.
+      gate->ChargeQuota(opts_.admission_session);
+    }
     if (gate != nullptr && gate->adaptive()) {
       gate->Observe(pool_->queue_depth());
     }
@@ -211,10 +258,15 @@ void Runtime::EvaluateLocked() {
         stats_.serial_evals.fetch_add(1, std::memory_order_relaxed);
       } else if (gate != nullptr) {
         std::int64_t t0 = opts_.collect_stats ? NowNanos() : 0;
-        ticket = gate->Acquire(opts_.admission_session, opts_.admission_weight);
+        ticket = gate->Acquire(opts_.admission_session, opts_.admission_weight,
+                               eval_opts.cancel);
         if (opts_.collect_stats) {
           stats_.admission_wait_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
         }
+        // Cancelled while queued but granted anyway (the grant/cancel race
+        // lands on the grant side): give the token straight back via the
+        // ticket's unwind rather than burning it on work nobody wants.
+        eval_opts.cancel.ThrowIfStopped("post-admission");
         stats_.pooled_evals.fetch_add(1, std::memory_order_relaxed);
         pooled = true;
       }
@@ -229,7 +281,7 @@ void Runtime::EvaluateLocked() {
             Executor executor(&graph_, registry_, exec_pool, exec_opts, &stats_);
             executor.Run(plan);
           },
-          &stats_);
+          &stats_, eval_opts.cancel.deadline_ns());
     } else {
       Executor executor(&graph_, registry_, exec_pool, exec_opts, &stats_);
       executor.Run(plan);
@@ -257,6 +309,10 @@ std::int64_t Runtime::EvalStream(
   Windower windower(&source, opts, registry_);
   std::int64_t firings = 0;
   for (;;) {
+    // A firing boundary is the stream's cancellation point: results of
+    // completed firings stay delivered, the current window is simply never
+    // assembled. (In-flight firings also stop via the per-eval token below.)
+    opts.cancel.ThrowIfStopped("stream firing boundary");
     std::optional<Value> window = windower.Next();
     if (!window.has_value()) {
       break;
@@ -270,7 +326,9 @@ std::int64_t Runtime::EvalStream(
     // A body that already forced evaluation (Future::get) leaves nothing
     // pending and this is a no-op; either way exactly one evaluation runs
     // per firing, so steady state stays plan_cache_hits == firings - 1.
-    Evaluate();
+    EvalOptions eo;
+    eo.cancel = opts.cancel;
+    Evaluate(eo);
     if (opts_.collect_stats) {
       stats_.window_firings.fetch_add(1, std::memory_order_relaxed);
       stats_.window_lag_ns.fetch_add(NowNanos() - t0, std::memory_order_relaxed);

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/cpu.h"
 #include "common/thread_pool.h"
 #include "core/executor.h"
@@ -78,6 +79,12 @@ struct RuntimeOptions {
   // Weight = admissions earned per rotation round while backlogged.
   std::uint64_t admission_session = 0;
   int admission_weight = 1;
+  // Per-tenant rate quota (> 0 enables): installs a token bucket for
+  // admission_session on the gate; every evaluation (inline, batched, or
+  // pooled) debits one token, and an empty bucket rejects with
+  // OverloadError{retry_after_us} before any planning-adjacent work runs.
+  // Tenants sharing an admission_session share one bucket (refcounted).
+  double quota_evals_per_sec = 0.0;
   // Plans whose estimated parallel work is at or below this many elements
   // run inline on the calling thread instead of fanning out (only applies
   // when an admission gate is configured or the cutoff is > 0). An adaptive
@@ -86,6 +93,16 @@ struct RuntimeOptions {
   // When set, inline-class plans are routed through the collector so several
   // sessions' small evaluations coalesce into one pool dispatch (batch.h).
   BatchCollector* batcher = nullptr;
+};
+
+// Per-evaluation options: the request-scoped half of the knob surface.
+// RuntimeOptions configure a runtime for its lifetime; an EvalOptions rides
+// one Evaluate call. The cancel token carries both the deadline and the
+// explicit cancellation flag (cancel.h); outcomes surface as structured
+// errors (OverloadError / DeadlineError / CancelledError) and are counted
+// in EvalStats (shed/quota/deadline/cancelled).
+struct EvalOptions {
+  CancelToken cancel;
 };
 
 // How a captured argument binds to the dataflow graph.
@@ -119,6 +136,13 @@ class Runtime {
   // Evaluates all captured-but-unexecuted nodes. Idempotent when nothing is
   // pending. Thread-compatible: capture and evaluation are serialized.
   void Evaluate();
+
+  // Evaluate with request-scoped options. A deadline/cancellation stop or
+  // an admission rejection throws (cancel.h) with the graph left intact and
+  // un-executed-from `first_unexecuted`; the runtime stays reusable —
+  // Reset() (or a later Evaluate retry, for elementwise pipelines that
+  // overwrite their outputs) proceeds normally.
+  void Evaluate(const EvalOptions& eval_opts);
 
   // Streaming entry point (stream.h): windows `source` per `opts` and, for
   // each window, invokes `body(window, firing_index)` with this runtime
@@ -171,7 +195,9 @@ class Runtime {
   friend void internal::DropExternalRef(Runtime*, SlotId);
   friend bool internal::SlotIsPending(Runtime*, SlotId);
 
-  void EvaluateLocked();
+  void EvaluateLocked(const EvalOptions& eval_opts);
+  // The body; EvaluateLocked wraps it to count request-lifecycle outcomes.
+  void EvaluateLockedImpl(const EvalOptions& eval_opts);
   ThreadPool* SerialPool();  // lazily-built 1-thread inline pool (admission)
 
   RuntimeOptions opts_;
@@ -183,6 +209,7 @@ class Runtime {
   TaskGraph graph_;
   EvalStats stats_;
   bool evaluating_ = false;
+  bool quota_installed_ = false;  // this runtime holds a SetQuota reference
   std::function<void()> pre_evaluate_hook_;
   std::function<void()> post_capture_hook_;
 };

@@ -125,6 +125,7 @@ Session::Session(SessionOptions opts)
                                   ? opts.admission_session
                                   : next_session_id.fetch_add(1, std::memory_order_relaxed);
   rt_opts.admission_weight = std::max(1, opts.admission_weight);
+  rt_opts.quota_evals_per_sec = opts.quota_evals_per_sec;
   runtime_ = std::make_unique<Runtime>(rt_opts);
   serving_->Register(this);
 }

@@ -141,6 +141,12 @@ struct SessionOptions {
   // tenant's connections together earn one slot's worth of admissions.
   std::uint64_t admission_session = 0;
   int admission_weight = 1;
+  // Per-session rate limit, enforced at the shared gate before any other
+  // admission work (admission.h quotas): every evaluation — inline, batched,
+  // or pooled — debits one token; an empty bucket throws OverloadError
+  // (kQuota) carrying retry_after_us. Sessions sharing an admission_session
+  // id share the bucket (tenant-wide rate). 0 = unlimited.
+  double quota_evals_per_sec = 0.0;
 };
 
 // One client's handle on the runtime. Cheap to construct; owns an isolated
@@ -160,6 +166,10 @@ class Session {
   EvalStats& stats() { return runtime_->stats(); }
 
   void Evaluate() { runtime_->Evaluate(); }
+  // Deadline/cancellation-aware evaluation: see Runtime::EvalOptions. A
+  // throw (CancelledError, DeadlineError, OverloadError, fault) leaves the
+  // session reusable — Reset() and evaluate again.
+  void Evaluate(const EvalOptions& eval_opts) { runtime_->Evaluate(eval_opts); }
   void Reset() { runtime_->Reset(); }
 
   // RAII binding: wrapped calls on the constructing thread capture into this

@@ -54,6 +54,10 @@ std::string EvalStats::Snapshot::ToString() const {
     os << " [pipelined " << pipeline_regions << " regions, overlap="
        << Ms(pipeline_overlap_ns) << "ms fill/flush=" << Ms(fill_flush_ns) << "ms]";
   }
+  if (shed_evals + quota_rejects + deadline_evals + cancelled_evals > 0) {
+    os << " [shed=" << shed_evals << " quota=" << quota_rejects
+       << " deadline=" << deadline_evals << " cancelled=" << cancelled_evals << "]";
+  }
   if (footprint_bytes_max > 0) {
     os << " [max batch footprint " << footprint_bytes_max << " bytes]";
   }

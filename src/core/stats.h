@@ -89,6 +89,16 @@ class EvalStats {
     // aggregated like footprint_bytes_max).
     std::int64_t batch_window_adapted_us = 0;
     std::int64_t plan_cache_true_bytes = 0;
+    // Request-lifecycle outcomes (ISSUE 9): evaluations rejected up front
+    // because the admission backlog already exceeded their deadline (shed)
+    // or because the tenant's rate quota was exhausted (quota), and
+    // evaluations that stopped on deadline expiry / explicit cancellation
+    // (in the gate's wait queue or mid-execution). None of these count in
+    // `evaluations` — they never completed.
+    std::int64_t shed_evals = 0;
+    std::int64_t quota_rejects = 0;
+    std::int64_t deadline_evals = 0;
+    std::int64_t cancelled_evals = 0;
 
     // Total across the per-phase wall-clock counters. Split/task/merge are
     // summed across workers, so on N threads this exceeds elapsed time.
@@ -135,6 +145,10 @@ class EvalStats {
       incremental_merges += other.incremental_merges;
       batch_window_adapted_us += other.batch_window_adapted_us;
       plan_cache_true_bytes = std::max(plan_cache_true_bytes, other.plan_cache_true_bytes);
+      shed_evals += other.shed_evals;
+      quota_rejects += other.quota_rejects;
+      deadline_evals += other.deadline_evals;
+      cancelled_evals += other.cancelled_evals;
     }
 
     std::string ToString() const;
@@ -178,6 +192,10 @@ class EvalStats {
     s.incremental_merges = incremental_merges.load(std::memory_order_relaxed);
     s.batch_window_adapted_us = batch_window_adapted_us.load(std::memory_order_relaxed);
     s.plan_cache_true_bytes = plan_cache_true_bytes.load(std::memory_order_relaxed);
+    s.shed_evals = shed_evals.load(std::memory_order_relaxed);
+    s.quota_rejects = quota_rejects.load(std::memory_order_relaxed);
+    s.deadline_evals = deadline_evals.load(std::memory_order_relaxed);
+    s.cancelled_evals = cancelled_evals.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -220,6 +238,10 @@ class EvalStats {
     incremental_merges.fetch_add(s.incremental_merges, std::memory_order_relaxed);
     batch_window_adapted_us.fetch_add(s.batch_window_adapted_us, std::memory_order_relaxed);
     MaxInto(plan_cache_true_bytes, s.plan_cache_true_bytes);
+    shed_evals.fetch_add(s.shed_evals, std::memory_order_relaxed);
+    quota_rejects.fetch_add(s.quota_rejects, std::memory_order_relaxed);
+    deadline_evals.fetch_add(s.deadline_evals, std::memory_order_relaxed);
+    cancelled_evals.fetch_add(s.cancelled_evals, std::memory_order_relaxed);
   }
 
   // Lock-free fold of a max-aggregated counter.
@@ -267,6 +289,10 @@ class EvalStats {
     incremental_merges = 0;
     batch_window_adapted_us = 0;
     plan_cache_true_bytes = 0;
+    shed_evals = 0;
+    quota_rejects = 0;
+    deadline_evals = 0;
+    cancelled_evals = 0;
   }
 
   std::atomic<std::int64_t> client_ns{0};
@@ -305,6 +331,10 @@ class EvalStats {
   std::atomic<std::int64_t> incremental_merges{0};
   std::atomic<std::int64_t> batch_window_adapted_us{0};
   std::atomic<std::int64_t> plan_cache_true_bytes{0};
+  std::atomic<std::int64_t> shed_evals{0};
+  std::atomic<std::int64_t> quota_rejects{0};
+  std::atomic<std::int64_t> deadline_evals{0};
+  std::atomic<std::int64_t> cancelled_evals{0};
 };
 
 }  // namespace mz

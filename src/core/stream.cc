@@ -4,12 +4,14 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace mz {
 
 // ---------------------------------------------------------- StreamSource ----
 
 void StreamSource::Push(Value chunk) {
+  MZ_FAULT("stream.push");
   {
     std::lock_guard<std::mutex> lock(mu_);
     MZ_THROW_IF(closed_, "Push on a closed StreamSource");
@@ -105,6 +107,7 @@ void Windower::FillTo(std::int64_t target_end) {
 }
 
 std::optional<Value> Windower::Next(std::int64_t* out_elems) {
+  MZ_FAULT("stream.window");
   FillTo(win_start_ + opts_.window);
   std::int64_t avail_end = std::min(end_, win_start_ + opts_.window);
   if (avail_end <= win_start_) {

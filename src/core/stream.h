@@ -45,6 +45,7 @@
 #include <typeindex>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/registry.h"
 #include "core/splitter.h"
 #include "core/stats.h"
@@ -57,6 +58,11 @@ struct StreamOptions {
   std::int64_t slide = 0;        // elements advanced per firing; 0 = window (tumbling)
   std::int64_t history_max = 0;  // max buffered elements; 0 = unbounded
   bool flush_partial = true;     // fire the final under-filled window(s) at Close()
+  // Cooperative stop for EvalStream: checked before each window is
+  // assembled and threaded into every firing's evaluation. Completed
+  // firings keep their results; the in-flight one unwinds like any
+  // cancelled eval. Inert by default.
+  CancelToken cancel{};
 };
 
 // Thread-safe chunk queue: many producers, one windowing consumer. Chunks
