@@ -61,8 +61,11 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/fault.h"
+#include "common/rng.h"
 #include "common/timer.h"
 #include "core/client.h"
+#include "core/resilience.h"
 #include "core/session.h"
 #include "vecmath/annotated.h"
 
@@ -364,6 +367,244 @@ SheddingResult RunShedding(bool shedding, long n, long deadline_us, long run_ms)
   return res;
 }
 
+// ------------------- 5. resilient clients under a faulty/overloaded gate ----
+
+enum class RetryPolicy { kNaive, kBudgeted, kBudgetedHedged };
+
+struct ResilienceRunResult {
+  std::vector<double> served_ms;
+  std::int64_t met = 0;
+  std::int64_t attempts = 0;
+  std::int64_t failures = 0;  // requests that never completed
+  std::int64_t retries = 0;
+  std::int64_t budget_exhausted = 0;
+  std::int64_t hedges = 0;
+  std::int64_t hedge_wins = 0;
+  double wall_s = 0.0;
+};
+
+// Overload + transient faults: 12 deadline-bearing clients on ONE admission
+// token (offered load ~12x capacity) with the fault injector failing ~15%
+// of evals at the plan-cache lookup site. The naive client is the classic anti-pattern: retry
+// immediately on any error, deadline-blind, no backoff — it keeps every
+// rejected request in the system and serves almost nothing on time. The
+// budgeted client (ResilientClient) propagates the deadline (the gate sheds
+// infeasible work up front), paces retries on retry_after_us with jittered
+// backoff, and stops retrying when the budget empties — goodput is work the
+// server actually had capacity for. The hedged variant adds tail hedging on
+// top; under overload the shared budget keeps it from doubling load.
+ResilienceRunResult RunResilientOverload(RetryPolicy policy, long n, long deadline_us,
+                                         long run_ms) {
+  constexpr int kClients = 12;
+
+  mz::ServingOptions serving;
+  serving.pool_threads = 4;
+  serving.max_pool_sessions = 1;
+  serving.serial_cutoff_elems = 256;  // pooled-class only
+  mz::ServingContext ctx(serving);
+
+  mz::FaultConfig faults;
+  faults.seed = 0x5091;
+  faults.p_throw = 0.15;
+  // Once-per-eval site: a clean "15% of requests hit a transient fault"
+  // model. The exec.* sites fire per piece, which at 8 pieces per plan would
+  // compound into a near-certain failure per eval and swamp the experiment.
+  faults.only_site = "plan_cache.lookup";
+  mz::FaultInjector::Global().Arm(faults);
+
+  std::mutex merge_mu;
+  ResilienceRunResult res;
+  const std::int64_t t_start = mz::NowNanos();
+  const std::int64_t t_end = t_start + run_ms * 1'000'000;
+
+  auto client_loop = [&](int id) {
+    const std::size_t size = static_cast<std::size_t>(n);
+    std::vector<double> a(size, 1.5 + id), b(size, 2.5);
+    std::vector<double> out[2] = {std::vector<double>(size), std::vector<double>(size)};
+    mz::SessionOptions opts;
+    opts.serving = &ctx;
+    mz::Session session(opts);
+
+    mz::ResilienceOptions ro;
+    ro.max_attempts = 6;
+    ro.breaker_enabled = false;  // isolate the retry policy in this experiment
+    ro.jitter_seed = 0x5eed + static_cast<std::uint64_t>(id);
+    if (policy == RetryPolicy::kBudgetedHedged) {
+      ro.hedge_enabled = true;
+      ro.hedge_min_us = 500;
+    }
+    mz::ResilientClient client(session, ro);
+    ResilienceRunResult local;
+
+    while (mz::NowNanos() < t_end) {
+      ++local.attempts;
+      const std::int64_t t0 = mz::NowNanos();
+      bool served = false;
+      if (policy == RetryPolicy::kNaive) {
+        // Naive: hammer until it goes through, ignore the deadline and every
+        // backpressure hint the server sends.
+        for (int tries = 0; tries < 6 && !served && mz::NowNanos() < t_end; ++tries) {
+          try {
+            {
+              mz::Session::Scope scope(session);
+              Pipeline(n, a.data(), b.data(), out[0].data());
+            }
+            session.Evaluate();
+            session.Reset();
+            served = true;
+          } catch (const mz::Error&) {
+            session.Reset();  // and retry instantly: the retry storm
+          }
+        }
+      } else {
+        mz::CancelSource src;
+        src.SetDeadlineNanos(t0 + deadline_us * 1000);
+        mz::EvalOptions eo;
+        eo.cancel = src.token();
+        try {
+          client.Eval(
+              [&](mz::Session& s, const mz::EvalOptions&, int lane) {
+                mz::Session::Scope scope(s);
+                Pipeline(n, a.data(), b.data(), out[lane].data());
+              },
+              eo);
+          served = true;
+        } catch (const mz::OverloadError& e) {
+          // Final rejection after the policy stack gave up: pace the next
+          // request on the structured hint, exactly like experiment 4. The
+          // hint must be honored in full — undercutting it re-offers work the
+          // gate already said is infeasible and starves the run of goodput.
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              std::min<std::int64_t>(std::max<std::int64_t>(e.retry_after_us, 100), 20'000)));
+        } catch (const mz::Error&) {  // deadline, cancel, fault leakage
+        }
+      }
+      if (served) {
+        const double lat_ms = static_cast<double>(mz::NowNanos() - t0) * 1e-6;
+        local.served_ms.push_back(lat_ms);
+        if (lat_ms * 1000.0 <= static_cast<double>(deadline_us)) {
+          ++local.met;
+        }
+      } else {
+        ++local.failures;
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mu);
+    res.served_ms.insert(res.served_ms.end(), local.served_ms.begin(), local.served_ms.end());
+    res.met += local.met;
+    res.attempts += local.attempts;
+    res.failures += local.failures;
+  };
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back(client_loop, c);
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  mz::FaultInjector::Global().Disarm();
+  res.wall_s = static_cast<double>(mz::NowNanos() - t_start) * 1e-9;
+
+  const mz::EvalStats::Snapshot agg = ctx.AggregateStats();
+  res.retries = agg.retries;
+  res.budget_exhausted = agg.retry_budget_exhausted;
+  res.hedges = agg.hedges_launched;
+  res.hedge_wins = agg.hedge_wins;
+  return res;
+}
+
+// Straggler tail: an uncontended context where ~8% of primary attempts stall
+// 5 ms — a GC pause / page fault stand-in — against sub-100us evaluations.
+// The stall polls the eval's cancel token (a straggling backend observes
+// cancellation; it doesn't vanish), so when the hedge lane wins and cancels
+// the primary, the caller gets the hedge's answer at hedge speed instead of
+// waiting out the stall — that early return is what collapses the served p99.
+ResilienceRunResult RunHedging(bool hedged, long n, long run_ms) {
+  constexpr int kClients = 2;
+  constexpr double kStraggleP = 0.08;
+  constexpr std::int64_t kStraggleNs = 5'000'000;
+
+  mz::ServingOptions serving;
+  serving.pool_threads = 2;
+  serving.max_pool_sessions = 2;
+  serving.serial_cutoff_elems = 1 << 20;  // inline-class: no token contention
+  mz::ServingContext ctx(serving);
+
+  std::mutex merge_mu;
+  ResilienceRunResult res;
+  const std::int64_t t_start = mz::NowNanos();
+  const std::int64_t t_end = t_start + run_ms * 1'000'000;
+
+  auto client_loop = [&](int id) {
+    const std::size_t size = static_cast<std::size_t>(n);
+    std::vector<double> a(size, 1.5 + id), b(size, 2.5);
+    std::vector<double> out[2] = {std::vector<double>(size), std::vector<double>(size)};
+    mz::SessionOptions opts;
+    opts.serving = &ctx;
+    mz::Session session(opts);
+
+    mz::ResilienceOptions ro;
+    ro.breaker_enabled = false;
+    ro.jitter_seed = 0x5eed + static_cast<std::uint64_t>(id);
+    ro.hedge_enabled = hedged;
+    ro.hedge_quantile = 0.75;  // arm well under the straggle fraction
+    // Hedges spend retry budget; a straggle-heavy tail needs a faster earn
+    // rate than the retry default or hedging self-extinguishes mid-run.
+    ro.retry_budget_ratio = 0.3;
+    ro.retry_budget_burst = 50.0;
+    mz::ResilientClient client(session, ro);
+    mz::Rng straggle_rng(0x57A6 + static_cast<std::uint64_t>(id));
+    ResilienceRunResult local;
+
+    while (mz::NowNanos() < t_end) {
+      ++local.attempts;
+      const bool straggle = straggle_rng.NextDouble(0.0, 1.0) < kStraggleP;
+      const std::int64_t t0 = mz::NowNanos();
+      try {
+        client.Eval([&](mz::Session& s, const mz::EvalOptions& eo, int lane) {
+          if (straggle && lane == 0) {
+            // Stall the primary lane only: the hedge lands on a different
+            // replica in the scenario this models. Poll the token so a hedge
+            // win releases the caller immediately.
+            const std::int64_t stall_end = mz::NowNanos() + kStraggleNs;
+            while (mz::NowNanos() < stall_end && !eo.cancel.stop_requested()) {
+              std::this_thread::sleep_for(std::chrono::microseconds(50));
+            }
+          }
+          mz::Session::Scope scope(s);
+          Pipeline(n, a.data(), b.data(), out[lane].data());
+        });
+        local.served_ms.push_back(static_cast<double>(mz::NowNanos() - t0) * 1e-6);
+      } catch (const mz::Error&) {
+        ++local.failures;
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mu);
+    res.served_ms.insert(res.served_ms.end(), local.served_ms.begin(), local.served_ms.end());
+    res.attempts += local.attempts;
+    res.failures += local.failures;
+  };
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back(client_loop, c);
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  res.wall_s = static_cast<double>(mz::NowNanos() - t_start) * 1e-9;
+
+  const mz::EvalStats::Snapshot agg = ctx.AggregateStats();
+  res.retries = agg.retries;
+  res.budget_exhausted = agg.retry_budget_exhausted;
+  res.hedges = agg.hedges_launched;
+  res.hedge_wins = agg.hedge_wins;
+  return res;
+}
+
 void EmitClass(const std::string& config, const char* cls, const ClassSamples& s) {
   std::printf("  %-6s %-6s  %8zu reqs   lat p50/p95/p99 %8.3f %8.3f %8.3f ms   "
               "wait p50/p95/p99 %8.3f %8.3f %8.3f ms\n",
@@ -481,6 +722,74 @@ int main() {
                   static_cast<double>(r.aborted));
     bench::Metric("loadgen_serving", "deadline_shedding", config, "attempts",
                   static_cast<double>(r.attempts));
+  }
+
+  bench::Title("Resilient clients at ~12x overload with 15% transient faults: "
+               "naive vs. budgeted vs. budgeted+hedged retries");
+  const long n_res = std::max<long>(32768, bench::Scaled(131072));
+  const long res_run_ms = std::max<long>(50, bench::Scaled(400));
+  bench::Note("12 clients, one admission token, " + std::to_string(n_res) +
+              "-elem pooled plans, 2000 us deadlines for " + std::to_string(res_run_ms) +
+              " ms. Naive retries instantly and deadline-blind (the retry storm); "
+              "budgeted propagates deadlines, paces on retry_after_us, and spends a "
+              "token-bucket retry budget; +hedged adds tail hedging from the same budget");
+  for (RetryPolicy policy :
+       {RetryPolicy::kNaive, RetryPolicy::kBudgeted, RetryPolicy::kBudgetedHedged}) {
+    const std::string config = policy == RetryPolicy::kNaive      ? "naive"
+                               : policy == RetryPolicy::kBudgeted ? "budgeted"
+                                                                  : "budgeted_hedged";
+    ResilienceRunResult r = RunResilientOverload(policy, n_res, /*deadline_us=*/2000, res_run_ms);
+    const double goodput = static_cast<double>(r.met) / std::max(r.wall_s, 1e-9);
+    std::printf("  %-16s goodput %8.1f met/s   served p50/p99 %8.3f %8.3f ms   "
+                "%lld served, %lld failed / %lld requests   %lld retries "
+                "(%lld budget-stopped)   %lld hedges (%lld wins)\n",
+                config.c_str(), goodput, Pct(r.served_ms, 50), Pct(r.served_ms, 99),
+                static_cast<long long>(r.served_ms.size()), static_cast<long long>(r.failures),
+                static_cast<long long>(r.attempts), static_cast<long long>(r.retries),
+                static_cast<long long>(r.budget_exhausted), static_cast<long long>(r.hedges),
+                static_cast<long long>(r.hedge_wins));
+    bench::Metric("loadgen_serving", "resilience_retry", config, "goodput_met_per_s", goodput);
+    bench::Metric("loadgen_serving", "resilience_retry", config, "served_p50_ms",
+                  Pct(r.served_ms, 50));
+    bench::Metric("loadgen_serving", "resilience_retry", config, "served_p99_ms",
+                  Pct(r.served_ms, 99));
+    bench::Metric("loadgen_serving", "resilience_retry", config, "requests",
+                  static_cast<double>(r.attempts));
+    bench::Metric("loadgen_serving", "resilience_retry", config, "failures",
+                  static_cast<double>(r.failures));
+    bench::Metric("loadgen_serving", "resilience_retry", config, "retries",
+                  static_cast<double>(r.retries));
+    bench::Metric("loadgen_serving", "resilience_retry", config, "budget_exhausted",
+                  static_cast<double>(r.budget_exhausted));
+    bench::Metric("loadgen_serving", "resilience_retry", config, "hedges",
+                  static_cast<double>(r.hedges));
+  }
+
+  bench::Title("Tail hedging vs. 5 ms primary-lane stragglers (~8% of attempts), "
+               "uncontended context");
+  const long hedge_run_ms = std::max<long>(50, bench::Scaled(400));
+  bench::Note("2 clients, inline-class 1024-elem plans for " + std::to_string(hedge_run_ms) +
+              " ms; stalls poll the cancel token. The hedge timer arms at the online "
+              "p75 latency estimate, the winner cancels the loser lane, hedges debit "
+              "the shared retry budget");
+  for (bool hedged : {false, true}) {
+    const std::string config = hedged ? "hedge_on" : "hedge_off";
+    // n deliberately NOT scaled: the straggle/service ratio is the subject.
+    ResilienceRunResult r = RunHedging(hedged, /*n=*/1024, hedge_run_ms);
+    std::printf("  %-10s served p50/p95/p99 %8.3f %8.3f %8.3f ms   %lld evals   "
+                "%lld hedges (%lld wins)\n",
+                config.c_str(), Pct(r.served_ms, 50), Pct(r.served_ms, 95),
+                Pct(r.served_ms, 99), static_cast<long long>(r.served_ms.size()),
+                static_cast<long long>(r.hedges), static_cast<long long>(r.hedge_wins));
+    bench::Metric("loadgen_serving", "resilience_hedge", config, "p50_ms", Pct(r.served_ms, 50));
+    bench::Metric("loadgen_serving", "resilience_hedge", config, "p95_ms", Pct(r.served_ms, 95));
+    bench::Metric("loadgen_serving", "resilience_hedge", config, "p99_ms", Pct(r.served_ms, 99));
+    bench::Metric("loadgen_serving", "resilience_hedge", config, "evals",
+                  static_cast<double>(r.served_ms.size()));
+    bench::Metric("loadgen_serving", "resilience_hedge", config, "hedges",
+                  static_cast<double>(r.hedges));
+    bench::Metric("loadgen_serving", "resilience_hedge", config, "hedge_wins",
+                  static_cast<double>(r.hedge_wins));
   }
   return 0;
 }

@@ -6,8 +6,8 @@
 # against it.
 #
 # Usage:
-#   scripts/bench.sh                 # full scale → BENCH_PR9.json
-#   MOZART_BENCH_TAG=PR10 scripts/bench.sh
+#   scripts/bench.sh                 # full scale → BENCH_PR10.json
+#   MOZART_BENCH_TAG=PR11 scripts/bench.sh
 #   MOZART_BENCH_SCALE=0.01 scripts/bench.sh        # quick pass
 #   MOZART_BENCH_LIST="table4_pipelining" scripts/bench.sh
 #   MOZART_BENCH_REPEATS=3 scripts/bench.sh
@@ -18,7 +18,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="${MOZART_CHECK_JOBS:-$(nproc)}"
-tag="${MOZART_BENCH_TAG:-PR9}"
+tag="${MOZART_BENCH_TAG:-PR10}"
 scale="${MOZART_BENCH_SCALE:-1}"
 repeats="${MOZART_BENCH_REPEATS:-1}"
 # The benches that currently emit Metric() lines. Binaries without metrics

@@ -15,9 +15,11 @@
 //  * DeadlineError   — the request's deadline passed (a subtype of
 //    cancellation: both mean "stop working on this request").
 //  * OverloadError   — the request was never started: admission predicted
-//    the deadline cannot be met at the current backlog (load shedding), or a
-//    per-tenant rate quota was exhausted. Carries retry_after_us, the
-//    backpressure hint clients use to pace retries.
+//    the deadline cannot be met at the current backlog (load shedding), a
+//    per-tenant rate or byte quota was exhausted, the serving context is
+//    draining, or (client-side, resilience.h) the tenant's circuit breaker
+//    is open. Carries retry_after_us, the backpressure hint clients use to
+//    pace retries.
 #ifndef MOZART_COMMON_CANCEL_H_
 #define MOZART_COMMON_CANCEL_H_
 
@@ -44,12 +46,16 @@ class DeadlineError : public CancelledError {
 };
 
 // Thrown when a request is rejected up front instead of queued: the gate's
-// backlog already exceeds the deadline (kBacklog) or the tenant's rate
-// quota is exhausted (kQuota). retry_after_us is the server's estimate of
-// when a retry could succeed — the structured backpressure signal.
+// backlog already exceeds the deadline (kBacklog), the tenant's rate or
+// byte quota is exhausted (kQuota), the serving context is draining and no
+// longer admits new work (kDraining), or the client-side circuit breaker is
+// failing fast (kCircuit; thrown as CircuitOpenError by resilience.h, never
+// by the server). retry_after_us is the estimate of when a retry could
+// succeed — the structured backpressure signal (kDraining carries 0: a
+// draining context never comes back).
 class OverloadError : public Error {
  public:
-  enum class Kind { kBacklog, kQuota };
+  enum class Kind { kBacklog, kQuota, kDraining, kCircuit };
 
   OverloadError(const std::string& what, Kind k, std::int64_t retry_us)
       : Error(what), kind(k), retry_after_us(retry_us) {}

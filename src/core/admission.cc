@@ -58,6 +58,10 @@ AdmissionGate::Ticket AdmissionGate::Acquire(std::uint64_t session, int weight,
   MZ_FAULT("admission.acquire");
   const std::int64_t deadline_ns = cancel.deadline_ns();
   std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    throw OverloadError("admission gate draining; no new work admitted",
+                        OverloadError::Kind::kDraining, 0);
+  }
   // Fast path: a free token and nobody queued ahead. Never barge past
   // waiters — that is exactly the unfairness the scheduler exists to stop.
   if (!HasWaitersLocked() && in_use_ < effective_tokens_) {
@@ -108,7 +112,16 @@ AdmissionGate::Ticket AdmissionGate::Acquire(std::uint64_t session, int weight,
     cv_.notify_all();
   }
   if (!cancel.has_state()) {
-    cv_.wait(lock, [&self] { return self.admitted; });
+    cv_.wait(lock, [&] { return self.admitted || draining_; });
+    if (!self.admitted) {
+      // Drain began while queued: withdraw exactly like a timed-out waiter
+      // (grants serialize on mu_, so an admitted waiter keeps its token and
+      // finishes its evaluation — drain waits for the release).
+      RemoveWaiterLocked(session, &self);
+      --waiting_;
+      throw OverloadError("admission gate draining; queued request rejected",
+                          OverloadError::Kind::kDraining, 0);
+    }
     return Ticket(this, session, NowNanos());
   }
   // Timed/cancellable wait. Grants and withdrawals both happen under mu_,
@@ -120,11 +133,15 @@ AdmissionGate::Ticket AdmissionGate::Acquire(std::uint64_t session, int weight,
   while (!self.admitted) {
     const std::int64_t now = NowNanos();
     const bool cancelled = cancel.cancelled();
-    if (cancelled || (deadline_ns > 0 && now >= deadline_ns)) {
+    if (cancelled || draining_ || (deadline_ns > 0 && now >= deadline_ns)) {
       RemoveWaiterLocked(session, &self);
       --waiting_;
       if (cancelled) {
         throw CancelledError("request cancelled while waiting for admission");
+      }
+      if (draining_) {
+        throw OverloadError("admission gate draining; queued request rejected",
+                            OverloadError::Kind::kDraining, 0);
       }
       throw DeadlineError("deadline expired while waiting for admission");
     }
@@ -133,7 +150,7 @@ AdmissionGate::Ticket AdmissionGate::Acquire(std::uint64_t session, int weight,
       wake_ns = std::min(wake_ns, deadline_ns);
     }
     cv_.wait_for(lock, std::chrono::nanoseconds(wake_ns - now),
-                 [&self] { return self.admitted; });
+                 [&] { return self.admitted || draining_; });
   }
   return Ticket(this, session, NowNanos());
 }
@@ -207,6 +224,10 @@ void AdmissionGate::DropQuota(std::uint64_t session) {
 
 void AdmissionGate::ChargeQuota(std::uint64_t session) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    throw OverloadError("admission gate draining; no new work admitted",
+                        OverloadError::Kind::kDraining, 0);
+  }
   auto it = quotas_.find(session);
   if (it == quotas_.end()) {
     return;  // no quota installed for this tenant
@@ -232,6 +253,86 @@ void AdmissionGate::ChargeQuota(std::uint64_t session) {
                                                  << " evals/s, burst " << b.burst << ")")
                           .str(),
                       OverloadError::Kind::kQuota, retry_us);
+}
+
+void AdmissionGate::SetByteQuota(std::uint64_t session, double bytes_per_sec, double burst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QuotaBucket& b = byte_quotas_[session];
+  b.rate = std::max(0.0, bytes_per_sec);
+  b.burst = burst > 0.0 ? burst : std::max(1.0, b.rate * 0.25);
+  if (b.refs == 0) {
+    b.tokens = b.burst;  // fresh bucket starts full
+    b.last_refill_ns = NowNanos();
+  }
+  b.tokens = std::min(b.tokens, b.burst);
+  ++b.refs;
+}
+
+void AdmissionGate::DropByteQuota(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = byte_quotas_.find(session);
+  if (it == byte_quotas_.end()) {
+    return;
+  }
+  if (--it->second.refs <= 0) {
+    byte_quotas_.erase(it);
+  }
+}
+
+void AdmissionGate::ChargeBytes(std::uint64_t session, std::int64_t bytes) {
+  if (bytes <= 0) {
+    return;  // unsized plans (and zero-byte ones) are not charged
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    throw OverloadError("admission gate draining; no new work admitted",
+                        OverloadError::Kind::kDraining, 0);
+  }
+  auto it = byte_quotas_.find(session);
+  if (it == byte_quotas_.end()) {
+    return;  // no byte quota installed for this tenant
+  }
+  QuotaBucket& b = it->second;
+  const std::int64_t now = NowNanos();
+  if (b.rate > 0.0 && now > b.last_refill_ns) {
+    b.tokens = std::min(b.burst,
+                        b.tokens + static_cast<double>(now - b.last_refill_ns) * 1e-9 * b.rate);
+  }
+  b.last_refill_ns = now;
+  const double need = static_cast<double>(bytes);
+  // Normal charge, or the oversized-plan escape hatch: a plan bigger than
+  // the whole burst admits once the bucket is full, leaving the bucket in
+  // debt. Debt self-repays at `rate`, so oversized plans still pace at the
+  // configured average byte rate instead of being unservable forever.
+  if (b.tokens >= need || (need > b.burst && b.tokens >= b.burst)) {
+    b.tokens -= need;
+    return;
+  }
+  // The honest refill time: bytes still missing before THIS request (capped
+  // at a full bucket for oversized plans) could admit.
+  const double missing = std::min(need, b.burst) - b.tokens;
+  const std::int64_t retry_us =
+      b.rate > 0.0 ? static_cast<std::int64_t>(std::ceil(missing / b.rate * 1e6))
+                   : std::numeric_limits<std::int64_t>::max();
+  throw OverloadError((internal::MessageStream()
+                       << "tenant " << session << " byte quota exhausted (plan " << bytes
+                       << " bytes, " << b.rate << " B/s, burst " << b.burst << ")")
+                          .str(),
+                      OverloadError::Kind::kQuota, retry_us);
+}
+
+void AdmissionGate::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  // Wake every queued waiter; each withdraws itself and throws kDraining.
+  cv_.notify_all();
+}
+
+bool AdmissionGate::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
 }
 
 bool AdmissionGate::ScheduleLocked() {

@@ -61,6 +61,17 @@
 //    OverloadError{retry_after_us} when the bucket is empty. Buckets are
 //    refcounted by SetQuota/DropQuota so multi-connection tenants sharing
 //    an id share one bucket.
+//  * Per-tenant byte quotas: the same bucket shape denominated in bytes.
+//    ChargeBytes debits a plan's PlanSizeEstimate bytes; a plan bigger than
+//    the burst is admitted once the bucket is full and driven into debt, so
+//    oversized-but-legitimate plans still pace at the average rate instead
+//    of deadlocking. SetByteQuota/DropByteQuota refcount like the rate side.
+//
+// Graceful drain (ISSUE 10): BeginDrain() flips a terminal draining flag —
+// every subsequent Acquire (and every waiter already queued, which is woken
+// and withdrawn) throws OverloadError{kDraining}, while held tickets release
+// normally so in_use() drains to zero. ServingContext::Drain sequences this
+// with batch-collector flush and the quiescence wait.
 #ifndef MOZART_CORE_ADMISSION_H_
 #define MOZART_CORE_ADMISSION_H_
 
@@ -177,6 +188,26 @@ class AdmissionGate {
   void DropQuota(std::uint64_t session);
   void ChargeQuota(std::uint64_t session);
 
+  // Per-tenant byte-rate quota over the PlanSizeEstimate byte model (the
+  // same bytes the inline/pooled decision and the plan-cache budget use).
+  // ChargeBytes debits `bytes` from the tenant's bucket; an empty bucket
+  // throws OverloadError{kQuota, retry_after_us} with the honest refill
+  // time for the requested size. A request larger than the burst admits
+  // when the bucket is full and leaves it in debt (self-repaying at the
+  // configured rate), so burst caps pacing, not plan size. burst <= 0
+  // derives 250 ms worth of rate. Sessions with no byte bucket installed
+  // are never charged.
+  void SetByteQuota(std::uint64_t session, double bytes_per_sec, double burst = 0.0);
+  void DropByteQuota(std::uint64_t session);
+  void ChargeBytes(std::uint64_t session, std::int64_t bytes);
+
+  // Graceful drain: stop admitting. New Acquires and already-queued waiters
+  // throw OverloadError{kDraining}; quota charges also reject so drained
+  // evaluations never debit tenant buckets. Idempotent and terminal — the
+  // gate (and its ServingContext) is winding down for destruction.
+  void BeginDrain();
+  bool draining() const;
+
   // Feeds one queue-depth sample into the EWMA and recomputes the effective
   // budget and cutoff. No-op in fixed mode. Wakes waiters if the budget grew.
   void Observe(std::size_t queue_depth);
@@ -257,8 +288,12 @@ class AdmissionGate {
   // Smoothed token hold time feeding the shedding prediction (same alpha as
   // the depth EWMA); 0 until the first release.
   double ewma_hold_ns_ = 0.0;
-  // Per-tenant rate-quota buckets (see SetQuota).
+  // Per-tenant rate-quota buckets (see SetQuota) and byte-quota buckets
+  // (see SetByteQuota; tokens denominated in bytes, may go negative while
+  // an oversized plan's debt repays).
   std::unordered_map<std::uint64_t, QuotaBucket> quotas_;
+  std::unordered_map<std::uint64_t, QuotaBucket> byte_quotas_;
+  bool draining_ = false;
 };
 
 // What EstimatePlanSize could learn about a plan's parallel work before

@@ -1,0 +1,543 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/timer.h"
+
+namespace mz {
+
+// Shared per-tenant resilience state, keyed by (ServingContext,
+// admission_session) — the same identity the gate's DRR rotation and quota
+// buckets use — and refcounted by client construction, so every connection
+// of a tenant shares one retry budget and one breaker (a flapping backend
+// trips once for the tenant, not once per connection).
+struct ResilientClient::TenantState {
+  std::mutex mu;
+  // Retry budget (token bucket; tokens also pay for hedges).
+  double tokens = 0.0;
+  std::int64_t debits = 0;
+  std::int64_t credits = 0;
+  // Circuit breaker: 0 = closed, 1 = open, 2 = half-open. The failure ratio
+  // is evaluated over tumbling windows of breaker_window outcomes.
+  int state = 0;
+  int window_count = 0;
+  int window_failures = 0;
+  std::int64_t opened_at_ns = 0;
+  bool probe_in_flight = false;
+  std::int64_t opens = 0;
+  int refs = 0;
+};
+
+namespace {
+
+struct TenantKey {
+  const void* ctx;
+  std::uint64_t id;
+  bool operator==(const TenantKey&) const = default;
+};
+struct TenantKeyHash {
+  std::size_t operator()(const TenantKey& k) const {
+    return std::hash<const void*>()(k.ctx) ^ (std::hash<std::uint64_t>()(k.id) * 0x9E3779B97F4A7C15ull);
+  }
+};
+
+std::mutex& TenantsMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+using TenantMap =
+    std::unordered_map<TenantKey, std::unique_ptr<ResilientClient::TenantState>, TenantKeyHash>;
+TenantMap& Tenants() {
+  static TenantMap* map = new TenantMap();
+  return *map;
+}
+
+ResilientClient::TenantState* RefTenant(const void* ctx, std::uint64_t id, double initial_tokens) {
+  std::lock_guard<std::mutex> lock(TenantsMu());
+  auto& slot = Tenants()[TenantKey{ctx, id}];
+  if (slot == nullptr) {
+    slot = std::make_unique<ResilientClient::TenantState>();
+    slot->tokens = initial_tokens;  // cold start with a full bucket
+  }
+  ++slot->refs;
+  return slot.get();
+}
+
+void UnrefTenant(const void* ctx, std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(TenantsMu());
+  auto it = Tenants().find(TenantKey{ctx, id});
+  if (it == Tenants().end()) {
+    return;
+  }
+  if (--it->second->refs <= 0) {
+    Tenants().erase(it);
+  }
+}
+
+ResilienceOptions Sanitize(ResilienceOptions opts) {
+  opts.max_attempts = std::max(1, opts.max_attempts);
+  opts.retry_budget_ratio = std::clamp(opts.retry_budget_ratio, 0.0, 1.0);
+  opts.retry_budget_burst = std::max(1.0, opts.retry_budget_burst);
+  opts.backoff_base_us = std::max<std::int64_t>(1, opts.backoff_base_us);
+  opts.backoff_cap_us = std::max(opts.backoff_base_us, opts.backoff_cap_us);
+  opts.hedge_quantile = std::clamp(opts.hedge_quantile, 0.0, 1.0);
+  opts.hedge_min_us = std::max<std::int64_t>(0, opts.hedge_min_us);
+  opts.breaker_failure_ratio = std::clamp(opts.breaker_failure_ratio, 0.0, 1.0);
+  opts.breaker_window = std::max(1, opts.breaker_window);
+  opts.breaker_open_us = std::max<std::int64_t>(1, opts.breaker_open_us);
+  return opts;
+}
+
+}  // namespace
+
+// One hedged request, stack-allocated by its caller. The worker reads it
+// only between arming and hedge_done; the caller always settles (disarm or
+// await) before the frame dies.
+struct ResilientClient::HedgeRequest {
+  const EvalFn* fn = nullptr;
+  std::int64_t fire_at_ns = 0;
+  CancelSource primary_src;
+  CancelSource hedge_src;
+  std::atomic<int> winner{0};  // 0 = undecided, 1 = primary, 2 = hedge
+  bool launched = false;       // worker claimed and ran the hedge (under hmu_)
+  bool done = false;           // hedge attempt settled (under hmu_)
+  std::exception_ptr hedge_error;
+  int attempt = 0;
+};
+
+ResilientClient::ResilientClient(Session& session, ResilienceOptions opts)
+    : primary_(&session), opts_(Sanitize(std::move(opts))), rng_(opts_.jitter_seed) {
+  clock_ = opts_.clock ? opts_.clock : [] { return NowNanos(); };
+  sleep_ = opts_.sleep ? opts_.sleep : [](std::int64_t us) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  };
+  tenant_ = RefTenant(&primary_->serving(), primary_->runtime().options().admission_session,
+                      opts_.retry_budget_burst);
+}
+
+ResilientClient::~ResilientClient() {
+  if (hedge_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(hmu_);
+      hedge_shutdown_ = true;
+    }
+    hcv_.notify_all();
+    hedge_thread_.join();
+  }
+  UnrefTenant(&primary_->serving(), primary_->runtime().options().admission_session);
+}
+
+EvalStats& ResilientClient::stats() { return primary_->stats(); }
+
+void ResilientClient::Trace(ResilienceTraceKind kind, std::int64_t value) {
+  if (!opts_.record_trace) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.push_back(ResilienceTraceEvent{kind, value});
+}
+
+std::vector<ResilienceTraceEvent> ResilientClient::trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+// ------------------------------------------------------------- breaker ----
+
+void ResilientClient::BreakerAllow() {
+  if (!opts_.breaker_enabled) {
+    return;
+  }
+  std::int64_t retry_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(tenant_->mu);
+    if (tenant_->state == 0) {
+      return;  // closed
+    }
+    const std::int64_t now = clock_();
+    if (tenant_->state == 1) {
+      const std::int64_t elapsed_us = (now - tenant_->opened_at_ns) / 1000;
+      if (elapsed_us >= opts_.breaker_open_us) {
+        // Open hold served: let exactly one probe through.
+        tenant_->state = 2;
+        tenant_->probe_in_flight = true;
+        Trace(ResilienceTraceKind::kBreakerHalfOpen, 0);
+        return;
+      }
+      retry_us = opts_.breaker_open_us - elapsed_us;
+    } else {  // half-open
+      if (!tenant_->probe_in_flight) {
+        tenant_->probe_in_flight = true;  // the probe slot freed up: take it
+        return;
+      }
+      retry_us = opts_.breaker_open_us;  // a probe is already in flight
+    }
+  }
+  Trace(ResilienceTraceKind::kFailFast, retry_us);
+  throw CircuitOpenError((internal::MessageStream()
+                          << "circuit open for tenant "
+                          << primary_->runtime().options().admission_session << "; retry in "
+                          << retry_us << "us")
+                             .str(),
+                         retry_us);
+}
+
+void ResilientClient::BreakerRecord(bool failure) {
+  if (!opts_.breaker_enabled) {
+    return;
+  }
+  bool opened = false;
+  bool closed = false;
+  int tripping_failures = 0;
+  {
+    std::lock_guard<std::mutex> lock(tenant_->mu);
+    if (tenant_->state == 2) {
+      // Half-open: the probe's outcome decides the whole circuit. (Only the
+      // probe reaches the server in half-open, so this record is the probe's.)
+      tenant_->probe_in_flight = false;
+      if (failure) {
+        tenant_->state = 1;
+        tenant_->opened_at_ns = clock_();
+        ++tenant_->opens;
+        opened = true;
+      } else {
+        tenant_->state = 0;
+        tenant_->window_count = 0;
+        tenant_->window_failures = 0;
+        closed = true;
+      }
+    } else if (tenant_->state == 0) {
+      ++tenant_->window_count;
+      if (failure) {
+        ++tenant_->window_failures;
+      }
+      if (tenant_->window_count >= opts_.breaker_window) {
+        const double ratio = static_cast<double>(tenant_->window_failures) /
+                             static_cast<double>(tenant_->window_count);
+        if (ratio >= opts_.breaker_failure_ratio) {
+          tenant_->state = 1;
+          tenant_->opened_at_ns = clock_();
+          ++tenant_->opens;
+          tripping_failures = tenant_->window_failures;
+          opened = true;
+        }
+        tenant_->window_count = 0;
+        tenant_->window_failures = 0;
+      }
+    }
+    // state == 1 (open): nothing reached the server; nothing to record.
+  }
+  if (opened) {
+    stats().circuit_opens.fetch_add(1, std::memory_order_relaxed);
+    Trace(ResilienceTraceKind::kBreakerOpen, tripping_failures);
+  }
+  if (closed) {
+    Trace(ResilienceTraceKind::kBreakerClose, 0);
+  }
+}
+
+// -------------------------------------------------------------- budget ----
+
+bool ResilientClient::DebitBudget() {
+  std::lock_guard<std::mutex> lock(tenant_->mu);
+  if (tenant_->tokens < 1.0) {
+    return false;
+  }
+  tenant_->tokens -= 1.0;
+  ++tenant_->debits;
+  return true;
+}
+
+void ResilientClient::CreditBudget() {
+  std::lock_guard<std::mutex> lock(tenant_->mu);
+  tenant_->tokens = std::min(opts_.retry_budget_burst, tenant_->tokens + opts_.retry_budget_ratio);
+  ++tenant_->credits;
+}
+
+ResilientClient::TenantSnapshot ResilientClient::tenant() const {
+  std::lock_guard<std::mutex> lock(tenant_->mu);
+  TenantSnapshot s;
+  s.budget_tokens = tenant_->tokens;
+  s.budget_debits = tenant_->debits;
+  s.budget_credits = tenant_->credits;
+  s.breaker_state = tenant_->state;
+  s.breaker_opens = tenant_->opens;
+  return s;
+}
+
+// ------------------------------------------------------------- hedging ----
+
+void ResilientClient::ObserveLatencyUs(std::int64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lat_us_[lat_count_ % kLatWindow] = us;
+  ++lat_count_;
+}
+
+std::int64_t ResilientClient::HedgeThresholdNs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int n = std::min(lat_count_, kLatWindow);
+  if (n < kLatMinSamples) {
+    return -1;  // no history: hedging blind would just double cold-start load
+  }
+  std::int64_t sorted[kLatWindow];
+  std::copy(lat_us_, lat_us_ + n, sorted);
+  int idx = static_cast<int>(opts_.hedge_quantile * static_cast<double>(n - 1));
+  idx = std::clamp(idx, 0, n - 1);
+  std::nth_element(sorted, sorted + idx, sorted + n);
+  return std::max(sorted[idx], opts_.hedge_min_us) * 1000;
+}
+
+void ResilientClient::EnsureHedgeInfra() {
+  if (hedge_session_ == nullptr) {
+    // Same tenant identity and quotas as the primary: the hedge is the same
+    // client asking twice, and must be metered (and DRR-scheduled) as such.
+    const RuntimeOptions& rt = primary_->runtime().options();
+    SessionOptions so;
+    so.serving = &primary_->serving();
+    so.admission_session = rt.admission_session;
+    so.admission_weight = rt.admission_weight;
+    so.quota_evals_per_sec = rt.quota_evals_per_sec;
+    so.quota_bytes_per_sec = rt.quota_bytes_per_sec;
+    hedge_session_ = std::make_unique<Session>(so);
+  }
+  if (!hedge_thread_.joinable()) {
+    hedge_thread_ = std::thread([this] { HedgeWorkerLoop(); });
+  }
+}
+
+void ResilientClient::HedgeWorkerLoop() {
+  std::unique_lock<std::mutex> lock(hmu_);
+  for (;;) {
+    hcv_.wait(lock, [this] { return hedge_shutdown_ || pending_ != nullptr; });
+    if (hedge_shutdown_) {
+      return;
+    }
+    HedgeRequest* req = pending_;
+    // Wait out the hedge timer, re-checking against the (possibly injected)
+    // clock; the caller disarms by clearing pending_ if the primary settles
+    // first.
+    while (!hedge_shutdown_ && pending_ == req && clock_() < req->fire_at_ns) {
+      const std::int64_t remaining_ns = req->fire_at_ns - clock_();
+      const std::int64_t nap_ns = std::clamp<std::int64_t>(remaining_ns, 50'000, 1'000'000);
+      hcv_.wait_for(lock, std::chrono::nanoseconds(nap_ns));
+    }
+    if (hedge_shutdown_) {
+      return;
+    }
+    if (pending_ != req) {
+      continue;  // disarmed: the primary settled inside the threshold
+    }
+    pending_ = nullptr;  // claimed
+    // Hedges spend the same budget retries do: an exhausted bucket means the
+    // tenant is already amplifying load, and a hedge would double it.
+    if (!DebitBudget()) {
+      stats().retry_budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+      Trace(ResilienceTraceKind::kBudgetExhausted, req->attempt);
+      req->done = true;  // never launched: the primary is the only lane
+      hcv_.notify_all();
+      continue;
+    }
+    req->launched = true;
+    lock.unlock();
+    try {
+      MZ_FAULT("resilience.hedge");
+      stats().hedges_launched.fetch_add(1, std::memory_order_relaxed);
+      Trace(ResilienceTraceKind::kHedgeLaunched, req->attempt);
+      RunOnce(*hedge_session_, *req->fn, req->hedge_src.token(), /*lane=*/1);
+      int expected = 0;
+      if (req->winner.compare_exchange_strong(expected, 2, std::memory_order_acq_rel)) {
+        req->primary_src.Cancel();  // hedge won: stop the primary at its next boundary
+      }
+    } catch (...) {
+      req->hedge_error = std::current_exception();
+    }
+    lock.lock();
+    req->done = true;
+    hcv_.notify_all();
+  }
+}
+
+// ------------------------------------------------------------ attempts ----
+
+void ResilientClient::RunOnce(Session& s, const EvalFn& fn, const CancelToken& token, int lane) {
+  // A failed prior attempt leaves its captured-but-unexecuted nodes in the
+  // graph; clear them so the functor re-captures from scratch. (Contract:
+  // no Futures outlive the functor — Reset enforces it.)
+  s.Reset();
+  EvalOptions eo;
+  eo.cancel = token;
+  fn(s, eo, lane);
+  // A functor that already evaluated (or captured nothing) makes this a
+  // no-op; either way the attempt's work is done when RunOnce returns.
+  s.Evaluate(eo);
+}
+
+void ResilientClient::RunAttemptMaybeHedged(const EvalFn& fn, int attempt,
+                                            const CancelToken& outer) {
+  const std::int64_t threshold_ns = opts_.hedge_enabled ? HedgeThresholdNs() : -1;
+  if (threshold_ns < 0) {
+    // Plain attempt on the caller's thread: the outer token rides straight
+    // through, so explicit Cancel() reaches the attempt mid-flight.
+    RunOnce(*primary_, fn, outer, /*lane=*/0);
+    return;
+  }
+
+  EnsureHedgeInfra();
+  const std::int64_t deadline_ns = outer.deadline_ns();
+  HedgeRequest req;
+  req.fn = &fn;
+  req.attempt = attempt;
+  req.fire_at_ns = clock_() + threshold_ns;
+  if (deadline_ns > 0) {
+    // Per-attempt sources mirror the outer deadline; explicit outer Cancel()
+    // is observed at attempt boundaries (Eval's ThrowIfStopped) — the cost
+    // of giving each lane its own loser-cancellation handle.
+    req.primary_src.SetDeadlineNanos(deadline_ns);
+    req.hedge_src.SetDeadlineNanos(deadline_ns);
+  }
+  {
+    std::lock_guard<std::mutex> lock(hmu_);
+    pending_ = &req;
+  }
+  hcv_.notify_all();
+
+  std::exception_ptr primary_error;
+  try {
+    RunOnce(*primary_, fn, req.primary_src.token(), /*lane=*/0);
+    int expected = 0;
+    if (req.winner.compare_exchange_strong(expected, 1, std::memory_order_acq_rel)) {
+      req.hedge_src.Cancel();  // primary won: reel the hedge back in
+    }
+  } catch (...) {
+    primary_error = std::current_exception();
+  }
+
+  // Settle: disarm an unlaunched hedge, or wait for a launched one — the
+  // request frame (and the functor's lane-1 outputs) must never be in use
+  // after this scope.
+  {
+    std::unique_lock<std::mutex> lock(hmu_);
+    if (pending_ == &req) {
+      pending_ = nullptr;  // never launched
+    } else if (req.launched && !req.done) {
+      // Launched: wait it out. A failing primary leaves its hedge running —
+      // the hedge may still salvage the request — and a winning primary
+      // already cancelled it, so this wait is bounded by the hedge's own
+      // cooperative unwind.
+      hcv_.wait(lock, [&req] { return req.done; });
+    }
+  }
+
+  if (req.winner.load(std::memory_order_acquire) == 2) {
+    stats().hedge_wins.fetch_add(1, std::memory_order_relaxed);
+    Trace(ResilienceTraceKind::kHedgeWin, attempt);
+    return;  // hedge result stands (lane-1 outputs)
+  }
+  if (primary_error != nullptr) {
+    std::rethrow_exception(primary_error);
+  }
+}
+
+// ------------------------------------------------------------ Eval loop ----
+
+void ResilientClient::Eval(const EvalFn& fn, const EvalOptions& opts) {
+  const std::int64_t deadline_ns = opts.cancel.deadline_ns();
+  std::int64_t prev_backoff_us = opts_.backoff_base_us;
+  for (int attempt = 0;; ++attempt) {
+    opts.cancel.ThrowIfStopped("resilient eval");
+    BreakerAllow();  // fails fast with CircuitOpenError while open
+    Trace(ResilienceTraceKind::kAttempt, attempt);
+    std::exception_ptr err;
+    std::int64_t retry_after_us = 0;
+    const std::int64_t t0 = clock_();
+    try {
+      RunAttemptMaybeHedged(fn, attempt, opts.cancel);
+      ObserveLatencyUs((clock_() - t0) / 1000);
+      BreakerRecord(/*failure=*/false);
+      CreditBudget();
+      return;
+    } catch (const OverloadError& e) {
+      if (e.kind == OverloadError::Kind::kDraining) {
+        throw;  // the server is going away; retrying here cannot succeed
+      }
+      // kBacklog / kQuota: the canonical retryable class. The server's
+      // retry_after_us hint floors the backoff below.
+      retry_after_us = e.retry_after_us;
+      err = std::current_exception();
+    } catch (const DeadlineError&) {
+      // The deadline is authoritative: no retry can beat it. Still a
+      // failure the breaker should learn from (the server was too slow).
+      BreakerRecord(/*failure=*/true);
+      throw;
+    } catch (const CancelledError&) {
+      throw;  // explicit client cancel: not a server-health signal
+    } catch (const FaultInjected&) {
+      err = std::current_exception();  // transient by construction: retryable
+    }
+
+    BreakerRecord(/*failure=*/true);
+    if (!opts_.retry_enabled || attempt + 1 >= opts_.max_attempts) {
+      std::rethrow_exception(err);
+    }
+    MZ_FAULT("resilience.retry");
+    // Decorrelated jitter: sleep ~ uniform(base, 3 * previous sleep), capped,
+    // then floored at the server's hint — the server knows when capacity
+    // frees up; sleeping less only buys another rejection.
+    std::int64_t backoff_us = static_cast<std::int64_t>(
+        rng_.NextDouble(static_cast<double>(opts_.backoff_base_us),
+                        static_cast<double>(std::max(opts_.backoff_base_us + 1,
+                                                     3 * prev_backoff_us))));
+    backoff_us = std::min(backoff_us, opts_.backoff_cap_us);
+    backoff_us = std::max(backoff_us, retry_after_us);
+    if (deadline_ns > 0 && clock_() + backoff_us * 1000 >= deadline_ns) {
+      std::rethrow_exception(err);  // never retry past a deadline you can't meet
+    }
+    if (!DebitBudget()) {
+      stats().retry_budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+      Trace(ResilienceTraceKind::kBudgetExhausted, attempt);
+      std::rethrow_exception(err);
+    }
+    stats().retries.fetch_add(1, std::memory_order_relaxed);
+    Trace(ResilienceTraceKind::kRetry, backoff_us);
+    sleep_(backoff_us);
+    prev_backoff_us = backoff_us;
+  }
+}
+
+std::int64_t ResilientClient::EvalStream(
+    StreamSource& source, const StreamOptions& sopts,
+    const std::function<void(const Value& window, std::int64_t firing)>& body) {
+  Windower windower(&source, sopts, nullptr);
+  std::int64_t firings = 0;
+  for (;;) {
+    sopts.cancel.ThrowIfStopped("stream firing boundary");
+    std::optional<Value> window = windower.Next();
+    if (!window.has_value()) {
+      break;
+    }
+    const std::int64_t t0 = clock_();
+    EvalOptions eo;
+    eo.cancel = sopts.cancel;
+    Eval(
+        [&](Session& s, const EvalOptions& attempt_eo, int lane) {
+          (void)lane;  // the body keys outputs off the Session it is handed
+          Session::Scope scope(s);
+          body(*window, firings);
+          s.Evaluate(attempt_eo);
+        },
+        eo);
+    stats().window_firings.fetch_add(1, std::memory_order_relaxed);
+    stats().window_lag_ns.fetch_add(clock_() - t0, std::memory_order_relaxed);
+    ++firings;
+  }
+  return firings;
+}
+
+}  // namespace mz

@@ -1,0 +1,251 @@
+// Resilient client layer (ISSUE 10): budgeted retries, hedging, and circuit
+// breaking over the serving stack's overload taxonomy (cancel.h).
+//
+// The server side of this repo already speaks structured backpressure —
+// OverloadError{kBacklog|kQuota|kDraining, retry_after_us}, DeadlineError,
+// cooperative cancellation — but a naive client retry loop defeats all of
+// it: retries ignore retry_after_us, pile onto a backlogged gate, and turn a
+// transient overload into a metastable retry storm. Mozart is a *library*
+// runtime (Palkar & Zaharia, SOSP '19) — clients call Session::Evaluate
+// in-process — so client discipline is part of the system. ResilientClient
+// is that discipline as a policy layer over a Session:
+//
+//  * Budgeted retries. A per-tenant token bucket earns retry_budget_ratio
+//    tokens per *successful* evaluation (capped at retry_budget_burst) and
+//    every retry debits one. When failures are rare, retries are free; under
+//    sustained overload the budget drains and retries self-extinguish —
+//    clients fail fast instead of amplifying load ~max_attempts-fold.
+//    Tenants are keyed by (ServingContext, admission_session), the same
+//    identity the gate's DRR/quota machinery uses, so every connection of a
+//    tenant shares one budget (refcounted, like the gate's quota buckets).
+//
+//  * Backoff with decorrelated jitter. sleep = min(cap, uniform(base,
+//    3 × previous sleep)), then floored at the server's retry_after_us hint
+//    (the server knows when a retry could succeed; sleeping less just buys a
+//    second rejection). A retry that cannot complete before the request
+//    deadline is not launched at all — the original error is rethrown.
+//
+//  * Hedged requests. An online latency-quantile estimate (last-64 window,
+//    order statistic at hedge_quantile) arms a hedge timer per request:
+//    when the primary attempt outlives the quantile, a second attempt
+//    launches on a dedicated hedge Session (same tenant identity) from a
+//    worker thread. First side to finish wins; the loser is cancelled
+//    through its attempt CancelSource — the PR 9 unwind paths do the rest.
+//    Hedges debit the same retry budget, so hedging degrades gracefully
+//    under overload instead of doubling it. Because the two lanes run
+//    concurrently, the eval functor must write lane-local outputs (the
+//    `lane` argument: 0 = primary Session, 1 = hedge Session).
+//
+//  * Circuit breaker, per tenant: closed → open when the failure ratio over
+//    a tumbling window of breaker_window outcomes reaches
+//    breaker_failure_ratio; open fails fast with CircuitOpenError (an
+//    OverloadError{kCircuit} carrying the remaining open time as
+//    retry_after_us) without touching the server; after breaker_open_us one
+//    half-open probe is let through — success closes the circuit, failure
+//    re-opens it.
+//
+// Determinism: the clock, the sleeper, and the jitter RNG seed are all
+// injectable (ResilienceOptions), and record_trace captures every decision
+// (attempt, retry + backoff, budget exhaustion, hedge launch/win, breaker
+// transitions) as a comparable event list — the chaos battery replays a
+// seeded fault sweep twice and asserts the traces are bit-identical.
+// MZ_FAULT sites: "resilience.retry" (before each retry debit) and
+// "resilience.hedge" (at hedge launch); "context.drain" lives in
+// ServingContext::Drain.
+//
+// Counters land in the primary session's EvalStats (retries,
+// retry_budget_exhausted, hedges_launched, hedge_wins, circuit_opens) and
+// aggregate through ServingContext like every other serving counter.
+#ifndef MOZART_CORE_RESILIENCE_H_
+#define MOZART_CORE_RESILIENCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/rng.h"
+#include "core/session.h"
+#include "core/stream.h"
+
+namespace mz {
+
+// Client-side fail-fast rejection: the tenant's circuit breaker is open.
+// Subclasses OverloadError so callers that already pace on retry_after_us
+// handle it uniformly; kCircuit distinguishes it from server rejections.
+class CircuitOpenError : public OverloadError {
+ public:
+  CircuitOpenError(const std::string& what, std::int64_t retry_us)
+      : OverloadError(what, Kind::kCircuit, retry_us) {}
+};
+
+struct ResilienceOptions {
+  // --- budgeted retries -----------------------------------------------------
+  bool retry_enabled = true;  // false = the no-retry ablation (first error wins)
+  int max_attempts = 4;       // total attempts, the first one included
+  // Retry-budget token bucket: tokens earned per successful eval, bucket
+  // capacity (also the cold-start balance, so fresh clients can retry).
+  double retry_budget_ratio = 0.1;
+  double retry_budget_burst = 10.0;
+  // Decorrelated-jitter backoff: sleep = min(cap, uniform(base, 3 * prev)),
+  // floored at the server's retry_after_us hint.
+  std::int64_t backoff_base_us = 500;
+  std::int64_t backoff_cap_us = 50'000;
+  // --- hedged requests ------------------------------------------------------
+  bool hedge_enabled = false;  // opt-in: requires lane-local outputs (above)
+  double hedge_quantile = 0.95;   // latency quantile that arms the hedge timer
+  std::int64_t hedge_min_us = 200;  // floor under the quantile estimate
+  // --- circuit breaker ------------------------------------------------------
+  bool breaker_enabled = true;    // false = the no-breaker ablation
+  double breaker_failure_ratio = 0.5;  // open at/above this failure ratio
+  int breaker_window = 20;             // outcomes per tumbling ratio window
+  std::int64_t breaker_open_us = 10'000;  // open hold before the half-open probe
+  // --- determinism hooks ----------------------------------------------------
+  std::uint64_t jitter_seed = 0x5eed;
+  // Injectable clock (ns) and sleeper (µs); null = NowNanos / real sleep.
+  // Tests pair a fake clock with a sleeper that advances it, making every
+  // backoff/hedge/breaker decision a pure function of the seed.
+  std::function<std::int64_t()> clock;
+  std::function<void(std::int64_t)> sleep;
+  // Record the decision trace (trace()) for replay assertions.
+  bool record_trace = false;
+};
+
+// One recorded policy decision (record_trace). `value` is the kind-specific
+// detail: backoff µs for kRetry, attempt index for kAttempt, remaining open
+// µs for kFailFast, and so on — traces compare bit-exactly across replays.
+enum class ResilienceTraceKind {
+  kAttempt,          // value = attempt index
+  kRetry,            // value = backoff µs actually slept
+  kBudgetExhausted,  // value = attempt index that wanted the retry
+  kHedgeLaunched,    // value = attempt index
+  kHedgeWin,         // value = attempt index
+  kBreakerOpen,      // value = failure count in the tripping window
+  kBreakerHalfOpen,  // value = 0
+  kBreakerClose,     // value = 0
+  kFailFast,         // value = retry_after µs handed to the caller
+};
+struct ResilienceTraceEvent {
+  ResilienceTraceKind kind;
+  std::int64_t value = 0;
+  bool operator==(const ResilienceTraceEvent&) const = default;
+};
+
+// Policy wrapper over one client's Session. Externally synchronized like the
+// Session it wraps: one caller thread in Eval/EvalStream at a time (the
+// hedge worker is internal). The wrapped Session must outlive the client.
+class ResilientClient {
+ public:
+  // The unit of resilient work: capture onto `s` (Session::Scope) and
+  // evaluate with `eo` (pass it to s.Evaluate so deadlines/cancellation and
+  // hedge loser-cancellation reach the attempt). Called once per attempt,
+  // after a Session::Reset — it must be self-contained. `lane` is 0 on the
+  // primary Session and 1 on the hedge Session; when hedging is enabled the
+  // two lanes run concurrently, so outputs must be lane-local.
+  using EvalFn = std::function<void(Session& s, const EvalOptions& eo, int lane)>;
+
+  explicit ResilientClient(Session& session, ResilienceOptions opts = {});
+  ~ResilientClient();
+
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  // Runs `fn` with the full policy stack. Throws the final error when every
+  // permitted attempt failed: CircuitOpenError (failed fast), the last
+  // OverloadError / FaultInjected (retries exhausted, budget empty, or the
+  // backoff would overrun the deadline), or DeadlineError / CancelledError
+  // (never retried — the caller's deadline and explicit cancel are
+  // authoritative). opts.cancel bounds the whole call, all attempts
+  // included.
+  void Eval(const EvalFn& fn, const EvalOptions& opts = {});
+
+  // Resilient streaming: windows `source` exactly like Runtime::EvalStream
+  // and runs every firing through Eval — each firing independently retried,
+  // hedged, and breaker-checked. `body` captures onto whichever Session
+  // the attempt runs on (it is invoked under that session's Scope). Counts
+  // window_firings / window_lag_ns like the plain stream path. Returns the
+  // number of firings served.
+  std::int64_t EvalStream(StreamSource& source, const StreamOptions& sopts,
+                          const std::function<void(const Value& window, std::int64_t firing)>& body);
+
+  Session& session() { return *primary_; }
+  const ResilienceOptions& options() const { return opts_; }
+
+  // Shared per-tenant state, for tests and ops introspection.
+  struct TenantSnapshot {
+    double budget_tokens = 0.0;
+    std::int64_t budget_debits = 0;   // retries + hedges actually charged
+    std::int64_t budget_credits = 0;  // successful evals that earned tokens
+    int breaker_state = 0;            // 0 = closed, 1 = open, 2 = half-open
+    std::int64_t breaker_opens = 0;
+  };
+  TenantSnapshot tenant() const;
+
+  // Decision trace recorded since construction (record_trace only).
+  std::vector<ResilienceTraceEvent> trace() const;
+
+  // Opaque shared tenant record (defined in resilience.cc; public only so
+  // the file-local refcounted registry there can own instances).
+  struct TenantState;
+
+ private:
+  struct HedgeRequest;
+
+  void RunOnce(Session& s, const EvalFn& fn, const CancelToken& token, int lane);
+  // One attempt, hedged when the policy and the quantile estimate allow it.
+  // Success returns; failure throws the primary lane's error (unless the
+  // hedge lane won, which is a success). `outer` is the caller's token: a
+  // plain attempt runs under it directly; a hedged attempt mirrors only its
+  // deadline into the per-lane CancelSources.
+  void RunAttemptMaybeHedged(const EvalFn& fn, int attempt, const CancelToken& outer);
+
+  // Hedge infrastructure (lazy: first hedge-eligible request builds it).
+  void EnsureHedgeInfra();
+  void HedgeWorkerLoop();
+  // Latency-quantile threshold that should arm a hedge, ns; -1 = not enough
+  // samples yet (no hedge).
+  std::int64_t HedgeThresholdNs() const;
+  void ObserveLatencyUs(std::int64_t us);
+
+  // Breaker/budget operations on the shared tenant state (resilience.cc).
+  void BreakerAllow();             // may throw CircuitOpenError
+  void BreakerRecord(bool failure);
+  bool DebitBudget();              // one token for a retry or hedge
+  void CreditBudget();
+  void Trace(ResilienceTraceKind kind, std::int64_t value);
+
+  EvalStats& stats();
+
+  Session* primary_;
+  ResilienceOptions opts_;
+  std::function<std::int64_t()> clock_;
+  std::function<void(std::int64_t)> sleep_;
+  Rng rng_;
+  TenantState* tenant_;  // refcounted registry entry, keyed like the gate
+
+  // Latency window for the hedge quantile (last kLatWindow successful
+  // attempt latencies, µs). Guarded by mu_ with the trace.
+  static constexpr int kLatWindow = 64;
+  static constexpr int kLatMinSamples = 8;
+  mutable std::mutex mu_;
+  std::int64_t lat_us_[kLatWindow] = {};
+  int lat_count_ = 0;
+  std::vector<ResilienceTraceEvent> trace_;
+
+  // Hedge lane: its own Session (same tenant identity) and worker thread.
+  std::unique_ptr<Session> hedge_session_;
+  std::thread hedge_thread_;
+  std::mutex hmu_;
+  std::condition_variable hcv_;
+  bool hedge_shutdown_ = false;
+  HedgeRequest* pending_ = nullptr;  // armed, not yet claimed by the worker
+};
+
+}  // namespace mz
+
+#endif  // MOZART_CORE_RESILIENCE_H_

@@ -38,11 +38,18 @@ Runtime::Runtime(RuntimeOptions opts) : opts_(opts), registry_(&Registry::Global
     opts_.admission->SetQuota(opts_.admission_session, opts_.quota_evals_per_sec);
     quota_installed_ = true;
   }
+  if (opts_.admission != nullptr && opts_.quota_bytes_per_sec > 0.0) {
+    opts_.admission->SetByteQuota(opts_.admission_session, opts_.quota_bytes_per_sec);
+    byte_quota_installed_ = true;
+  }
 }
 
 Runtime::~Runtime() {
   if (quota_installed_) {
     opts_.admission->DropQuota(opts_.admission_session);
+  }
+  if (byte_quota_installed_) {
+    opts_.admission->DropByteQuota(opts_.admission_session);
   }
 }
 
@@ -134,8 +141,9 @@ void Runtime::EvaluateLocked(const EvalOptions& eval_opts) {
   try {
     EvaluateLockedImpl(eval_opts);
   } catch (const OverloadError& e) {
-    auto& counter =
-        e.kind == OverloadError::Kind::kQuota ? stats_.quota_rejects : stats_.shed_evals;
+    auto& counter = e.kind == OverloadError::Kind::kQuota      ? stats_.quota_rejects
+                    : e.kind == OverloadError::Kind::kDraining ? stats_.drained_evals
+                                                               : stats_.shed_evals;
     counter.fetch_add(1, std::memory_order_relaxed);
     throw;
   } catch (const DeadlineError&) {
@@ -252,6 +260,14 @@ void Runtime::EvaluateLockedImpl(const EvalOptions& eval_opts) {
       // cache budget charges, with the elems cutoff converted at the
       // nominal stream width (8-byte doubles/int64s keep their meaning).
       const PlanSizeEstimate est = EstimatePlanSize(plan, graph_, *registry_);
+      // Byte quota is charged once the plan's bytes are known (the same
+      // estimate the inline/pooled split below compares), before any
+      // queueing, so a byte-throttled tenant never occupies gate state.
+      // Unsized plans charge nothing: the estimator's conservative
+      // direction is already taken by the pooled path below.
+      if (gate != nullptr && est.sized) {
+        gate->ChargeBytes(opts_.admission_session, est.bytes);
+      }
       if (est.sized && est.bytes <= cutoff * kNominalElemBytes) {
         exec_pool = SerialPool();
         batched = opts_.batcher != nullptr;

@@ -85,6 +85,16 @@ struct RuntimeOptions {
   // OverloadError{retry_after_us} before any planning-adjacent work runs.
   // Tenants sharing an admission_session share one bucket (refcounted).
   double quota_evals_per_sec = 0.0;
+  // Per-tenant byte quota (> 0 enables): like quota_evals_per_sec but
+  // denominated in the PlanSizeEstimate byte model — every evaluation debits
+  // its plan's estimated bytes after planning, so one tenant's few huge
+  // plans and another's many small ones meter against the same unit. Plans
+  // the estimator cannot size charge zero (the conservative direction is
+  // taken by the inline/pooled decision instead, which treats them as
+  // large). An empty bucket rejects with OverloadError{kQuota,
+  // retry_after_us}; plans bigger than the burst admit at a full bucket and
+  // leave it in debt (admission.h ChargeBytes).
+  double quota_bytes_per_sec = 0.0;
   // Plans whose estimated parallel work is at or below this many elements
   // run inline on the calling thread instead of fanning out (only applies
   // when an admission gate is configured or the cutoff is > 0). An adaptive
@@ -209,7 +219,8 @@ class Runtime {
   TaskGraph graph_;
   EvalStats stats_;
   bool evaluating_ = false;
-  bool quota_installed_ = false;  // this runtime holds a SetQuota reference
+  bool quota_installed_ = false;       // this runtime holds a SetQuota reference
+  bool byte_quota_installed_ = false;  // ... and/or a SetByteQuota reference
   std::function<void()> pre_evaluate_hook_;
   std::function<void()> post_capture_hook_;
 };

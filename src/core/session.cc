@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "common/cpu.h"
+#include "common/fault.h"
+#include "common/timer.h"
 
 namespace mz {
 
@@ -109,6 +113,37 @@ int ServingContext::num_live_sessions() {
   return static_cast<int>(sessions_.size());
 }
 
+bool ServingContext::Drain(std::int64_t deadline_ns) {
+  MZ_FAULT("context.drain");
+  // 1. Stop admitting: new evaluations reject with kDraining at the quota
+  //    choke point, queued waiters wake and withdraw via the same unwind
+  //    the timed waits use (no leaked tokens, waiting() stays exact).
+  admission_->BeginDrain();
+  // 2. Flush the batch collector: an open window's leader dispatches now
+  //    instead of sleeping out a window for riders drain already rejected.
+  if (batcher_ != nullptr) {
+    batcher_->Flush();
+  }
+  // 3. Await in-flight pooled work. Cancellation is cooperative and clients
+  //    hold the CancelSources, so drain does not revoke anything — it waits
+  //    for holders to finish (or for their own deadlines to unwind them),
+  //    bounded by the drain deadline.
+  for (;;) {
+    if (admission_->in_use() == 0 && admission_->waiting() == 0) {
+      return true;
+    }
+    const std::int64_t now = NowNanos();
+    if (deadline_ns > 0 && now >= deadline_ns) {
+      return false;
+    }
+    std::int64_t nap_ns = 1'000'000;  // 1 ms quiescence poll
+    if (deadline_ns > 0) {
+      nap_ns = std::min(nap_ns, deadline_ns - now);
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nap_ns));
+  }
+}
+
 Session::Session(SessionOptions opts)
     : serving_(opts.serving != nullptr ? opts.serving : &ServingContext::Default()) {
   RuntimeOptions rt_opts = opts.runtime;
@@ -126,6 +161,7 @@ Session::Session(SessionOptions opts)
                                   : next_session_id.fetch_add(1, std::memory_order_relaxed);
   rt_opts.admission_weight = std::max(1, opts.admission_weight);
   rt_opts.quota_evals_per_sec = opts.quota_evals_per_sec;
+  rt_opts.quota_bytes_per_sec = opts.quota_bytes_per_sec;
   runtime_ = std::make_unique<Runtime>(rt_opts);
   serving_->Register(this);
 }

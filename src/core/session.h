@@ -112,6 +112,20 @@ class ServingContext {
 
   int num_live_sessions();
 
+  // Graceful drain (ISSUE 10): stops admitting new evaluations (they throw
+  // OverloadError{kDraining}; queued admission waiters are woken and
+  // rejected the same way), flushes the batch collector so no leader sleeps
+  // out a window for riders that will never come, then waits for in-flight
+  // pooled work to retire (in_use() and waiting() both zero). `deadline_ns`
+  // is an absolute NowNanos() deadline (0 = wait indefinitely); returns
+  // true when the gate quiesced, false when the deadline hit first — either
+  // way the gate stays draining, so the context winds down monotonically
+  // and a second Drain call is an idempotent re-wait. Inline evaluations
+  // run on their callers' threads and are not awaited here; joining client
+  // threads (which drain rejections unblock promptly) completes shutdown.
+  bool Drain(std::int64_t deadline_ns = 0);
+  bool draining() const { return admission_->draining(); }
+
  private:
   friend class Session;
   void Register(Session* session);
@@ -147,6 +161,12 @@ struct SessionOptions {
   // (kQuota) carrying retry_after_us. Sessions sharing an admission_session
   // id share the bucket (tenant-wide rate). 0 = unlimited.
   double quota_evals_per_sec = 0.0;
+  // Per-session byte-rate limit over the PlanSizeEstimate byte model: every
+  // evaluation debits its plan's estimated bytes, so tenants are metered by
+  // how much data they push through the runtime, not just how often they
+  // call it. Same refcounted tenant-bucket sharing and OverloadError{kQuota,
+  // retry_after_us} rejection as quota_evals_per_sec. 0 = unlimited.
+  double quota_bytes_per_sec = 0.0;
 };
 
 // One client's handle on the runtime. Cheap to construct; owns an isolated

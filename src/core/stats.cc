@@ -54,9 +54,15 @@ std::string EvalStats::Snapshot::ToString() const {
     os << " [pipelined " << pipeline_regions << " regions, overlap="
        << Ms(pipeline_overlap_ns) << "ms fill/flush=" << Ms(fill_flush_ns) << "ms]";
   }
-  if (shed_evals + quota_rejects + deadline_evals + cancelled_evals > 0) {
+  if (shed_evals + quota_rejects + deadline_evals + cancelled_evals + drained_evals > 0) {
     os << " [shed=" << shed_evals << " quota=" << quota_rejects
-       << " deadline=" << deadline_evals << " cancelled=" << cancelled_evals << "]";
+       << " deadline=" << deadline_evals << " cancelled=" << cancelled_evals
+       << " drained=" << drained_evals << "]";
+  }
+  if (retries + retry_budget_exhausted + hedges_launched + circuit_opens > 0) {
+    os << " [retries=" << retries << " budget_exhausted=" << retry_budget_exhausted
+       << " hedges=" << hedges_launched << "/" << hedge_wins << " won"
+       << " circuit_opens=" << circuit_opens << "]";
   }
   if (footprint_bytes_max > 0) {
     os << " [max batch footprint " << footprint_bytes_max << " bytes]";

@@ -99,6 +99,18 @@ class EvalStats {
     std::int64_t quota_rejects = 0;
     std::int64_t deadline_evals = 0;
     std::int64_t cancelled_evals = 0;
+    // Client resilience (ISSUE 10, resilience.h): retries the ResilientClient
+    // actually launched (each one debits a retry-budget token), requests that
+    // wanted a retry but found the budget empty (rethrown instead), hedges
+    // launched / hedges that beat the primary, circuit-breaker open
+    // transitions this client observed, and evaluations rejected because the
+    // serving context was draining (OverloadError{kDraining}).
+    std::int64_t retries = 0;
+    std::int64_t retry_budget_exhausted = 0;
+    std::int64_t hedges_launched = 0;
+    std::int64_t hedge_wins = 0;
+    std::int64_t circuit_opens = 0;
+    std::int64_t drained_evals = 0;
 
     // Total across the per-phase wall-clock counters. Split/task/merge are
     // summed across workers, so on N threads this exceeds elapsed time.
@@ -149,6 +161,12 @@ class EvalStats {
       quota_rejects += other.quota_rejects;
       deadline_evals += other.deadline_evals;
       cancelled_evals += other.cancelled_evals;
+      retries += other.retries;
+      retry_budget_exhausted += other.retry_budget_exhausted;
+      hedges_launched += other.hedges_launched;
+      hedge_wins += other.hedge_wins;
+      circuit_opens += other.circuit_opens;
+      drained_evals += other.drained_evals;
     }
 
     std::string ToString() const;
@@ -196,6 +214,12 @@ class EvalStats {
     s.quota_rejects = quota_rejects.load(std::memory_order_relaxed);
     s.deadline_evals = deadline_evals.load(std::memory_order_relaxed);
     s.cancelled_evals = cancelled_evals.load(std::memory_order_relaxed);
+    s.retries = retries.load(std::memory_order_relaxed);
+    s.retry_budget_exhausted = retry_budget_exhausted.load(std::memory_order_relaxed);
+    s.hedges_launched = hedges_launched.load(std::memory_order_relaxed);
+    s.hedge_wins = hedge_wins.load(std::memory_order_relaxed);
+    s.circuit_opens = circuit_opens.load(std::memory_order_relaxed);
+    s.drained_evals = drained_evals.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -242,6 +266,12 @@ class EvalStats {
     quota_rejects.fetch_add(s.quota_rejects, std::memory_order_relaxed);
     deadline_evals.fetch_add(s.deadline_evals, std::memory_order_relaxed);
     cancelled_evals.fetch_add(s.cancelled_evals, std::memory_order_relaxed);
+    retries.fetch_add(s.retries, std::memory_order_relaxed);
+    retry_budget_exhausted.fetch_add(s.retry_budget_exhausted, std::memory_order_relaxed);
+    hedges_launched.fetch_add(s.hedges_launched, std::memory_order_relaxed);
+    hedge_wins.fetch_add(s.hedge_wins, std::memory_order_relaxed);
+    circuit_opens.fetch_add(s.circuit_opens, std::memory_order_relaxed);
+    drained_evals.fetch_add(s.drained_evals, std::memory_order_relaxed);
   }
 
   // Lock-free fold of a max-aggregated counter.
@@ -293,6 +323,12 @@ class EvalStats {
     quota_rejects = 0;
     deadline_evals = 0;
     cancelled_evals = 0;
+    retries = 0;
+    retry_budget_exhausted = 0;
+    hedges_launched = 0;
+    hedge_wins = 0;
+    circuit_opens = 0;
+    drained_evals = 0;
   }
 
   std::atomic<std::int64_t> client_ns{0};
@@ -335,6 +371,12 @@ class EvalStats {
   std::atomic<std::int64_t> quota_rejects{0};
   std::atomic<std::int64_t> deadline_evals{0};
   std::atomic<std::int64_t> cancelled_evals{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> retry_budget_exhausted{0};
+  std::atomic<std::int64_t> hedges_launched{0};
+  std::atomic<std::int64_t> hedge_wins{0};
+  std::atomic<std::int64_t> circuit_opens{0};
+  std::atomic<std::int64_t> drained_evals{0};
 };
 
 }  // namespace mz

@@ -1,19 +1,47 @@
 #include "core/stream.h"
 
+#include <algorithm>
+#include <chrono>
 #include <typeindex>
 #include <utility>
 
 #include "common/check.h"
 #include "common/fault.h"
+#include "common/timer.h"
 
 namespace mz {
 
 // ---------------------------------------------------------- StreamSource ----
 
-void StreamSource::Push(Value chunk) {
+void StreamSource::Push(Value chunk, const CancelToken& cancel) {
   MZ_FAULT("stream.push");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_chunks_ > 0) {
+      // Producer backpressure: wait for capacity, observing the producer's
+      // deadline/cancellation the same way admission waits do — Cancel()
+      // has no condition variable to poke, so poll it every few ms.
+      constexpr std::int64_t kCancelPollNs = 5'000'000;
+      const std::int64_t deadline_ns = cancel.deadline_ns();
+      while (!closed_ && static_cast<std::int64_t>(chunks_.size()) >= max_chunks_) {
+        const std::int64_t now = NowNanos();
+        if (cancel.has_state()) {
+          if (cancel.cancelled()) {
+            throw CancelledError("push cancelled while stream FIFO full");
+          }
+          if (deadline_ns > 0 && now >= deadline_ns) {
+            throw DeadlineError("deadline expired while stream FIFO full");
+          }
+        }
+        std::int64_t wake_ns = now + kCancelPollNs;
+        if (cancel.has_state() && deadline_ns > 0) {
+          wake_ns = std::min(wake_ns, deadline_ns);
+        }
+        space_cv_.wait_for(lock, std::chrono::nanoseconds(wake_ns - now), [&] {
+          return closed_ || static_cast<std::int64_t>(chunks_.size()) < max_chunks_;
+        });
+      }
+    }
     MZ_THROW_IF(closed_, "Push on a closed StreamSource");
     chunks_.push_back(std::move(chunk));
     ++pushed_;
@@ -27,6 +55,7 @@ void StreamSource::Close() {
     closed_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();  // producers blocked on a full FIFO must observe it
 }
 
 bool StreamSource::closed() const {
@@ -39,14 +68,25 @@ std::int64_t StreamSource::chunks_pushed() const {
   return pushed_;
 }
 
+std::int64_t StreamSource::chunks_queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(chunks_.size());
+}
+
 std::optional<Value> StreamSource::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !chunks_.empty() || closed_; });
-  if (chunks_.empty()) {
-    return std::nullopt;  // closed and drained
+  Value v;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !chunks_.empty() || closed_; });
+    if (chunks_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    v = std::move(chunks_.front());
+    chunks_.pop_front();
   }
-  Value v = std::move(chunks_.front());
-  chunks_.pop_front();
+  if (max_chunks_ > 0) {
+    space_cv_.notify_one();  // capacity freed for a blocked producer
+  }
   return v;
 }
 

@@ -68,28 +68,42 @@ struct StreamOptions {
 // Thread-safe chunk queue: many producers, one windowing consumer. Chunks
 // are opaque Values; element counts and slicing are derived from the chunk
 // type's default split type at consumption time.
+//
+// Capacity and producer backpressure: max_chunks > 0 bounds the FIFO. A
+// Push against a full queue blocks until the consumer drains a chunk — and,
+// when it carries a CancelToken, the block is a timed wait that observes the
+// producer's deadline (DeadlineError) and explicit cancellation
+// (CancelledError) instead of hanging on a stalled consumer forever. The
+// default (0) keeps the historical unbounded never-blocking behavior.
 class StreamSource {
  public:
-  StreamSource() = default;
+  explicit StreamSource(std::int64_t max_chunks = 0) : max_chunks_(max_chunks) {}
   StreamSource(const StreamSource&) = delete;
   StreamSource& operator=(const StreamSource&) = delete;
 
-  // Enqueues one chunk. Throws after Close().
-  void Push(Value chunk);
+  // Enqueues one chunk. Throws after Close(). Blocks while the queue is at
+  // max_chunks; a non-inert `cancel` turns the block into a timed wait that
+  // throws DeadlineError / CancelledError (the chunk is not enqueued — the
+  // producer still owns delivery).
+  void Push(Value chunk, const CancelToken& cancel = {});
 
-  // Marks end of stream; wakes any blocked Pop(). Idempotent.
+  // Marks end of stream; wakes any blocked Pop() and Push(). Idempotent.
   void Close();
 
   bool closed() const;
   std::int64_t chunks_pushed() const;
+  std::int64_t chunks_queued() const;
+  std::int64_t max_chunks() const { return max_chunks_; }
 
   // Consumer side: blocks until a chunk is available or the source is
   // closed and drained; nullopt = end of stream.
   std::optional<Value> Pop();
 
  private:
+  const std::int64_t max_chunks_;  // 0 = unbounded
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        // consumer side: chunk available / closed
+  std::condition_variable space_cv_;  // producer side: capacity freed / closed
   std::deque<Value> chunks_;
   bool closed_ = false;
   std::int64_t pushed_ = 0;

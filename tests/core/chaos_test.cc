@@ -22,9 +22,14 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <cmath>
+#include <thread>
+
 #include "common/cancel.h"
 #include "common/fault.h"
 #include "common/timer.h"
+#include "core/resilience.h"
 #include "core/session.h"
 #include "core/stream.h"
 #include "vecmath/annotated.h"
@@ -319,6 +324,219 @@ TEST(ChaosTest, StreamFaultSweepReplaysClean) {
                CancelledError);
   EXPECT_EQ(fired, 1) << "cancel after firing 0 must stop before firing 1";
   rt.Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Resilience cell (ISSUE 10): the client policy layer under the same seeded
+// fault regime the serving stack is swept with.
+
+// Retry-until-success converges at the battery's canonical p_throw = 0.15,
+// and the budget books balance: every counted retry corresponds to exactly
+// one budget debit (hedging off, so debits have a single source).
+TEST(ChaosTest, ResilientRetryConvergesAndBudgetBalances) {
+  mzvec::EnsureRegistered();
+  const Vec a = Iota(kSmallN, 1.0), b = Iota(kSmallN, 2.0);
+  Vec want(static_cast<std::size_t>(kSmallN), 0.0);
+  for (long i = 0; i < kSmallN; ++i) {
+    want[static_cast<std::size_t>(i)] =
+        std::log1p(a[static_cast<std::size_t>(i)]) + b[static_cast<std::size_t>(i)];
+  }
+
+  for (int seed = 1; seed <= 6; ++seed) {
+    ServingContext ctx(Knobs(/*batching=*/false));
+    SessionOptions opts;
+    opts.serving = &ctx;
+    Session session(opts);
+    ResilienceOptions ro;
+    ro.max_attempts = 8;
+    ro.retry_budget_burst = 64.0;  // generous: convergence is the subject here
+    ro.backoff_base_us = 50;
+    ro.backoff_cap_us = 500;
+    ro.breaker_enabled = false;  // a tripped breaker would mask convergence
+    ResilientClient client(session, ro);
+
+    FaultConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(seed) * 104729 + 17;
+    cfg.p_throw = 0.15;
+    FaultInjector::Global().Arm(cfg);
+
+    Vec out[2] = {Vec(static_cast<std::size_t>(kSmallN), 0.0),
+                  Vec(static_cast<std::size_t>(kSmallN), 0.0)};
+    int calls = 0;
+    for (int i = 0; i < 20; ++i) {
+      out[0].assign(static_cast<std::size_t>(kSmallN), 0.0);
+      // Retry-until-success: the client's own retries do most of the work;
+      // the outer loop absorbs the (rare) full-Eval failures — including the
+      // resilience.retry site itself firing, which aborts an eval by design
+      // (the fault lands before the budget debit, keeping the books exact).
+      bool served = false;
+      for (int call = 0; call < 10 && !served; ++call) {
+        ++calls;
+        try {
+          client.Eval([&](Session& s, const EvalOptions&, int lane) {
+            Session::Scope scope(s);
+            mzvec::Log1p(kSmallN, a.data(), out[lane].data());
+            mzvec::Add(kSmallN, out[lane].data(), b.data(), out[lane].data());
+          });
+          served = true;
+        } catch (const Error&) {
+        }
+      }
+      ASSERT_TRUE(served) << "request never converged, seed=" << cfg.seed << " req=" << i;
+      ASSERT_EQ(out[0], want) << "seed=" << cfg.seed << " req=" << i;
+    }
+    FaultInjector::Global().Disarm();
+
+    // Convergence must be cheap, not just eventual: at p_throw = 0.15 the
+    // 20 requests must not need anywhere near the 200-call ceiling.
+    EXPECT_LE(calls, 60) << "convergence too expensive, seed=" << cfg.seed;
+    EXPECT_EQ(session.stats().retries.load(), client.tenant().budget_debits)
+        << "budget books out of balance, seed=" << cfg.seed;
+    EXPECT_EQ(ctx.admission().in_use(), 0) << "seed=" << cfg.seed;
+    EXPECT_EQ(ctx.admission().waiting(), 0) << "seed=" << cfg.seed;
+  }
+}
+
+// Bit-identical replay: with a fixed fault seed, a fake clock driven by the
+// fake sleeper, and a fixed jitter seed, the client's entire decision trace
+// (attempts, backoffs, budget events, breaker transitions) must reproduce
+// exactly — the determinism hooks turn a chaos failure into a repro.
+TEST(ChaosTest, ResilienceTraceReplaysBitIdentical) {
+  mzvec::EnsureRegistered();
+  const Vec a = Iota(kSmallN, 1.0), b = Iota(kSmallN, 2.0);
+
+  auto run_once = [&] {
+    ServingContext ctx(Knobs(/*batching=*/false));
+    SessionOptions opts;
+    opts.serving = &ctx;
+    opts.admission_session = 4242;  // fixed tenant key → fresh state per ctx
+    Session session(opts);
+
+    std::int64_t now_ns = 1'000'000'000;
+    ResilienceOptions ro;
+    ro.max_attempts = 3;
+    ro.retry_budget_burst = 4.0;
+    ro.breaker_window = 6;
+    ro.breaker_failure_ratio = 0.5;
+    ro.breaker_open_us = 2'000;
+    ro.jitter_seed = 0xfeedbeef;
+    ro.record_trace = true;
+    ro.clock = [&now_ns] { return now_ns; };
+    ro.sleep = [&now_ns](std::int64_t us) { now_ns += us * 1000; };
+    ResilientClient client(session, ro);
+
+    FaultConfig cfg;
+    cfg.seed = 90210;
+    cfg.p_throw = 0.35;  // hot enough to exercise retries, budget, breaker
+    FaultInjector::Global().Arm(cfg);
+    Vec out[2] = {Vec(static_cast<std::size_t>(kSmallN), 0.0),
+                  Vec(static_cast<std::size_t>(kSmallN), 0.0)};
+    for (int i = 0; i < 30; ++i) {
+      try {
+        client.Eval([&](Session& s, const EvalOptions&, int lane) {
+          Session::Scope scope(s);
+          mzvec::Log1p(kSmallN, a.data(), out[lane].data());
+          mzvec::Add(kSmallN, out[lane].data(), b.data(), out[lane].data());
+        });
+      } catch (const Error&) {
+        // failures (including fail-fast breaker rejections) are part of the
+        // schedule being replayed
+      }
+      now_ns += 500'000;  // half a millisecond of "think time" per request
+    }
+    FaultInjector::Global().Disarm();
+    return client.trace();
+  };
+
+  const std::vector<ResilienceTraceEvent> first = run_once();
+  const std::vector<ResilienceTraceEvent> second = run_once();
+  ASSERT_GT(first.size(), 30u) << "the schedule never exercised the policy layer";
+  bool saw_retry = false, saw_breaker = false;
+  for (const ResilienceTraceEvent& ev : first) {
+    saw_retry = saw_retry || ev.kind == ResilienceTraceKind::kRetry;
+    saw_breaker = saw_breaker || ev.kind == ResilienceTraceKind::kBreakerOpen;
+  }
+  EXPECT_TRUE(saw_retry) << "replay schedule never retried";
+  EXPECT_TRUE(saw_breaker) << "replay schedule never tripped the breaker";
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i] == second[i]) << "trace diverged at event " << i;
+  }
+}
+
+// Drain under chaos: with faults firing and clients hammering the gate,
+// Drain(deadline) must return by its deadline (plus scheduling slack), and
+// once the clients exit the context must be fully quiesced — no leaked
+// tokens, no stranded waiters, and a second Drain is an instant re-wait.
+TEST(ChaosTest, DrainTerminatesByDeadlineUnderChaos) {
+  mzvec::EnsureRegistered();
+  const Vec la = Iota(kLargeN, 1.0), lb = Iota(kLargeN, 2.0);
+
+  for (int seed = 1; seed <= 5; ++seed) {
+    ServingContext ctx(ServingOptions{
+        .pool_threads = 2, .max_pool_sessions = 1, .serial_cutoff_elems = 0});
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+      clients.emplace_back([&] {
+        SessionOptions opts;
+        opts.serving = &ctx;
+        Session session(opts);
+        Vec out(static_cast<std::size_t>(kLargeN), 0.0);
+        while (!stop.load()) {
+          {
+            Session::Scope scope(session);
+            CaptureLarge(la, lb, &out);
+          }
+          try {
+            session.Evaluate();
+          } catch (const OverloadError& e) {
+            session.Reset();
+            if (e.kind == OverloadError::Kind::kDraining) {
+              return;
+            }
+          } catch (const Error&) {
+            session.Reset();  // injected fault: keep hammering
+          }
+        }
+      });
+    }
+
+    FaultConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(seed) * 1299709 + 3;
+    cfg.p_throw = 0.10;
+    cfg.p_delay = 0.20;
+    cfg.delay_us = 500;
+    FaultInjector::Global().Arm(cfg);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));  // build load
+
+    const std::int64_t budget_ns = 300'000'000;
+    const std::int64_t t0 = NowNanos();
+    bool quiesced = false;
+    for (;;) {  // the context.drain site itself may throw: re-enter
+      try {
+        quiesced = ctx.Drain(t0 + budget_ns);
+        break;
+      } catch (const FaultInjected&) {
+      }
+    }
+    const std::int64_t elapsed = NowNanos() - t0;
+    FaultInjector::Global().Disarm();
+    stop.store(true);
+    for (std::thread& t : clients) {
+      t.join();
+    }
+
+    EXPECT_LT(elapsed, budget_ns + 250'000'000)
+        << "Drain overran its deadline, seed=" << cfg.seed;
+    // Whatever the deadline race decided, after the clients exit the gate
+    // must be spotless and a repeat drain trivially true.
+    EXPECT_EQ(ctx.admission().in_use(), 0) << "seed=" << cfg.seed;
+    EXPECT_EQ(ctx.admission().waiting(), 0) << "seed=" << cfg.seed;
+    EXPECT_TRUE(ctx.Drain(NowNanos() + 1'000'000'000)) << "seed=" << cfg.seed;
+    EXPECT_TRUE(quiesced || elapsed >= budget_ns - 1'000'000)
+        << "Drain returned false before its deadline, seed=" << cfg.seed;
+  }
 }
 
 }  // namespace
